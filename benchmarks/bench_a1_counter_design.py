@@ -1,0 +1,90 @@
+"""A1 — Design-space ablation: mismatch rows versus counter elements.
+
+The paper's automata use one row of states per mismatch count; the AP's
+counter elements suggest an alternative single-chain design. This
+experiment runs both (the counter design executes on the full ANML
+element model) and measures the trade-off the paper's design implies:
+
+* streaming search: the counter design needs one phase instance per
+  window offset (overlapping windows each need a live count), costing
+  O(site²) STEs versus the rows' O(site x budget) — rows win at every
+  practical budget, and also label each report with its exact mismatch
+  count, which counters cannot;
+* anchored verification (a seed-filter second stage): one chain + one
+  counter, budget-independent — counters win from ~2 mismatches up.
+"""
+
+import numpy as np
+import pytest
+
+from repro import SearchBudget
+from repro.analysis.tables import render_series, render_table
+from repro.core.compiler import _segments, compile_guide
+from repro.core.counter_design import build_counter_design, counter_design_resources
+from repro.grna.guide import Guide
+from repro.platforms.resources import estimate_stes
+
+from _harness import save_experiment
+
+GUIDE = Guide("a1", "GAGTCCGAGCAGAAGAAGAA")
+
+
+def test_a1_resource_crossover(benchmark):
+    ks = list(range(6))
+    rows_streaming = [estimate_stes(20, 3, k, both_strands=False) for k in ks]
+    counter_streaming = [
+        counter_design_resources(23, 20, streaming=True)["stes"] for _ in ks
+    ]
+    rows_anchored = rows_streaming  # the row grid is the same machine anchored
+    counter_anchored = [
+        counter_design_resources(23, 20, streaming=False)["stes"] for _ in ks
+    ]
+    series = render_series(
+        "mismatches",
+        ks,
+        {
+            "rows (streaming)": rows_streaming,
+            "counter (streaming)": counter_streaming,
+            "rows (anchored)": rows_anchored,
+            "counter (anchored)": counter_anchored,
+        },
+        title="A1a: STEs per guide-strand, row design vs counter design",
+    )
+    save_experiment("a1_counter_resources", series)
+
+    # Streaming: rows always win. Anchored: counters win from k=2 up.
+    assert all(r < c for r, c in zip(rows_streaming, counter_streaming))
+    assert counter_anchored[2] < rows_anchored[2]
+
+    result = benchmark(counter_design_resources, 23, 20)
+    assert result["counters"] == 23
+
+
+def test_a1_functional_equivalence(benchmark):
+    # Both designs accept the same windows (counter reports lack the
+    # mismatch-count label — the design's other cost).
+    k = 2
+    segments = _segments(GUIDE, reverse=False)
+    network = build_counter_design(segments, k, label="hit", streaming=True)
+    compiled = compile_guide(GUIDE, SearchBudget(mismatches=k))
+    rng = np.random.default_rng(31)
+    codes = rng.integers(0, 4, 400).astype(np.uint8)
+    target = GUIDE.concrete_target()
+    from repro import alphabet
+
+    codes = np.concatenate([codes, alphabet.encode("TG" + target), codes[:50]])
+    row_positions = sorted({p for p, _ in compiled.forward.run(codes)})
+
+    counter_reports = benchmark.pedantic(
+        lambda: sorted({p for p, _ in network.run(codes)}), rounds=1, iterations=1
+    )
+    assert counter_reports == row_positions
+    table = render_table(
+        ["design", "accepting positions", "labels per report"],
+        [
+            ["rows", len(row_positions), "exact mismatch count"],
+            ["counter", len(counter_reports), "within-budget only"],
+        ],
+        title="A1b: functional agreement on a planted stream (k=2)",
+    )
+    save_experiment("a1_counter_equivalence", table)

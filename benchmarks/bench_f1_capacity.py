@@ -1,0 +1,76 @@
+"""F1 — Automaton size versus edit budgets (capacity analysis).
+
+Regenerates the figure showing how one guide's automaton grows with the
+mismatch and bulge budgets, and how many guides therefore fit in one
+configuration pass of each spatial device — the quantity that decides
+multi-pass behaviour at library scale. The predictor columns are exact
+for mismatch-only grids (validated against compilation in the tests);
+the compiled column here is measured directly.
+"""
+
+import pytest
+
+from repro import SearchBudget
+from repro.analysis.tables import render_series, render_table
+from repro.core.compiler import compile_guide
+from repro.grna.guide import Guide
+from repro.platforms.resources import estimate_stes, guides_per_pass
+from repro.platforms.spec import ApSpec, FpgaSpec
+
+from _harness import save_experiment
+
+GUIDE = Guide("cap", "GAGTCCGAGCAGAAGAAGAA")
+
+
+def test_f1_capacity_vs_mismatches(benchmark):
+    ks = list(range(6))
+    compiled_sizes = []
+    for k in ks:
+        compiled = compile_guide(GUIDE, SearchBudget(mismatches=k))
+        compiled_sizes.append(compiled.num_stes)
+    predicted = [estimate_stes(20, 3, k) for k in ks]
+    ap_fit = [guides_per_pass(stes, ApSpec()) for stes in compiled_sizes]
+    fpga_fit = [guides_per_pass(stes, FpgaSpec()) for stes in compiled_sizes]
+    series = render_series(
+        "mismatches",
+        ks,
+        {
+            "STEs/guide (compiled)": compiled_sizes,
+            "STEs/guide (predicted)": predicted,
+            "guides/pass AP": ap_fit,
+            "guides/pass FPGA": fpga_fit,
+        },
+        title="F1a: automaton size vs mismatch budget (20nt + NGG, both strands)",
+    )
+    save_experiment("f1_capacity_mismatches", series)
+    assert compiled_sizes == predicted
+
+    result = benchmark(compile_guide, GUIDE, SearchBudget(mismatches=5))
+    assert result.num_stes == predicted[5]
+
+
+def test_f1_capacity_with_bulges(benchmark):
+    rows = []
+    for rna, dna in ((0, 0), (1, 0), (0, 1), (1, 1), (2, 2)):
+        budget = SearchBudget(mismatches=3, rna_bulges=rna, dna_bulges=dna)
+        compiled = compile_guide(GUIDE, budget)
+        rows.append(
+            [
+                f"3mm/{rna}rb/{dna}db",
+                compiled.num_stes,
+                compiled.combined.num_states,
+                guides_per_pass(compiled.num_stes, ApSpec()),
+                guides_per_pass(compiled.num_stes, FpgaSpec()),
+            ]
+        )
+    table = render_table(
+        ["budget", "STEs", "NFA states", "guides/pass AP", "guides/pass FPGA"],
+        rows,
+        title="F1b: automaton size with bulge budgets",
+    )
+    save_experiment("f1_capacity_bulges", table)
+
+    compiled = benchmark(
+        compile_guide, GUIDE, SearchBudget(mismatches=3, rna_bulges=1, dna_bulges=1)
+    )
+    assert compiled.num_stes > 0

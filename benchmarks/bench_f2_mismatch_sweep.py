@@ -1,0 +1,66 @@
+"""F2 — Runtime versus allowed mismatches, per platform.
+
+The figure behind the paper's core argument: seed-and-extend explodes
+with the mismatch budget, brute force is flat but high, von Neumann
+automata engines degrade smoothly with automaton activity, and the
+spatial platforms stay flat (one symbol per cycle regardless of
+budget). The benchmark measures the functional kernel at the heaviest
+budget of the sweep.
+"""
+
+import pytest
+
+from repro import SearchBudget
+from repro.analysis.tables import render_series
+from repro.analysis.workloads import evaluate_platforms
+from repro.core import matcher
+
+from _harness import save_experiment
+
+TOOLS = ("hyperscan", "infant2", "fpga", "ap", "cas-offinder", "casot")
+KS = list(range(6))
+
+
+@pytest.fixture(scope="module")
+def sweep(default_workload):
+    columns = {tool: [] for tool in TOOLS}
+    for k in KS:
+        workload = default_workload.with_budget(SearchBudget(mismatches=k))
+        results = evaluate_platforms(workload, tools=TOOLS)
+        for tool in TOOLS:
+            columns[tool].append(round(results.get(tool, workload.name).modeled_total, 1))
+    return columns
+
+
+def test_f2_mismatch_sweep(benchmark, sweep, default_workload):
+    series = render_series(
+        "mismatches",
+        KS,
+        sweep,
+        title="F2: modeled end-to-end seconds vs mismatch budget (hg-scale, 10 guides)",
+    )
+    save_experiment("f2_mismatch_sweep", series)
+
+    heavy = default_workload.with_budget(SearchBudget(mismatches=5))
+    hits = benchmark.pedantic(
+        matcher.find_hits,
+        args=(heavy.genome, heavy.library, heavy.budget),
+        rounds=1,
+        iterations=1,
+    )
+    assert hits
+
+
+def test_f2_shapes(sweep):
+    # CasOT explodes with k.
+    assert sweep["casot"][5] > 20 * sweep["casot"][1]
+    # Cas-OFFinder is k-insensitive.
+    assert max(sweep["cas-offinder"]) / min(sweep["cas-offinder"]) < 1.05
+    # Spatial platforms are flat in k (same pass count here).
+    assert max(sweep["ap"]) / min(sweep["ap"]) < 1.05
+    assert max(sweep["fpga"]) / min(sweep["fpga"]) < 1.05
+    # HyperScan degrades monotonically with k.
+    assert all(b >= a for a, b in zip(sweep["hyperscan"], sweep["hyperscan"][1:]))
+    # Crossover: CasOT beats nothing by k=4; it beats Cas-OFFinder at k<=2.
+    assert sweep["casot"][1] < sweep["cas-offinder"][1]
+    assert sweep["casot"][4] > sweep["cas-offinder"][4]

@@ -1,0 +1,119 @@
+"""F3 — Runtime versus guide-library size (capacity-induced passes).
+
+Spatial platforms run every guide automaton in parallel, so runtime is
+flat until the library outgrows one device configuration and pass count
+quantises upward; von Neumann engines scale with total activity, and
+the baselines scale with per-guide comparison work. Large libraries are
+modeled analytically from the exact per-guide STE cost (compiling 4096
+guides is unnecessary: networks are disjoint unions, so totals are
+per-guide × count — asserted here against a compiled sample).
+"""
+
+import pytest
+
+from repro import SearchBudget
+from repro.analysis.tables import render_series
+from repro.core.compiler import compile_library
+from repro.platforms.reporting import ReportTraffic
+from repro.platforms.resources import estimate_stes, expected_activity
+from repro.platforms.spec import ApSpec, CasOffinderSpec, CasotSpec, CpuSpec, FpgaSpec, GpuNfaSpec
+from repro.platforms.timing import (
+    WorkloadProfile,
+    ap_time,
+    cas_offinder_time,
+    casot_time,
+    expected_casot_candidates,
+    fpga_time,
+    hyperscan_time,
+    infant2_time,
+)
+
+from _harness import save_experiment
+
+GUIDE_COUNTS = [1, 10, 100, 1000, 4096]
+GENOME_LENGTH = 3_100_000_000
+BUDGET = SearchBudget(mismatches=3)
+
+
+@pytest.fixture(scope="module")
+def per_guide(default_workload):
+    """Exact per-guide STE/edge/activity figures from a compiled sample."""
+    compiled = compile_library(default_workload.library, BUDGET)
+    stats = compiled.stats()
+    guides = len(default_workload.library)
+    return {
+        "stes": stats.num_stes / guides,
+        "edges": stats.num_edges / guides,
+        "activity": expected_activity(compiled.homogeneous) / guides,
+    }
+
+
+def _profile(num_guides, per_guide):
+    return WorkloadProfile(
+        genome_length=GENOME_LENGTH,
+        num_guides=num_guides,
+        site_length=23,
+        total_stes=int(per_guide["stes"] * num_guides),
+        total_transitions=int(per_guide["edges"] * num_guides),
+        expected_active=per_guide["activity"] * num_guides,
+        report_traffic=ReportTraffic(0, 0),
+        seed_candidates=expected_casot_candidates(GENOME_LENGTH, num_guides, 20, 3),
+    )
+
+
+def test_f3_guide_scaling(benchmark, per_guide):
+    columns = {
+        "hyperscan": [],
+        "infant2": [],
+        "fpga": [],
+        "ap": [],
+        "cas-offinder": [],
+        "casot": [],
+        "AP passes": [],
+        "FPGA passes": [],
+    }
+    for count in GUIDE_COUNTS:
+        profile = _profile(count, per_guide)
+        ap = ap_time(profile, ApSpec())
+        fpga = fpga_time(profile, FpgaSpec())
+        columns["hyperscan"].append(round(hyperscan_time(profile, CpuSpec()).total_seconds))
+        columns["infant2"].append(round(infant2_time(profile, GpuNfaSpec()).total_seconds))
+        columns["fpga"].append(round(fpga.total_seconds))
+        columns["ap"].append(round(ap.total_seconds))
+        columns["cas-offinder"].append(
+            round(cas_offinder_time(profile, CasOffinderSpec()).total_seconds)
+        )
+        columns["casot"].append(round(casot_time(profile, CasotSpec()).total_seconds))
+        columns["AP passes"].append(ap.passes)
+        columns["FPGA passes"].append(fpga.passes)
+    series = render_series(
+        "guides",
+        GUIDE_COUNTS,
+        columns,
+        title="F3: modeled seconds vs guide count (hg-scale, 3 mismatches)",
+    )
+    save_experiment("f3_guide_scaling", series)
+
+    # Spatial flat until capacity, then pass-quantised.
+    assert columns["ap"][0] == columns["ap"][1] == columns["ap"][2]
+    assert columns["AP passes"][-1] >= 2
+    assert columns["FPGA passes"][-1] > columns["FPGA passes"][0]
+    # Von Neumann engines scale ~linearly at high guide counts.
+    assert columns["hyperscan"][3] > 50 * columns["hyperscan"][0]
+    # iNFAnt2 loses to Cas-OFFinder at scale once tables spill — the
+    # abstract's "not consistently better" observation.
+    assert columns["infant2"][-1] > columns["cas-offinder"][-1]
+
+    sample = _sample_library(100)
+    compiled = benchmark.pedantic(
+        compile_library, args=(sample, BUDGET), rounds=1, iterations=1
+    )
+    assert len(compiled) == 100
+
+
+def _sample_library(count):
+    from repro.genome.synthetic import random_genome
+    from repro.grna.library import sample_guides_from_genome
+
+    genome = random_genome(2_000_000, seed=99)
+    return sample_guides_from_genome(genome, count, seed=100)

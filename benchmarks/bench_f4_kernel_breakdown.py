@@ -1,0 +1,58 @@
+"""F4 — Kernel versus end-to-end breakdown on the spatial platforms.
+
+The AP's 1.5x advantage over the FPGA is a *kernel-only* claim; end to
+end, configuration and report-drain overheads shift the picture. This
+table decomposes every platform's modeled time into setup, kernel and
+report components — the data behind the paper's kernel-vs-total
+discussion. The benchmark measures the AP cycle simulator with stall
+accounting on a reference slice.
+"""
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.analysis.workloads import evaluate_platforms
+from repro.core.compiler import compile_library
+from repro.engines import ApEngine
+
+from _harness import save_experiment
+
+TOOLS = ("hyperscan", "infant2", "fpga", "ap", "cas-offinder", "casot")
+
+
+def test_f4_kernel_breakdown(benchmark, default_workload, small_workload):
+    results = evaluate_platforms(default_workload, tools=TOOLS)
+    rows = []
+    for tool in TOOLS:
+        record = results.get(tool)
+        modeled = record.modeled
+        rows.append(
+            [
+                tool,
+                f"{modeled.setup_seconds:.2f}",
+                f"{modeled.kernel_seconds:.1f}",
+                f"{modeled.report_seconds:.3f}",
+                f"{modeled.total_seconds:.1f}",
+                f"{100 * modeled.kernel_seconds / modeled.total_seconds:.1f}%",
+            ]
+        )
+    table = render_table(
+        ["tool", "setup s", "kernel s", "report s", "total s", "kernel share"],
+        rows,
+        title="F4: modeled time breakdown (hg-scale calibration workload)",
+    )
+    save_experiment("f4_kernel_breakdown", table)
+
+    # Kernel-only AP advantage persists end-to-end here (low report rate).
+    ap = results.get("ap").modeled
+    fpga = results.get("fpga").modeled
+    assert ap.kernel_seconds < fpga.kernel_seconds
+    assert ap.total_seconds < fpga.total_seconds
+
+    compiled = compile_library(small_workload.library, small_workload.budget)
+    codes = small_workload.genome.codes[:15_000]
+    engine = ApEngine()
+    _, stats = benchmark.pedantic(
+        engine.simulate_with_stalls, args=(codes, compiled), rounds=1, iterations=1
+    )
+    assert stats["symbol_cycles"] == 15_000

@@ -1,0 +1,104 @@
+"""F5 — Why the automata approach maps poorly to the GPU (iNFAnt2).
+
+Sweeps the drivers of iNFAnt2's cost model and measures its simulator:
+
+* transition-table size and expected active transitions versus the
+  mismatch budget (table growth is what spills shared memory);
+* modeled time versus guide count, locating the crossover where the
+  brute-force Cas-OFFinder becomes *faster* than the GPU NFA engine —
+  the abstract's "does not consistently work better" result;
+* measured transitions-examined per symbol from the faithful
+  transition-list simulator.
+"""
+
+import pytest
+
+from repro import SearchBudget
+from repro.analysis.tables import render_series
+from repro.core.compiler import compile_library
+from repro.engines import Infant2Engine
+from repro.engines.infant2 import TransitionLists
+from repro.platforms.reporting import ReportTraffic
+from repro.platforms.resources import expected_activity
+from repro.platforms.spec import CasOffinderSpec, GpuNfaSpec
+from repro.platforms.timing import WorkloadProfile, cas_offinder_time, infant2_time
+
+from _harness import save_experiment
+
+GENOME_LENGTH = 3_100_000_000
+
+
+def test_f5_table_growth_vs_budget(benchmark, default_workload):
+    ks = list(range(5))
+    table_entries = []
+    active_transitions = []
+    for k in ks:
+        compiled = compile_library(default_workload.library, SearchBudget(mismatches=k))
+        lists = TransitionLists.compile(compiled.homogeneous)
+        stats = compiled.stats()
+        table_entries.append(lists.total_transitions)
+        active_transitions.append(
+            round(expected_activity(compiled.homogeneous) * max(1.0, stats.transition_density), 1)
+        )
+    series = render_series(
+        "mismatches",
+        ks,
+        {
+            "transition-table entries": table_entries,
+            "expected active transitions/symbol": active_transitions,
+        },
+        title="F5a: iNFAnt2 transition-table growth (10 guides)",
+    )
+    save_experiment("f5_table_growth", series)
+    assert all(b > a for a, b in zip(table_entries, table_entries[1:]))
+
+    compiled = compile_library(default_workload.library, SearchBudget(mismatches=3))
+    lists = benchmark(TransitionLists.compile, compiled.homogeneous)
+    assert lists.total_transitions == table_entries[3]
+
+
+def test_f5_crossover_vs_cas_offinder(benchmark, default_workload, small_workload):
+    compiled = compile_library(default_workload.library, SearchBudget(mismatches=3))
+    stats = compiled.stats()
+    guides = len(default_workload.library)
+    per_guide_active = expected_activity(compiled.homogeneous) / guides
+    per_guide_edges = stats.num_edges / guides
+    per_guide_stes = stats.num_stes / guides
+
+    counts = [1, 10, 100, 300, 1000, 4096]
+    infant2_seconds = []
+    cas_offinder_seconds = []
+    for count in counts:
+        profile = WorkloadProfile(
+            genome_length=GENOME_LENGTH,
+            num_guides=count,
+            site_length=23,
+            total_stes=int(per_guide_stes * count),
+            total_transitions=int(per_guide_edges * count),
+            expected_active=per_guide_active * count,
+            report_traffic=ReportTraffic(0, 0),
+        )
+        infant2_seconds.append(round(infant2_time(profile, GpuNfaSpec()).total_seconds))
+        cas_offinder_seconds.append(
+            round(cas_offinder_time(profile, CasOffinderSpec()).total_seconds)
+        )
+    series = render_series(
+        "guides",
+        counts,
+        {"infant2": infant2_seconds, "cas-offinder": cas_offinder_seconds},
+        title="F5b: iNFAnt2 vs Cas-OFFinder crossover (modeled, 3 mismatches)",
+    )
+    save_experiment("f5_crossover", series)
+
+    # Wins small, loses big: the "not consistently better" shape.
+    assert infant2_seconds[0] < cas_offinder_seconds[0]
+    assert infant2_seconds[-1] > cas_offinder_seconds[-1]
+
+    engine = Infant2Engine()
+    small_compiled = compile_library(small_workload.library, small_workload.budget)
+    codes = small_workload.genome.codes[:10_000]
+    _, counters = benchmark.pedantic(
+        engine.simulate_with_counters, args=(codes, small_compiled), rounds=1, iterations=1
+    )
+    per_symbol = counters["transitions_examined"] / 10_000
+    assert per_symbol > 1.0

@@ -1,0 +1,127 @@
+"""F6 — Report-rate analysis on the spatial architectures.
+
+Spatial platforms compute matches for free but pay for *reporting*:
+accept-row activations fill output event buffers whose drains stall the
+symbol pipeline. Random sequence makes reports vanishingly rare; what
+stresses the output path in practice is a guide that lands in a repeat
+family. This experiment plants diverged near-target populations (40
+sites each at 1..4 mismatches), measures true accept-row activations
+versus the search budget, and prices hg-scale stalls with the AP buffer
+model, with and without the paper's per-cycle coalescing optimisation.
+"""
+
+import pytest
+
+from repro import Guide, SearchBudget, random_genome
+from repro.analysis.tables import render_series
+from repro.core import matcher
+from repro.genome.synthetic import plant_sites
+from repro.platforms.reporting import ReportCostModel, ReportTraffic
+from repro.platforms.spec import ApSpec
+
+from _harness import save_experiment
+
+KS = [0, 1, 2, 3, 4]
+GUIDE = Guide("rep", "GAGTCCGAGCAGAAGAAGAA")
+
+
+@pytest.fixture(scope="module")
+def repeat_genome():
+    """300 kbp with a planted population of diverged near-targets."""
+    genome = random_genome(300_000, seed=618, name="chrRep")
+    for mismatches, count, seed in ((0, 10, 1), (1, 40, 2), (2, 40, 3), (3, 40, 4), (4, 40, 5)):
+        genome, _ = plant_sites(
+            genome, [GUIDE], per_guide=count, mismatches=mismatches, seed=seed
+        )
+    return genome
+
+
+@pytest.fixture(scope="module")
+def traffic(repeat_genome):
+    events, hits, positions = [], [], []
+    for k in KS:
+        budget = SearchBudget(mismatches=k)
+        found = matcher.find_hits(repeat_genome, [GUIDE], budget)
+        events.append(matcher.count_report_rows(repeat_genome, [GUIDE], budget))
+        hits.append(len(found))
+        positions.append(len({h.end for h in found}))
+    return {"events": events, "hits": hits, "positions": positions}
+
+
+def test_f6_report_rate(benchmark, traffic, repeat_genome):
+    genome_len = len(repeat_genome)
+    per_mega = [round(e * 1e6 / genome_len, 1) for e in traffic["events"]]
+    series = render_series(
+        "mismatches",
+        KS,
+        {
+            "accept activations": traffic["events"],
+            "deduplicated hits": traffic["hits"],
+            "report cycles": traffic["positions"],
+            "activations per Mbp": per_mega,
+        },
+        title=f"F6a: report traffic vs budget (repeat-family workload, {genome_len:,} bp)",
+    )
+    save_experiment("f6_report_rate", series)
+    # Report pressure grows steeply with the budget on repeat families.
+    assert traffic["events"][4] > 10 * traffic["events"][0]
+    assert all(b >= a for a, b in zip(traffic["events"], traffic["events"][1:]))
+    assert all(e >= h for e, h in zip(traffic["events"], traffic["hits"]))
+
+    budget = SearchBudget(mismatches=3)
+    count = benchmark.pedantic(
+        matcher.count_report_rows,
+        args=(repeat_genome, [GUIDE], budget),
+        rounds=1,
+        iterations=1,
+    )
+    assert count == traffic["events"][3]
+
+
+def test_f6_bulged_budgets_multiply_activations(benchmark, repeat_genome):
+    # Bulge rows open extra accepting paths per site: activations exceed
+    # hits by a widening factor — exactly what coalescing collapses.
+    budget = SearchBudget(mismatches=2, rna_bulges=1, dna_bulges=1)
+    hits = matcher.find_hits(repeat_genome, [GUIDE], budget)
+    events = benchmark.pedantic(
+        matcher.count_report_rows,
+        args=(repeat_genome, [GUIDE], budget),
+        rounds=1,
+        iterations=1,
+    )
+    ratio = events / max(len(hits), 1)
+    save_experiment(
+        "f6_bulged_activations",
+        f"F6c: bulged budget 2mm/1rb/1db — {events} activations for {len(hits)} "
+        f"hits (x{ratio:.2f} amplification)",
+    )
+    assert ratio > 1.5
+
+
+def test_f6_stall_pricing(benchmark, traffic, repeat_genome):
+    spec = ApSpec(event_buffer_entries=512)  # stressed output path
+    scale = 3_100_000_000 / len(repeat_genome)
+    plain_model = ReportCostModel(spec.event_buffer_entries, spec.event_drain_cycles)
+    coalesced_model = plain_model.with_coalescing()
+    plain_ms, coalesced_ms = [], []
+    for index in range(len(KS)):
+        scaled = ReportTraffic(
+            events=int(traffic["events"][index] * scale),
+            cycles_with_reports=int(traffic["positions"][index] * scale),
+        )
+        plain_ms.append(round(1e3 * plain_model.stall_cycles(scaled) / spec.clock_hz, 1))
+        coalesced_ms.append(
+            round(1e3 * coalesced_model.stall_cycles(scaled) / spec.clock_hz, 1)
+        )
+    series = render_series(
+        "mismatches",
+        KS,
+        {"stall ms (per-event)": plain_ms, "stall ms (coalesced)": coalesced_ms},
+        title="F6b: AP report-stall cost at hg scale (512-entry buffers)",
+    )
+    save_experiment("f6_stall_pricing", series)
+    assert all(c <= p for c, p in zip(coalesced_ms, plain_ms))
+    assert plain_ms[-1] > plain_ms[0]
+
+    result = benchmark(plain_model.stall_cycles, ReportTraffic(10**6, 10**5))
+    assert result > 0

@@ -1,0 +1,189 @@
+"""F7 — Proposed improvements for the spatial architectures (ablation).
+
+The paper closes by proposing ways to push the spatial platforms
+further; this ablation prices three of them on a report-heavy workload
+(a bulge-budget search over a planted repeat family — the case where
+the output path genuinely stalls the AP):
+
+* **report coalescing** — record one event vector per reporting cycle
+  instead of one entry per accept-row activation (bulge rows activate
+  several rows per site, so coalescing collapses real traffic);
+* **2-symbol striding** — consume two symbols per cycle by compiling
+  the automata over symbol pairs, halving kernel cycles for ~1.6x the
+  state cost (the overhead factor is *measured* from the real strided
+  compiler in ``repro.automata.striding``, not assumed);
+* **larger event buffers** — an architectural modification for future
+  automata processing hardware.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro import Guide, SearchBudget, random_genome
+from repro.analysis.tables import render_table
+from repro.core import matcher
+from repro.genome.synthetic import plant_sites
+from repro.platforms.reporting import ReportTraffic
+from repro.platforms.spec import ApSpec
+from repro.platforms.timing import WorkloadProfile, ap_time
+
+from _harness import save_experiment
+
+GUIDE = Guide("rep", "GAGTCCGAGCAGAAGAAGAA")
+
+
+def _stride2_factor(budget: SearchBudget) -> float:
+    """Measured stride-2 state overhead from the real implementation
+    (repro.automata.striding), not an assumed constant."""
+    from repro.core.compiler import _segments
+    from repro.automata.striding import strided_state_count
+    from repro.platforms.resources import estimate_stes
+
+    segments = _segments(GUIDE, reverse=False)
+    strided = strided_state_count(segments, budget.mismatches)
+    one_stride = estimate_stes(len(GUIDE), 3, budget.mismatches, both_strands=False)
+    return strided / one_stride
+
+
+@pytest.fixture(scope="module")
+def heavy_profile():
+    """hg-scale profile with genuine report pressure (bulge budget over
+    a planted repeat family)."""
+    genome = random_genome(250_000, seed=714, name="chrF7")
+    for mismatches, seed in ((1, 11), (2, 12)):
+        genome, _ = plant_sites(genome, [GUIDE], per_guide=50, mismatches=mismatches, seed=seed)
+    budget = SearchBudget(mismatches=2, rna_bulges=1, dna_bulges=1)
+    hits = matcher.find_hits(genome, [GUIDE], budget)
+    events = matcher.count_report_rows(genome, [GUIDE], budget)
+    scale = 3_100_000_000 / len(genome)
+    return WorkloadProfile(
+        genome_length=3_100_000_000,
+        num_guides=1,
+        site_length=23,
+        total_stes=1400,
+        total_transitions=2600,
+        expected_active=15.0,
+        report_traffic=ReportTraffic(
+            events=int(events * scale),
+            cycles_with_reports=int(len({h.end for h in hits}) * scale),
+        ),
+    )
+
+
+def _stride2_profile(
+    profile: WorkloadProfile, factor: float = 1.6
+) -> WorkloadProfile:
+    return WorkloadProfile(
+        genome_length=profile.genome_length // 2,  # two symbols per cycle
+        num_guides=profile.num_guides,
+        site_length=profile.site_length,
+        total_stes=int(profile.total_stes * factor),
+        total_transitions=int(profile.total_transitions * factor),
+        expected_active=profile.expected_active,
+        report_traffic=profile.report_traffic,
+        seed_candidates=profile.seed_candidates,
+    )
+
+
+def test_f7_ablation(benchmark, heavy_profile):
+    stressed_spec = ApSpec(event_buffer_entries=64, event_drain_cycles=50_000)
+    factor = _stride2_factor(SearchBudget(mismatches=2))
+    variants = [
+        ("baseline AP (small buffers)", ap_time(heavy_profile, stressed_spec)),
+        (
+            "+ report coalescing",
+            ap_time(heavy_profile, stressed_spec, coalesce_reports=True),
+        ),
+        (
+            "+ 2-symbol striding",
+            ap_time(_stride2_profile(heavy_profile, factor), stressed_spec, coalesce_reports=True),
+        ),
+        (
+            "+ 64x event buffers",
+            ap_time(
+                _stride2_profile(heavy_profile, factor),
+                replace(stressed_spec, event_buffer_entries=4096),
+                coalesce_reports=True,
+            ),
+        ),
+    ]
+    baseline_total = variants[0][1].total_seconds
+    rows = [
+        [
+            name,
+            f"{breakdown.kernel_seconds:.1f}",
+            f"{breakdown.report_seconds:.2f}",
+            f"{breakdown.total_seconds:.1f}",
+            f"{baseline_total / breakdown.total_seconds:.2f}x",
+        ]
+        for name, breakdown in variants
+    ]
+    table = render_table(
+        ["configuration", "kernel s", "report s", "total s", "speedup"],
+        rows,
+        title="F7: spatial-architecture improvement ablation (AP, bulged repeat workload)",
+    )
+    save_experiment("f7_improvements", table)
+
+    totals = [breakdown.total_seconds for _, breakdown in variants]
+    assert totals[1] < totals[0]  # coalescing collapses bulge-row traffic
+    assert totals[2] < totals[1]  # striding halves kernel cycles
+    assert totals[3] <= totals[2]  # bigger buffers never hurt
+    assert variants[0][1].report_seconds > 0.5  # the stress case is real
+
+    result = benchmark(ap_time, heavy_profile, stressed_spec)
+    assert result.total_seconds > 0
+
+
+def test_f7_striding_capacity_cost(benchmark):
+    # Striding trades capacity for throughput: passes can grow.
+    spec = ApSpec()
+    base = WorkloadProfile(
+        genome_length=3_100_000_000,
+        num_guides=2000,
+        site_length=23,
+        total_stes=2000 * 292,
+        total_transitions=2000 * 449,
+        expected_active=1000.0,
+        report_traffic=ReportTraffic(0, 0),
+    )
+    strided = _stride2_profile(base)
+    base_time = ap_time(base, spec)
+    strided_time = ap_time(strided, spec)
+    assert strided_time.passes >= base_time.passes
+    table = render_table(
+        ["configuration", "STEs", "passes", "kernel s"],
+        [
+            ["1-stride", base.total_stes, base_time.passes, f"{base_time.kernel_seconds:.1f}"],
+            ["2-stride", strided.total_stes, strided_time.passes, f"{strided_time.kernel_seconds:.1f}"],
+        ],
+        title="F7b: striding's capacity cost at 2000 guides",
+    )
+    save_experiment("f7_striding_capacity", table)
+
+    result = benchmark(ap_time, strided, spec)
+    assert result.passes >= 1
+
+
+def test_f7_strided_execution_real(benchmark, small_workload):
+    """The striding proposal executed for real: the strided AP simulator
+    consumes two symbols per cycle and reports the identical hit set."""
+    from repro.core.compiler import compile_library
+    from repro.engines import ApEngine
+
+    compiled = compile_library(small_workload.library, small_workload.budget)
+    engine = ApEngine()
+    codes = small_workload.genome.codes[:40_000]
+    plain = set(engine.simulate(codes, compiled))
+    strided, stats = benchmark.pedantic(
+        engine.simulate_strided, args=(codes, compiled), rounds=1, iterations=1
+    )
+    assert set(strided) == plain
+    assert stats["symbol_cycles"] == 20_000
+    save_experiment(
+        "f7_strided_execution",
+        "F7c: real strided execution — identical hit set, "
+        f"{stats['symbol_cycles']:,} pair-cycles for 40,000 symbols, "
+        f"state overhead x{stats['state_overhead_vs_1stride']:.2f} vs 1-stride",
+    )

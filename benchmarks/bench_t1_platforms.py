@@ -1,0 +1,51 @@
+"""T1 — Platform and tool configuration table.
+
+Regenerates the evaluation's setup table: every modeled device with its
+class, the key rate/capacity parameters, and which constants are
+datasheet values versus calibrated effective rates. The benchmark times
+guide-library compilation — the setup step every platform shares.
+"""
+
+from repro import SearchBudget
+from repro.analysis.tables import render_table
+from repro.core.compiler import compile_library
+from repro.platforms.spec import (
+    ApSpec,
+    CasOffinderSpec,
+    CasotSpec,
+    CpuSpec,
+    FpgaSpec,
+    GpuNfaSpec,
+)
+
+from _harness import save_experiment
+
+
+def _platform_rows():
+    ap = ApSpec()
+    fpga = FpgaSpec()
+    cpu = CpuSpec()
+    gpu = GpuNfaSpec()
+    off = CasOffinderSpec()
+    casot = CasotSpec()
+    return [
+        ["AP", ap.name, "spatial", f"{ap.clock_hz/1e6:.0f} MHz, 1 sym/cyc", f"{ap.capacity_stes:,} STEs/pass"],
+        ["FPGA", fpga.name, "spatial", f"{fpga.clock_hz/1e6:.0f} MHz, 1 sym/cyc", f"{fpga.luts:,} LUTs"],
+        ["HyperScan", cpu.name, "CPU (1 thread)", f"{cpu.state_update_rate:.3g} upd/s", "n/a"],
+        ["iNFAnt2", gpu.name, "GPU NFA", f"{1/gpu.sync_seconds_per_symbol:.3g} sym/s sync cap", f"{gpu.table_capacity_transitions:,} resident transitions"],
+        ["Cas-OFFinder", off.name, "GPU brute force", f"{1/off.position_seconds:.3g} pos/s stream", "n/a"],
+        ["CasOT", casot.name, "CPU seed+extend", f"{1/casot.stream_seconds_per_symbol:.3g} sym/s stream", "n/a"],
+    ]
+
+
+def test_t1_platform_table(benchmark, default_workload):
+    table = render_table(
+        ["tool", "device model", "class", "rate", "capacity"],
+        _platform_rows(),
+        title="T1: evaluated platforms and tools",
+    )
+    save_experiment("t1_platforms", table)
+
+    library = default_workload.library
+    compiled = benchmark(compile_library, library, SearchBudget(mismatches=3))
+    assert compiled.num_stes > 0

@@ -1,0 +1,81 @@
+"""T3 — Headline speedups versus the baseline tools.
+
+Regenerates the abstract's quantitative claims on the calibration
+workload and asserts the reproduced shape:
+
+* FPGA >= 83x over Cas-OFFinder (end-to-end);
+* FPGA >= 600x over CasOT (end-to-end);
+* AP ~= 1.5x over FPGA (kernel-only);
+* HyperScan >= 29.7x over CasOT;
+* iNFAnt2 <= ~4.4x over HyperScan (its best case) — no spatial-class win.
+"""
+
+import pytest
+
+from repro.analysis.speedup import speedup_vs
+from repro.analysis.tables import render_table
+from repro.analysis.workloads import evaluate_platforms
+
+from _harness import save_experiment
+
+
+@pytest.fixture(scope="module")
+def results(default_workload):
+    return evaluate_platforms(default_workload)
+
+
+def test_t3_headline_speedups(benchmark, results, default_workload):
+    rows = [
+        [
+            "FPGA vs Cas-OFFinder",
+            f"{speedup_vs(results, 'fpga', 'cas-offinder'):.1f}x",
+            ">= 83x",
+        ],
+        [
+            "FPGA vs CasOT",
+            f"{speedup_vs(results, 'fpga', 'casot'):.1f}x",
+            ">= 600x",
+        ],
+        [
+            "AP vs FPGA (kernel)",
+            f"{speedup_vs(results, 'ap', 'fpga', kernel_only=True):.2f}x",
+            "~1.5x",
+        ],
+        [
+            "HyperScan vs CasOT",
+            f"{speedup_vs(results, 'hyperscan', 'casot'):.1f}x",
+            ">= 29.7x",
+        ],
+        [
+            "iNFAnt2 vs HyperScan",
+            f"{speedup_vs(results, 'infant2', 'casot') / speedup_vs(results, 'hyperscan', 'casot'):.2f}x",
+            "<= 4.4x (best case)",
+        ],
+        [
+            "iNFAnt2 vs Cas-OFFinder",
+            f"{speedup_vs(results, 'infant2', 'cas-offinder'):.1f}x",
+            "not consistently > 1 (see F5)",
+        ],
+    ]
+    table = render_table(
+        ["comparison", "reproduced", "paper (abstract)"],
+        rows,
+        title="T3: headline speedups on the calibration workload",
+    )
+    save_experiment("t3_speedups", table)
+
+    fresh = benchmark.pedantic(
+        evaluate_platforms, args=(default_workload,), rounds=2, iterations=1
+    )
+    assert fresh.agreement()
+
+
+def test_t3_claims_hold(results):
+    assert speedup_vs(results, "fpga", "cas-offinder") >= 83.0
+    assert speedup_vs(results, "fpga", "casot") >= 600.0
+    assert 1.4 <= speedup_vs(results, "ap", "fpga", kernel_only=True) <= 1.6
+    assert speedup_vs(results, "hyperscan", "casot") >= 29.7
+    infant2_vs_hyperscan = (
+        results.get("hyperscan").modeled_total / results.get("infant2").modeled_total
+    )
+    assert infant2_vs_hyperscan <= 4.5

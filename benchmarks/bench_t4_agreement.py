@@ -1,0 +1,62 @@
+"""T4 — Cross-tool agreement (functional validation table).
+
+Every engine and baseline runs *functionally* on the same reference and
+must emit the identical hit set; the table reports per-tool hit counts
+and measured host seconds. The benchmark is parametrised over tools, so
+the pytest-benchmark table doubles as the measured-host-time comparison
+of the seven implementations.
+"""
+
+import pytest
+
+from repro import OffTargetSearch
+from repro.analysis.tables import render_table
+
+from _harness import save_experiment
+
+TOOLS = ("cpu-nfa", "hyperscan", "infant2", "fpga", "ap", "cas-offinder", "casot")
+_collected = {}
+
+
+def _spans(hits):
+    return {(h.guide_name, h.strand, h.start, h.end) for h in hits}
+
+
+@pytest.fixture(scope="module")
+def search(small_workload):
+    return OffTargetSearch(small_workload.library, small_workload.budget)
+
+
+@pytest.mark.parametrize("tool", TOOLS)
+def test_t4_tool_functional(benchmark, tool, search, small_workload):
+    genome = small_workload.genome
+    report = benchmark.pedantic(
+        search.run, args=(genome,), kwargs={"engine": tool}, rounds=1, iterations=1
+    )
+    _collected[tool] = report
+    assert report.num_hits >= small_workload.num_guides
+
+
+def test_t4_agreement_table(benchmark, search, small_workload):
+    genome = small_workload.genome
+    baseline_report = benchmark.pedantic(
+        search.run, args=(genome,), rounds=1, iterations=1
+    )
+    reference_spans = _spans(baseline_report.hits)
+    rows = []
+    for tool in TOOLS:
+        report = _collected.get(tool) or search.run(genome, engine=tool)
+        agrees = _spans(report.hits) == reference_spans
+        rows.append(
+            [tool, report.num_hits, f"{report.measured_seconds:.3f}", "yes" if agrees else "NO"]
+        )
+        assert agrees, f"{tool} disagrees with the automata hit set"
+    table = render_table(
+        ["tool", "hits", "measured s (host)", "identical hit set"],
+        rows,
+        title=(
+            f"T4: functional agreement, {len(genome):,} bp, "
+            f"{small_workload.num_guides} guides, {small_workload.budget.mismatches} mismatches"
+        ),
+    )
+    save_experiment("t4_agreement", table)

@@ -1,0 +1,38 @@
+"""Shared fixtures and helpers for the benchmark/experiment harness.
+
+Every benchmark regenerates one table or figure of the paper's
+evaluation: it prints the rows/series to stdout and also writes them to
+``benchmarks/results/<experiment>.txt`` so the regenerated evaluation
+survives output capturing. Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+The experiment tables are produced from session-scoped fixtures (built
+once); the ``benchmark`` measurements time the real computational
+kernels behind them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SearchBudget
+from repro.analysis.workloads import StandardWorkload
+
+@pytest.fixture(scope="session")
+def default_workload():
+    """The calibration workload: hg-scale modeled, 2 Mbp functional."""
+    return StandardWorkload()
+
+
+@pytest.fixture(scope="session")
+def small_workload():
+    """A fast workload for functional (measured) comparisons."""
+    return StandardWorkload(
+        name="small",
+        modeled_genome_length=3_100_000_000,
+        functional_genome_length=120_000,
+        num_guides=4,
+        budget=SearchBudget(mismatches=2),
+        seed=20180225,
+    )

@@ -1,0 +1,44 @@
+"""Quickstart: find off-target sites for a guide batch in one page.
+
+Builds a deterministic synthetic reference, samples guides from it (so
+each guide has a genuine on-target site), compiles them into automata
+and searches with the default engine.
+
+Run:  python examples/quickstart.py
+"""
+
+import repro
+
+
+def main() -> None:
+    # A 300 kbp synthetic chromosome with human-like GC content.
+    genome = repro.random_genome(300_000, seed=42, gc_content=0.41, name="chrQ")
+
+    # Four SpCas9 guides cut straight out of the reference.
+    guides = repro.sample_guides_from_genome(genome, 4, seed=43)
+    for guide in guides:
+        print(f"{guide.name}: {guide.protospacer} + {guide.pam.name}")
+
+    # Allow up to 3 mismatches (no bulges) and search both strands.
+    search = repro.OffTargetSearch(guides, repro.SearchBudget(mismatches=3))
+    report = search.run(genome)
+
+    print()
+    print(report.summary())
+    print()
+    print("sites (BED):")
+    for hit in report.hits:
+        print(f"  {hit.to_bed_line()}")
+
+    # Show the worst off-target alignment for the first guide.
+    guide = guides[0]
+    off_targets = [h for h in report.hits_for(guide.name) if h.edits > 0]
+    if off_targets:
+        worst = max(off_targets, key=lambda h: h.edits)
+        print()
+        print(f"closest off-target of {guide.name} ({worst.mismatches} mismatches):")
+        print(repro.render_alignment(guide, worst))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,209 @@
+"""DNA and IUPAC alphabet utilities.
+
+The whole library works over the 4-letter DNA alphabet ``ACGT`` with the
+ambiguity code ``N`` permitted in genomes, and the full IUPAC ambiguity
+alphabet permitted in PAM patterns (``R`` = A/G, ``Y`` = C/T, ...).
+
+Sequences are handled in two forms:
+
+* text form — upper-case ``str`` over ``ACGTN`` (genomes, guides);
+* code form — ``numpy.uint8`` arrays with ``A=0, C=1, G=2, T=3, N=4``,
+  which every engine consumes.
+
+All conversions are centralised here so encodings never drift between
+modules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .errors import AlphabetError
+
+#: The four unambiguous DNA bases, in code order.
+BASES = "ACGT"
+
+#: Genome alphabet: the four bases plus the ambiguity code N.
+GENOME_ALPHABET = "ACGTN"
+
+#: Numeric code assigned to each genome symbol.
+CODE_A, CODE_C, CODE_G, CODE_T, CODE_N = range(5)
+
+#: Number of distinct genome symbol codes.
+NUM_CODES = 5
+
+#: IUPAC ambiguity codes mapped to the set of bases they stand for.
+IUPAC = {
+    "A": "A",
+    "C": "C",
+    "G": "G",
+    "T": "T",
+    "U": "T",
+    "R": "AG",
+    "Y": "CT",
+    "S": "CG",
+    "W": "AT",
+    "K": "GT",
+    "M": "AC",
+    "B": "CGT",
+    "D": "AGT",
+    "H": "ACT",
+    "V": "ACG",
+    "N": "ACGT",
+}
+
+#: Watson-Crick complement for every IUPAC code.
+COMPLEMENT = {
+    "A": "T",
+    "C": "G",
+    "G": "C",
+    "T": "A",
+    "U": "A",
+    "R": "Y",
+    "Y": "R",
+    "S": "S",
+    "W": "W",
+    "K": "M",
+    "M": "K",
+    "B": "V",
+    "D": "H",
+    "H": "D",
+    "V": "B",
+    "N": "N",
+}
+
+_CODE_OF = {base: code for code, base in enumerate(GENOME_ALPHABET)}
+_BASE_OF = np.frombuffer(GENOME_ALPHABET.encode("ascii"), dtype=np.uint8)
+
+# Lookup table: ASCII byte -> symbol code, 255 for invalid bytes.
+_ENCODE_LUT = np.full(256, 255, dtype=np.uint8)
+for _base, _code in _CODE_OF.items():
+    _ENCODE_LUT[ord(_base)] = _code
+    _ENCODE_LUT[ord(_base.lower())] = _code
+_ENCODE_LUT[ord("U")] = CODE_T
+_ENCODE_LUT[ord("u")] = CODE_T
+
+
+def is_dna(text: str) -> bool:
+    """Return True when *text* consists only of ``ACGT`` (upper or lower)."""
+    return all(ch.upper() in BASES for ch in text)
+
+
+def is_genome(text: str) -> bool:
+    """Return True when *text* consists only of ``ACGTN`` (upper or lower)."""
+    return all(ch.upper() in GENOME_ALPHABET for ch in text)
+
+
+def is_iupac(text: str) -> bool:
+    """Return True when *text* consists only of IUPAC codes."""
+    return all(ch.upper() in IUPAC for ch in text)
+
+
+def validate_genome(text: str, *, what: str = "sequence") -> str:
+    """Upper-case *text* and raise :class:`AlphabetError` on bad symbols."""
+    upper = text.upper().replace("U", "T")
+    for position, symbol in enumerate(upper):
+        if symbol not in _CODE_OF:
+            raise AlphabetError(
+                f"{what} contains non-genomic symbol {symbol!r} at position {position}"
+            )
+    return upper
+
+
+def validate_iupac(text: str, *, what: str = "pattern") -> str:
+    """Upper-case *text* and raise :class:`AlphabetError` on non-IUPAC symbols."""
+    upper = text.upper()
+    for position, symbol in enumerate(upper):
+        if symbol not in IUPAC:
+            raise AlphabetError(
+                f"{what} contains non-IUPAC symbol {symbol!r} at position {position}"
+            )
+    return upper.replace("U", "T")
+
+
+def encode(text: str) -> np.ndarray:
+    """Encode a genome string into a ``uint8`` code array.
+
+    Accepts upper/lower case ``ACGTN`` (and ``U`` as an alias for ``T``)
+    and raises :class:`AlphabetError` for anything else.
+    """
+    raw = np.frombuffer(text.encode("ascii"), dtype=np.uint8)
+    codes = _ENCODE_LUT[raw]
+    bad = np.nonzero(codes == 255)[0]
+    if bad.size:
+        position = int(bad[0])
+        raise AlphabetError(
+            f"sequence contains non-genomic symbol {text[position]!r} at position {position}"
+        )
+    return codes
+
+
+def decode(codes: np.ndarray) -> str:
+    """Decode a ``uint8`` code array back into an upper-case string."""
+    codes = np.asarray(codes, dtype=np.uint8)
+    if codes.size and int(codes.max()) >= NUM_CODES:
+        raise AlphabetError(f"code array contains value {int(codes.max())} >= {NUM_CODES}")
+    return _BASE_OF[codes].tobytes().decode("ascii")
+
+
+def complement(text: str) -> str:
+    """Return the Watson-Crick complement of an IUPAC string."""
+    try:
+        return "".join(COMPLEMENT[ch] for ch in text.upper())
+    except KeyError as exc:
+        raise AlphabetError(f"cannot complement symbol {exc.args[0]!r}") from exc
+
+
+def reverse_complement(text: str) -> str:
+    """Return the reverse complement of an IUPAC string."""
+    return complement(text)[::-1]
+
+
+def iupac_bases(symbol: str) -> str:
+    """Return the concrete bases an IUPAC *symbol* stands for."""
+    try:
+        return IUPAC[symbol.upper()]
+    except KeyError as exc:
+        raise AlphabetError(f"unknown IUPAC symbol {symbol!r}") from exc
+
+
+def iupac_matches(pattern_symbol: str, base: str) -> bool:
+    """Return True when IUPAC *pattern_symbol* matches concrete *base*.
+
+    A genome ``N`` is treated as matching nothing except a pattern ``N``:
+    the ambiguity lives in the reference, so a conservative matcher must
+    not count it as a match for a concrete pattern base.
+    """
+    if base.upper() == "N":
+        return pattern_symbol.upper() == "N"
+    return base.upper() in iupac_bases(pattern_symbol)
+
+
+def iupac_code_mask(symbol: str) -> int:
+    """Return a 5-bit mask of genome codes matched by IUPAC *symbol*.
+
+    Bit ``i`` is set when genome code ``i`` matches. The genome ``N``
+    code (bit 4) is set only for a pattern ``N``, mirroring
+    :func:`iupac_matches`.
+    """
+    mask = 0
+    for base in iupac_bases(symbol):
+        mask |= 1 << _CODE_OF[base]
+    if symbol.upper() == "N":
+        mask |= 1 << CODE_N
+    return mask
+
+
+def code_of(base: str) -> int:
+    """Return the numeric code of a single genome symbol."""
+    try:
+        return _CODE_OF[base.upper()]
+    except KeyError as exc:
+        raise AlphabetError(f"unknown genome symbol {base!r}") from exc
+
+
+def base_of(code: int) -> str:
+    """Return the genome symbol for a numeric *code*."""
+    if not 0 <= code < NUM_CODES:
+        raise AlphabetError(f"symbol code {code} out of range 0..{NUM_CODES - 1}")
+    return GENOME_ALPHABET[code]

@@ -1,0 +1,22 @@
+"""Result aggregation, speedup computation, and experiment harness helpers."""
+
+from .results import RunRecord, ResultSet
+from .speedup import speedup_matrix, speedup_vs
+from .tables import render_table, render_series
+from .workloads import StandardWorkload, DEFAULT_WORKLOAD, evaluate_platforms
+from .report_io import write_bed, write_tsv, read_tsv
+
+__all__ = [
+    "RunRecord",
+    "ResultSet",
+    "speedup_matrix",
+    "speedup_vs",
+    "render_table",
+    "render_series",
+    "StandardWorkload",
+    "DEFAULT_WORKLOAD",
+    "evaluate_platforms",
+    "write_bed",
+    "write_tsv",
+    "read_tsv",
+]

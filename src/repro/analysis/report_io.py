@@ -1,0 +1,108 @@
+"""Hit-report serialisation: BED and the original tools' TSV dialect.
+
+Two interchange formats:
+
+* **BED6** — standard genome-browser rows (name = guide, score =
+  mismatches). Lossy (no bulge counts or site text); write-only.
+* **offtarget TSV** — the column layout the original off-target tools
+  emit (guide, site, chromosome, position, strand, edit counts), which
+  round-trips every field of :class:`~repro.grna.hit.OffTargetHit`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import IO, Iterable, Union
+
+from ..errors import ReproError
+from ..grna.hit import OffTargetHit
+
+PathOrHandle = Union[str, Path, IO[str]]
+
+_TSV_HEADER = (
+    "#guide\tsite\tsequence\tstart\tend\tstrand\tmismatches\trna_bulges\tdna_bulges"
+)
+
+
+def _writer(destination: PathOrHandle):
+    if isinstance(destination, (str, Path)):
+        return open(destination, "w", encoding="ascii"), True
+    return destination, False
+
+
+def write_bed(hits: Iterable[OffTargetHit], destination: PathOrHandle) -> int:
+    """Write hits as BED6 rows; returns the row count."""
+    handle, owned = _writer(destination)
+    try:
+        count = 0
+        for hit in hits:
+            handle.write(hit.to_bed_line() + "\n")
+            count += 1
+        return count
+    finally:
+        if owned:
+            handle.close()
+
+
+def write_tsv(hits: Iterable[OffTargetHit], destination: PathOrHandle) -> int:
+    """Write hits in the offtarget TSV dialect; returns the row count."""
+    handle, owned = _writer(destination)
+    try:
+        handle.write(_TSV_HEADER + "\n")
+        count = 0
+        for hit in hits:
+            handle.write(
+                "\t".join(
+                    (
+                        hit.guide_name,
+                        hit.site or ".",
+                        hit.sequence_name,
+                        str(hit.start),
+                        str(hit.end),
+                        hit.strand,
+                        str(hit.mismatches),
+                        str(hit.rna_bulges),
+                        str(hit.dna_bulges),
+                    )
+                )
+                + "\n"
+            )
+            count += 1
+        return count
+    finally:
+        if owned:
+            handle.close()
+
+
+def read_tsv(source: PathOrHandle) -> list[OffTargetHit]:
+    """Read hits back from the offtarget TSV dialect."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="ascii") as handle:
+            lines = handle.readlines()
+    else:
+        lines = list(source)
+    hits: list[OffTargetHit] = []
+    for number, raw in enumerate(lines, start=1):
+        line = raw.rstrip("\n")
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split("\t")
+        if len(fields) != 9:
+            raise ReproError(f"TSV line {number}: expected 9 fields, got {len(fields)}")
+        try:
+            hits.append(
+                OffTargetHit(
+                    guide_name=fields[0],
+                    site="" if fields[1] == "." else fields[1],
+                    sequence_name=fields[2],
+                    start=int(fields[3]),
+                    end=int(fields[4]),
+                    strand=fields[5],
+                    mismatches=int(fields[6]),
+                    rna_bulges=int(fields[7]),
+                    dna_bulges=int(fields[8]),
+                )
+            )
+        except ValueError as exc:
+            raise ReproError(f"TSV line {number}: {exc}") from exc
+    return hits

@@ -1,0 +1,99 @@
+"""Run records and result sets.
+
+A :class:`RunRecord` captures one (tool, workload) measurement —
+modeled breakdown, functional hit count, measured host seconds — in a
+form the speedup and table modules consume. :class:`ResultSet` indexes
+records and supports the groupings the experiment harness prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from ..errors import ReproError
+from ..platforms.timing import TimingBreakdown
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One tool's result on one workload configuration."""
+
+    tool: str
+    workload: str
+    genome_length: int
+    num_guides: int
+    mismatches: int
+    rna_bulges: int
+    dna_bulges: int
+    modeled: TimingBreakdown
+    num_hits: int
+    measured_seconds: float = 0.0
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def modeled_total(self) -> float:
+        return self.modeled.total_seconds
+
+    @property
+    def modeled_kernel(self) -> float:
+        return self.modeled.kernel_with_reports_seconds
+
+    @property
+    def budget_label(self) -> str:
+        return f"{self.mismatches}mm/{self.rna_bulges}rb/{self.dna_bulges}db"
+
+
+class ResultSet:
+    """An indexed collection of run records."""
+
+    def __init__(self, records: Iterable[RunRecord] = ()) -> None:
+        self._records: list[RunRecord] = list(records)
+
+    def add(self, record: RunRecord) -> None:
+        self._records.append(record)
+
+    def __iter__(self) -> Iterator[RunRecord]:
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def tools(self) -> list[str]:
+        """Distinct tool names, in insertion order."""
+        return list(dict.fromkeys(record.tool for record in self._records))
+
+    def workloads(self) -> list[str]:
+        """Distinct workload names, in insertion order."""
+        return list(dict.fromkeys(record.workload for record in self._records))
+
+    def get(self, tool: str, workload: str | None = None) -> RunRecord:
+        """The unique record for (tool, workload)."""
+        matches = [
+            record
+            for record in self._records
+            if record.tool == tool and (workload is None or record.workload == workload)
+        ]
+        if not matches:
+            raise ReproError(f"no record for tool={tool!r} workload={workload!r}")
+        if len(matches) > 1:
+            raise ReproError(f"ambiguous record for tool={tool!r} workload={workload!r}")
+        return matches[0]
+
+    def for_workload(self, workload: str) -> "ResultSet":
+        return ResultSet(r for r in self._records if r.workload == workload)
+
+    def for_tool(self, tool: str) -> "ResultSet":
+        return ResultSet(r for r in self._records if r.tool == tool)
+
+    def agreement(self) -> bool:
+        """True when every tool found the same hit count per workload.
+
+        Hit-count equality is the cheap invariant the harness checks on
+        every run; the test suite checks full hit-set equality.
+        """
+        for workload in self.workloads():
+            counts = {record.num_hits for record in self.for_workload(workload)}
+            if len(counts) > 1:
+                return False
+        return True

@@ -1,0 +1,55 @@
+"""Speedup computation against the baselines.
+
+The paper's headline numbers are speedups of each automata platform
+over Cas-OFFinder and CasOT; these helpers compute them from a
+:class:`~repro.analysis.results.ResultSet`, end-to-end or kernel-only
+(the AP-vs-FPGA claim is kernel-only).
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+from .results import ResultSet
+
+
+def speedup_vs(
+    results: ResultSet,
+    tool: str,
+    baseline: str,
+    *,
+    workload: str | None = None,
+    kernel_only: bool = False,
+) -> float:
+    """Speedup of *tool* over *baseline* (>1 means *tool* is faster)."""
+    tool_record = results.get(tool, workload)
+    baseline_record = results.get(baseline, workload)
+    tool_seconds = (
+        tool_record.modeled_kernel if kernel_only else tool_record.modeled_total
+    )
+    base_seconds = (
+        baseline_record.modeled_kernel if kernel_only else baseline_record.modeled_total
+    )
+    if tool_seconds <= 0:
+        raise ReproError(f"{tool} has non-positive modeled time")
+    return base_seconds / tool_seconds
+
+
+def speedup_matrix(
+    results: ResultSet,
+    baselines: list[str],
+    *,
+    workload: str | None = None,
+    kernel_only: bool = False,
+) -> dict[str, dict[str, float]]:
+    """``matrix[tool][baseline]`` speedups for every non-baseline tool."""
+    matrix: dict[str, dict[str, float]] = {}
+    for tool in results.tools():
+        if tool in baselines:
+            continue
+        matrix[tool] = {
+            baseline: speedup_vs(
+                results, tool, baseline, workload=workload, kernel_only=kernel_only
+            )
+            for baseline in baselines
+        }
+    return matrix

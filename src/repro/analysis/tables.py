@@ -1,0 +1,58 @@
+"""Fixed-width table and series rendering for the benchmark harness.
+
+Every benchmark prints the rows/series its table or figure reports via
+these helpers, so `pytest benchmarks/ --benchmark-only` output reads as
+the regenerated evaluation section.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: str = "",
+) -> str:
+    """Render an aligned fixed-width table."""
+    cells = [[_format_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence[Any],
+    series: dict[str, Sequence[Any]],
+    *,
+    title: str = "",
+) -> str:
+    """Render figure data: one x column plus one column per series."""
+    headers = [x_label, *series]
+    rows = [
+        [x, *(values[index] for values in series.values())]
+        for index, x in enumerate(x_values)
+    ]
+    return render_table(headers, rows, title=title)

@@ -1,0 +1,45 @@
+"""Automata substrate: character classes, NFA/DFA, homogeneous (ANML/STE) form."""
+
+from .charclass import CharClass
+from .nfa import Nfa, NfaState
+from .dfa import Dfa, determinize, minimize
+from .homogeneous import HomogeneousAutomaton, Ste, StartMode, nfa_to_homogeneous
+from .anml import to_anml, from_anml
+from .striding import (
+    PairClass,
+    StridedAutomaton,
+    StridedReport,
+    build_strided_hamming,
+    pack_pairs,
+    strided_search,
+    strided_state_count,
+)
+from .elements import ElementNetwork, GateKind, CounterMode
+from . import dot, ops
+
+__all__ = [
+    "CharClass",
+    "Nfa",
+    "NfaState",
+    "Dfa",
+    "determinize",
+    "minimize",
+    "HomogeneousAutomaton",
+    "Ste",
+    "StartMode",
+    "nfa_to_homogeneous",
+    "to_anml",
+    "from_anml",
+    "PairClass",
+    "StridedAutomaton",
+    "StridedReport",
+    "build_strided_hamming",
+    "pack_pairs",
+    "strided_search",
+    "strided_state_count",
+    "ElementNetwork",
+    "GateKind",
+    "CounterMode",
+    "dot",
+    "ops",
+]

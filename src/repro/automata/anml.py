@@ -1,0 +1,114 @@
+"""ANML-style serialisation of homogeneous automata.
+
+The Automata Processor toolchain exchanges automata as ANML (Automata
+Network Markup Language) XML. This module writes and reads a faithful
+subset of that format — ``state-transition-element`` nodes with
+``symbol-set``, ``start`` attribute, ``activate-on-match`` edges and
+``report-on-match`` flags — so compiled guide automata can be inspected
+with the same tooling mindset the paper's AP flow used, and round-trip
+through text for caching.
+
+Report labels are serialised via ``report-code`` as a ``repr`` string;
+round-tripping therefore preserves label *identity text*, and
+:func:`from_anml` restores them as strings (the engines only require
+labels to be hashable and distinct).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ElementTree
+from typing import IO, Union
+from pathlib import Path
+
+from ..errors import AutomatonError
+from .charclass import CharClass
+from .homogeneous import HomogeneousAutomaton, StartMode
+
+_START_ATTR = {
+    StartMode.NONE: "none",
+    StartMode.ALL_INPUT: "all-input",
+    StartMode.START_OF_DATA: "start-of-data",
+}
+_START_OF_ATTR = {value: key for key, value in _START_ATTR.items()}
+
+
+def to_anml(automaton: HomogeneousAutomaton, network_id: str = "offtarget") -> str:
+    """Serialise *automaton* into an ANML XML string."""
+    root = ElementTree.Element("anml", {"version": "1.0"})
+    network = ElementTree.SubElement(
+        root, "automata-network", {"id": network_id}
+    )
+    for ste in automaton.stes():
+        element = ElementTree.SubElement(
+            network,
+            "state-transition-element",
+            {
+                "id": f"ste{ste.ste_id}",
+                "symbol-set": ste.char_class.symbols(),
+                "start": _START_ATTR[ste.start],
+            },
+        )
+        for index, label in enumerate(ste.reports):
+            ElementTree.SubElement(
+                element,
+                "report-on-match",
+                {"reportcode": repr(label), "index": str(index)},
+            )
+        for target in automaton.successors(ste.ste_id):
+            ElementTree.SubElement(
+                element, "activate-on-match", {"element": f"ste{target}"}
+            )
+    ElementTree.indent(root)
+    return ElementTree.tostring(root, encoding="unicode")
+
+
+def from_anml(source: Union[str, Path, IO[str]]) -> HomogeneousAutomaton:
+    """Parse an ANML string/path back into a homogeneous automaton."""
+    if isinstance(source, Path) or (
+        isinstance(source, str) and "\n" not in source and source.endswith(".anml")
+    ):
+        text = Path(source).read_text(encoding="utf-8")
+    elif isinstance(source, str):
+        text = source
+    else:
+        text = source.read()
+    try:
+        root = ElementTree.fromstring(text)
+    except ElementTree.ParseError as exc:
+        raise AutomatonError(f"malformed ANML: {exc}") from exc
+    network = root.find("automata-network")
+    if network is None:
+        raise AutomatonError("ANML document has no automata-network element")
+    automaton = HomogeneousAutomaton()
+    id_of: dict[str, int] = {}
+    edges: list[tuple[str, str]] = []
+    for element in network.findall("state-transition-element"):
+        anml_id = element.get("id")
+        symbols = element.get("symbol-set", "")
+        start = element.get("start", "none")
+        if anml_id is None:
+            raise AutomatonError("state-transition-element without id")
+        if start not in _START_OF_ATTR:
+            raise AutomatonError(f"unknown start mode {start!r}")
+        reports = tuple(
+            report.get("reportcode", "")
+            for report in element.findall("report-on-match")
+        )
+        try:
+            char_class = CharClass.of(symbols)
+        except Exception as exc:
+            raise AutomatonError(f"bad symbol-set {symbols!r} on {anml_id}") from exc
+        ste_id = automaton.add_ste(
+            char_class, start=_START_OF_ATTR[start], reports=reports, name=anml_id
+        )
+        id_of[anml_id] = ste_id
+        for edge in element.findall("activate-on-match"):
+            target = edge.get("element")
+            if target is None:
+                raise AutomatonError(f"activate-on-match without element on {anml_id}")
+            edges.append((anml_id, target))
+    for source_id, target_id in edges:
+        if target_id not in id_of:
+            raise AutomatonError(f"edge to unknown element {target_id!r}")
+        automaton.connect(id_of[source_id], id_of[target_id])
+    return automaton

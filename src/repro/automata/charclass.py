@@ -1,0 +1,117 @@
+"""Character classes over the genome symbol alphabet.
+
+A character class is the set of genome symbol codes (``A C G T N``, see
+:mod:`repro.alphabet`) a state consumes. It is stored as a 5-bit mask,
+which is also exactly what the STE column of the Automata Processor
+stores (there, 256-bit over bytes; here, 5-bit over the DNA codes every
+platform model shares).
+
+Matching semantics for the ambiguity code: a genome ``N`` is an uncalled
+base, so it *mismatches* every concrete pattern base and only satisfies
+a pattern ``N``. :meth:`CharClass.from_iupac` and
+:meth:`CharClass.mismatch_of` encode this convention; every compiler and
+engine inherits it from here, which is what keeps the six execution
+paths in agreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import alphabet
+from ..errors import AutomatonError
+
+_FULL_MASK = (1 << alphabet.NUM_CODES) - 1
+
+
+@dataclass(frozen=True, order=True)
+class CharClass:
+    """An immutable set of genome symbol codes, as a 5-bit mask."""
+
+    mask: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.mask <= _FULL_MASK:
+            raise AutomatonError(f"character-class mask {self.mask:#x} out of range")
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "CharClass":
+        """The class matching nothing."""
+        return cls(0)
+
+    @classmethod
+    def any(cls) -> "CharClass":
+        """The class matching every symbol including ``N``."""
+        return cls(_FULL_MASK)
+
+    @classmethod
+    def bases(cls) -> "CharClass":
+        """The class matching the four called bases (not ``N``)."""
+        return cls(_FULL_MASK & ~(1 << alphabet.CODE_N))
+
+    @classmethod
+    def of(cls, symbols: str) -> "CharClass":
+        """The class matching exactly the listed genome symbols."""
+        mask = 0
+        for symbol in symbols:
+            mask |= 1 << alphabet.code_of(symbol)
+        return cls(mask)
+
+    @classmethod
+    def from_iupac(cls, symbol: str) -> "CharClass":
+        """The class an IUPAC pattern *symbol* matches.
+
+        ``N`` maps to :meth:`any` (it also accepts a genome ``N``);
+        every other code maps to its concrete base set.
+        """
+        return cls(alphabet.iupac_code_mask(symbol))
+
+    @classmethod
+    def mismatch_of(cls, symbol: str) -> "CharClass":
+        """The class of symbols that *mismatch* IUPAC pattern *symbol*.
+
+        This is the label of the mismatch edge in the paper's automaton
+        design: everything the match edge does not consume, including a
+        genome ``N`` (for non-``N`` patterns).
+        """
+        return cls(_FULL_MASK & ~alphabet.iupac_code_mask(symbol))
+
+    # -- set algebra -------------------------------------------------------
+
+    def __contains__(self, symbol) -> bool:
+        if isinstance(symbol, str):
+            symbol = alphabet.code_of(symbol)
+        return bool((self.mask >> int(symbol)) & 1)
+
+    def __or__(self, other: "CharClass") -> "CharClass":
+        return CharClass(self.mask | other.mask)
+
+    def __and__(self, other: "CharClass") -> "CharClass":
+        return CharClass(self.mask & other.mask)
+
+    def __invert__(self) -> "CharClass":
+        return CharClass(_FULL_MASK & ~self.mask)
+
+    def __bool__(self) -> bool:
+        return self.mask != 0
+
+    def is_disjoint(self, other: "CharClass") -> bool:
+        """True when the two classes share no symbol."""
+        return (self.mask & other.mask) == 0
+
+    def symbols(self) -> str:
+        """The matched symbols as a string in code order."""
+        return "".join(
+            alphabet.GENOME_ALPHABET[code]
+            for code in range(alphabet.NUM_CODES)
+            if (self.mask >> code) & 1
+        )
+
+    def cardinality(self) -> int:
+        """Number of matched symbols."""
+        return bin(self.mask).count("1")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CharClass({self.symbols()!r})"

@@ -1,0 +1,198 @@
+"""Deterministic automata: subset construction and Hopcroft minimisation.
+
+The HyperScan proxy engine compiles guide automata to DFAs (HyperScan's
+fast paths are DFA-based), and the property-test suite uses NFA ≡ DFA
+equivalence as an oracle for the NFA machinery itself.
+
+Determinisation operates on the *search* semantics of the source NFA:
+all-input start states are re-injected on every step, so the resulting
+DFA scans unanchored input with one transition per symbol and no
+restart logic — precisely the structure that makes DFA scanning fast on
+a CPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+import numpy as np
+
+from .. import alphabet
+from ..errors import AutomatonError
+from .nfa import Nfa
+
+
+@dataclass
+class Dfa:
+    """A complete DFA over the genome code alphabet.
+
+    ``transitions`` has shape ``(num_states, NUM_CODES)``; entry
+    ``[s, c]`` is the successor of state ``s`` on symbol code ``c``.
+    ``accepts`` maps a state to the tuple of labels it reports.
+    """
+
+    transitions: np.ndarray
+    start_state: int
+    accepts: dict[int, tuple[Hashable, ...]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.transitions = np.ascontiguousarray(self.transitions, dtype=np.int64)
+        if self.transitions.ndim != 2 or self.transitions.shape[1] != alphabet.NUM_CODES:
+            raise AutomatonError(
+                f"DFA transition table must be (states, {alphabet.NUM_CODES})"
+            )
+        if not 0 <= self.start_state < self.num_states:
+            raise AutomatonError("DFA start state out of range")
+        if self.num_states and (
+            self.transitions.min() < 0 or self.transitions.max() >= self.num_states
+        ):
+            raise AutomatonError("DFA transition table references unknown states")
+
+    @property
+    def num_states(self) -> int:
+        return int(self.transitions.shape[0])
+
+    def run(self, codes: np.ndarray):
+        """Yield ``(position, label)`` for every accept activation."""
+        state = self.start_state
+        table = self.transitions
+        accepts = self.accepts
+        for position, code in enumerate(np.asarray(codes, dtype=np.uint8)):
+            state = int(table[state, int(code)])
+            for label in accepts.get(state, ()):
+                yield position, label
+
+    def match_count(self, codes: np.ndarray) -> int:
+        """Number of accept activations over the input."""
+        return sum(1 for _ in self.run(codes))
+
+    def run_vectorized(self, codes: np.ndarray) -> list[tuple[int, Hashable]]:
+        """Same as :meth:`run`, but as a list (kept simple: DFA stepping
+        is inherently sequential; engines that need throughput use the
+        shared vectorised matcher instead)."""
+        return list(self.run(codes))
+
+
+def determinize(nfa: Nfa) -> Dfa:
+    """Subset-construct a DFA from *nfa* under search semantics.
+
+    Requires that no all-input start state carries an accept label:
+    otherwise whether that label fires would depend on *how* a subset
+    was entered (by consumption vs re-injection), which a DFA state
+    cannot represent. Compiled search automata satisfy this by
+    construction.
+    """
+    for state, all_input in nfa.start_states().items():
+        if all_input and nfa.accept_labels(state):
+            raise AutomatonError(
+                "cannot determinize: all-input start state carries accept labels"
+            )
+    initial = nfa.initial_active()
+    index_of: dict[frozenset[int], int] = {initial: 0}
+    worklist = [initial]
+    rows: list[list[int]] = []
+    accepts: dict[int, tuple[Hashable, ...]] = {}
+
+    def labels_of(states: frozenset[int]) -> tuple[Hashable, ...]:
+        labels: list[Hashable] = []
+        for state in sorted(states):
+            labels.extend(nfa.accept_labels(state))
+        return tuple(dict.fromkeys(labels))
+
+    # Note: initial-state accepts are intentionally not recorded; reports
+    # fire on entry-by-consumption, mirroring Nfa.run.
+    while worklist:
+        subset = worklist.pop()
+        row = [0] * alphabet.NUM_CODES
+        for code in range(alphabet.NUM_CODES):
+            successor = nfa.step(subset, code)
+            slot = index_of.get(successor)
+            if slot is None:
+                slot = len(index_of)
+                index_of[successor] = slot
+                worklist.append(successor)
+            row[code] = slot
+            labels = labels_of(_entered_part(nfa, subset, code))
+            if labels:
+                accepts.setdefault(slot, labels)
+        while len(rows) <= index_of[subset]:
+            rows.append([0] * alphabet.NUM_CODES)
+        rows[index_of[subset]] = row
+    table = np.array(rows, dtype=np.int64)
+    return Dfa(table, 0, accepts)
+
+
+def _entered_part(nfa: Nfa, subset: frozenset[int], code: int) -> frozenset[int]:
+    """States entered by consuming *code* (excluding start re-injection)."""
+    moved: set[int] = set()
+    for state in subset:
+        for char_class, target in nfa.transitions_from(state):
+            if (char_class.mask >> code) & 1:
+                moved.add(target)
+    return nfa.epsilon_closure(moved)
+
+
+def minimize(dfa: Dfa) -> Dfa:
+    """Hopcroft minimisation, distinguishing states by accept-label set."""
+    n = dfa.num_states
+    if n == 0:
+        return dfa
+    # Initial partition: group states by their accept label tuple.
+    signature: dict[int, tuple] = {
+        state: tuple(sorted(map(repr, dfa.accepts.get(state, ())))) for state in range(n)
+    }
+    blocks: dict[tuple, set[int]] = {}
+    for state, sig in signature.items():
+        blocks.setdefault(sig, set()).add(state)
+    partition: list[set[int]] = list(blocks.values())
+    worklist: list[set[int]] = [block.copy() for block in partition]
+
+    # Reverse transition index: predecessors[c][s] = states entering s on c.
+    predecessors: list[dict[int, set[int]]] = [
+        {} for _ in range(alphabet.NUM_CODES)
+    ]
+    for state in range(n):
+        for code in range(alphabet.NUM_CODES):
+            target = int(dfa.transitions[state, code])
+            predecessors[code].setdefault(target, set()).add(state)
+
+    while worklist:
+        splitter = worklist.pop()
+        for code in range(alphabet.NUM_CODES):
+            incoming: set[int] = set()
+            for target in splitter:
+                incoming |= predecessors[code].get(target, set())
+            if not incoming:
+                continue
+            next_partition: list[set[int]] = []
+            for block in partition:
+                inside = block & incoming
+                outside = block - incoming
+                if inside and outside:
+                    next_partition.append(inside)
+                    next_partition.append(outside)
+                    if block in worklist:
+                        worklist.remove(block)
+                        worklist.append(inside)
+                        worklist.append(outside)
+                    else:
+                        worklist.append(inside if len(inside) <= len(outside) else outside)
+                else:
+                    next_partition.append(block)
+            partition = next_partition
+
+    block_of = {}
+    for block_id, block in enumerate(partition):
+        for state in block:
+            block_of[state] = block_id
+    table = np.zeros((len(partition), alphabet.NUM_CODES), dtype=np.int64)
+    accepts: dict[int, tuple[Hashable, ...]] = {}
+    for block_id, block in enumerate(partition):
+        representative = next(iter(block))
+        for code in range(alphabet.NUM_CODES):
+            table[block_id, code] = block_of[int(dfa.transitions[representative, code])]
+        labels = dfa.accepts.get(representative, ())
+        if labels:
+            accepts[block_id] = labels
+    return Dfa(table, block_of[dfa.start_state], accepts)

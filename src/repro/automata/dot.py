@@ -1,0 +1,65 @@
+"""Graphviz DOT export for automata networks.
+
+Debugging and papers both want pictures of the compiled machines. This
+renders either automaton form as DOT text (pipe into ``dot -Tsvg``):
+start STEs are doubly-outlined house shapes, reporting STEs are filled
+double circles, and each node is labelled with its symbol set.
+"""
+
+from __future__ import annotations
+
+from .homogeneous import HomogeneousAutomaton, StartMode
+from .nfa import Nfa
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def homogeneous_to_dot(
+    automaton: HomogeneousAutomaton, *, name: str = "automaton"
+) -> str:
+    """Render a homogeneous automaton as DOT."""
+    lines = [f'digraph "{_escape(name)}" {{', "  rankdir=LR;", "  node [fontsize=10];"]
+    for ste in automaton.stes():
+        attributes = [f'label="{_escape(ste.char_class.symbols())}"']
+        if ste.reports:
+            attributes.append("shape=doublecircle")
+            attributes.append("style=filled")
+            attributes.append('fillcolor="#ffd9a0"')
+        elif ste.start is not StartMode.NONE:
+            attributes.append("shape=house")
+            attributes.append("peripheries=2")
+        else:
+            attributes.append("shape=circle")
+        lines.append(f"  s{ste.ste_id} [{', '.join(attributes)}];")
+    for ste in automaton.stes():
+        for target in automaton.successors(ste.ste_id):
+            lines.append(f"  s{ste.ste_id} -> s{target};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def nfa_to_dot(nfa: Nfa, *, name: str = "nfa") -> str:
+    """Render an edge-labelled NFA as DOT (edge labels = symbol sets)."""
+    lines = [f'digraph "{_escape(name)}" {{', "  rankdir=LR;", "  node [fontsize=10];"]
+    for state in nfa.states():
+        attributes = [f'label="{_escape(state.name)}"']
+        if state.accept_labels:
+            attributes.append("shape=doublecircle")
+        elif state.is_start:
+            attributes.append("shape=house")
+            attributes.append("peripheries=2")
+        else:
+            attributes.append("shape=circle")
+        lines.append(f"  q{state.state_id} [{', '.join(attributes)}];")
+    for state in nfa.states():
+        for char_class, target in nfa.transitions_from(state.state_id):
+            lines.append(
+                f'  q{state.state_id} -> q{target} '
+                f'[label="{_escape(char_class.symbols())}"];'
+            )
+        for target in nfa.epsilon_from(state.state_id):
+            lines.append(f'  q{state.state_id} -> q{target} [label="ε", style=dashed];')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,289 @@
+"""Full ANML element networks: STEs, boolean gates, and counters.
+
+The Micron AP's machine model is richer than plain homogeneous automata
+(:mod:`repro.automata.homogeneous`): networks may also contain
+saturating **counter** elements and combinational **boolean** gates.
+The paper's discussion of design alternatives and future automata
+hardware turns on these elements, so this module implements the full
+model, with the AP's timing discipline:
+
+* an STE that matches during cycle ``t`` asserts its output during
+  cycle ``t + 1`` (one-cycle element-to-element latency);
+* boolean gates are combinational: their output during cycle ``t`` is a
+  function of their inputs' outputs during cycle ``t`` (combinational
+  cycles are rejected at freeze time);
+* a counter increments when any count input is asserted, saturates at
+  its target, and asserts its output while latched (``LATCH`` mode) or
+  only in the cycle the target is reached (``PULSE``); a reset input
+  takes effect before that cycle's count pulses.
+
+Reports may hang off any element; a report fires during each cycle the
+element's output is asserted, stamped ``cycle - 1`` so it names the
+input symbol that completed the match — the same convention as the
+plain-STE engines (an STE's output at ``t + 1`` reflects its match of
+symbol ``t``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Hashable, Iterator
+
+import numpy as np
+
+from .. import alphabet
+from ..errors import AutomatonError
+from .charclass import CharClass
+from .homogeneous import StartMode
+
+
+class GateKind(enum.Enum):
+    """Boolean gate varieties."""
+
+    AND = "and"
+    OR = "or"
+    NOT = "not"
+
+
+class CounterMode(enum.Enum):
+    """Counter output behaviour at target."""
+
+    LATCH = "latch"  #: assert from the cycle the target is reached until reset
+    PULSE = "pulse"  #: assert only in the cycle the target is reached
+
+
+@dataclass
+class _Ste:
+    char_class: CharClass
+    start: StartMode
+    inputs: list[int] = field(default_factory=list)
+
+
+@dataclass
+class _Gate:
+    kind: GateKind
+    inputs: list[int] = field(default_factory=list)
+
+
+@dataclass
+class _Counter:
+    target: int
+    mode: CounterMode
+    count_inputs: list[int] = field(default_factory=list)
+    reset_inputs: list[int] = field(default_factory=list)
+
+
+class ElementNetwork:
+    """A mixed STE / boolean / counter network, executable cycle by cycle."""
+
+    def __init__(self) -> None:
+        self._elements: list[object] = []
+        self._reports: list[tuple[Hashable, ...]] = []
+
+    # -- construction ------------------------------------------------------
+
+    def _add(self, element: object) -> int:
+        self._elements.append(element)
+        self._reports.append(())
+        return len(self._elements) - 1
+
+    def add_ste(
+        self, char_class: CharClass, *, start: StartMode = StartMode.NONE
+    ) -> int:
+        """Add a State Transition Element."""
+        if not char_class:
+            raise AutomatonError("an STE must match at least one symbol")
+        return self._add(_Ste(char_class, start))
+
+    def add_gate(self, kind: GateKind) -> int:
+        """Add a combinational boolean gate."""
+        return self._add(_Gate(kind))
+
+    def add_counter(
+        self, target: int, *, mode: CounterMode = CounterMode.LATCH
+    ) -> int:
+        """Add a saturating counter with the given *target*."""
+        if target <= 0:
+            raise AutomatonError("counter target must be positive")
+        return self._add(_Counter(target, mode))
+
+    def _check(self, element: int) -> None:
+        if not 0 <= element < len(self._elements):
+            raise AutomatonError(f"unknown element id {element}")
+
+    def connect(self, source: int, target: int) -> None:
+        """Wire *source*'s output to *target*'s (enable/data) input.
+
+        STE enables may only be driven by other STEs (the AP routes
+        boolean/counter outputs to the report path and to other
+        logic, not back into STE enables — designs needing that
+        insert an STE stage).
+        """
+        self._check(source)
+        self._check(target)
+        element = self._elements[target]
+        if isinstance(element, _Ste):
+            if not isinstance(self._elements[source], _Ste):
+                raise AutomatonError(
+                    "STE enables may only be driven by STE outputs"
+                )
+            element.inputs.append(source)
+        elif isinstance(element, _Gate):
+            element.inputs.append(source)
+        else:
+            raise AutomatonError("use connect_count/connect_reset for counters")
+
+    def connect_count(self, source: int, counter: int) -> None:
+        """Wire *source* to a counter's count input."""
+        self._check(source)
+        element = self._elements[counter]
+        if not isinstance(element, _Counter):
+            raise AutomatonError(f"element {counter} is not a counter")
+        element.count_inputs.append(source)
+
+    def connect_reset(self, source: int, counter: int) -> None:
+        """Wire *source* to a counter's reset input."""
+        self._check(source)
+        element = self._elements[counter]
+        if not isinstance(element, _Counter):
+            raise AutomatonError(f"element {counter} is not a counter")
+        element.reset_inputs.append(source)
+
+    def mark_report(self, element: int, label: Hashable) -> None:
+        """Report *label* on every cycle *element*'s output is asserted."""
+        self._check(element)
+        self._reports[element] = self._reports[element] + (label,)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def num_elements(self) -> int:
+        return len(self._elements)
+
+    def num_stes(self) -> int:
+        """Number of STE elements."""
+        return sum(1 for e in self._elements if isinstance(e, _Ste))
+
+    def num_counters(self) -> int:
+        """Number of counter elements."""
+        return sum(1 for e in self._elements if isinstance(e, _Counter))
+
+    def num_gates(self) -> int:
+        """Number of boolean gates."""
+        return sum(1 for e in self._elements if isinstance(e, _Gate))
+
+    # -- execution ---------------------------------------------------------
+
+    def _combinational_order(self) -> list[int]:
+        """Topological order of gates and counters (outputs feed gates).
+
+        STE outputs are registered (previous-cycle), so only
+        gate/counter→gate edges constrain the order; cycles among them
+        are rejected.
+        """
+        dynamic = [
+            index
+            for index, element in enumerate(self._elements)
+            if isinstance(element, (_Gate, _Counter))
+        ]
+        dependencies: dict[int, set[int]] = {index: set() for index in dynamic}
+        for index in dynamic:
+            element = self._elements[index]
+            sources = (
+                element.inputs
+                if isinstance(element, _Gate)
+                else element.count_inputs + element.reset_inputs
+            )
+            for source in sources:
+                if isinstance(self._elements[source], (_Gate, _Counter)):
+                    dependencies[index].add(source)
+        order: list[int] = []
+        placed: set[int] = set()
+        remaining = set(dynamic)
+        while remaining:
+            ready = [i for i in remaining if dependencies[i] <= placed]
+            if not ready:
+                raise AutomatonError("combinational cycle among gates/counters")
+            for index in sorted(ready):
+                order.append(index)
+                placed.add(index)
+                remaining.discard(index)
+        return order
+
+    def run(self, codes: np.ndarray) -> Iterator[tuple[int, Hashable]]:
+        """Execute over a symbol-code stream, yielding ``(position, label)``.
+
+        ``position`` is the index of the symbol whose consumption led to
+        the reporting output (outputs asserted during cycle ``t``
+        reflect symbol ``t - 1``).
+        """
+        codes = np.asarray(codes, dtype=np.uint8)
+        order = self._combinational_order()
+        n = len(self._elements)
+        output = np.zeros(n, dtype=bool)  # outputs asserted during current cycle
+        counter_values = {
+            index: 0
+            for index, element in enumerate(self._elements)
+            if isinstance(element, _Counter)
+        }
+        # Cycle t consumes symbol t (t = 0..len-1); we also run one final
+        # drain cycle (no symbol) so the last symbol's STE outputs reach
+        # gates/counters and can report.
+        for cycle in range(codes.size + 1):
+            next_output = np.zeros(n, dtype=bool)
+            consuming = cycle < codes.size
+            code = int(codes[cycle]) if consuming else -1
+            # STEs: match this cycle -> output asserted next cycle.
+            for index, element in enumerate(self._elements):
+                if not isinstance(element, _Ste) or not consuming:
+                    continue
+                if element.start is StartMode.ALL_INPUT:
+                    enabled = True
+                elif element.start is StartMode.START_OF_DATA and cycle == 0:
+                    enabled = True
+                else:
+                    enabled = any(output[source] for source in element.inputs)
+                if enabled and (element.char_class.mask >> code) & 1:
+                    next_output[index] = True
+            # Gates and counters: combinational on current-cycle outputs.
+            for index in order:
+                element = self._elements[index]
+                if isinstance(element, _Gate):
+                    values = [output[source] for source in element.inputs]
+                    if element.kind is GateKind.AND:
+                        asserted = bool(values) and all(values)
+                    elif element.kind is GateKind.OR:
+                        asserted = any(values)
+                    else:
+                        if len(element.inputs) != 1:
+                            raise AutomatonError("NOT gate needs exactly one input")
+                        asserted = not values[0]
+                    output[index] = asserted
+                else:
+                    if any(output[source] for source in element.reset_inputs):
+                        counter_values[index] = 0
+                    pulses = sum(
+                        1 for source in element.count_inputs if output[source]
+                    )
+                    reached_now = False
+                    if pulses and counter_values[index] < element.target:
+                        counter_values[index] = min(
+                            element.target, counter_values[index] + pulses
+                        )
+                        reached_now = counter_values[index] >= element.target
+                    latched = counter_values[index] >= element.target
+                    output[index] = (
+                        latched
+                        if element.mode is CounterMode.LATCH
+                        else reached_now
+                    )
+            # Reports: any element whose output is asserted this cycle.
+            if cycle > 0:
+                for index in range(n):
+                    if output[index]:
+                        for label in self._reports[index]:
+                            yield cycle - 1, label
+            # Gate/counter values are recomputed from scratch next cycle;
+            # only STE assertions carry forward.
+            output = next_output if consuming else np.zeros(n, dtype=bool)

@@ -1,0 +1,298 @@
+"""Homogeneous (state-labelled) automata — the ANML/STE form.
+
+Spatial automata hardware (Micron's Automata Processor, FPGA automata
+overlays) does not implement edge-labelled NFAs. It implements
+*homogeneous* automata: every state is a State Transition Element (STE)
+carrying a character class; bare wires connect STEs; an STE *matches*
+on a cycle when its enable input is driven (some predecessor matched on
+the previous cycle, or it is a start STE) and the current symbol lies
+in its class. Reporting STEs raise a report event on every cycle they
+match.
+
+:func:`nfa_to_homogeneous` performs the standard conversion from the
+edge-labelled form (one STE per distinct incoming character class of
+each NFA state), which on the paper's mismatch-grid automata yields
+exactly the match-STE/mismatch-STE pairs of the paper's Figure-style
+design.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Hashable, Iterator
+
+import numpy as np
+
+from ..errors import AutomatonError
+from .charclass import CharClass
+from .nfa import Nfa
+
+
+class StartMode(enum.Enum):
+    """How an STE's enable input behaves."""
+
+    NONE = "none"  #: driven only by predecessor matches
+    ALL_INPUT = "all-input"  #: enabled on every cycle (unanchored search)
+    START_OF_DATA = "start-of-data"  #: enabled on the first cycle only
+
+
+@dataclass(frozen=True)
+class Ste:
+    """One State Transition Element."""
+
+    ste_id: int
+    char_class: CharClass
+    start: StartMode = StartMode.NONE
+    reports: tuple[Hashable, ...] = ()
+    name: str = ""
+
+
+@dataclass(frozen=True)
+class CycleStats:
+    """Micro-architectural statistics from a cycle-accurate run."""
+
+    cycles: int
+    total_matches: int  #: sum over cycles of matched-STE count
+    peak_active: int  #: max matched-STE count in any cycle
+    report_events: int  #: total report activations
+    report_cycles: int  #: cycles with at least one report
+
+    @property
+    def mean_active(self) -> float:
+        """Average number of matched STEs per cycle."""
+        return self.total_matches / self.cycles if self.cycles else 0.0
+
+
+class HomogeneousAutomaton:
+    """A homogeneous automaton network, executable cycle-by-cycle."""
+
+    def __init__(self) -> None:
+        self._stes: list[Ste] = []
+        self._successors: list[list[int]] = []
+        self._frozen: _FrozenArrays | None = None
+
+    # -- construction ------------------------------------------------------
+
+    def add_ste(
+        self,
+        char_class: CharClass,
+        *,
+        start: StartMode = StartMode.NONE,
+        reports: tuple[Hashable, ...] = (),
+        name: str = "",
+    ) -> int:
+        """Add an STE and return its id."""
+        if not char_class:
+            raise AutomatonError("an STE must match at least one symbol")
+        ste_id = len(self._stes)
+        self._stes.append(
+            Ste(ste_id, char_class, start=start, reports=tuple(reports), name=name or f"ste{ste_id}")
+        )
+        self._successors.append([])
+        self._frozen = None
+        return ste_id
+
+    def connect(self, source: int, target: int) -> None:
+        """Wire *source*'s output to *target*'s enable input."""
+        for ste in (source, target):
+            if not 0 <= ste < len(self._stes):
+                raise AutomatonError(f"unknown STE id {ste}")
+        if target not in self._successors[source]:
+            self._successors[source].append(target)
+            self._frozen = None
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def num_stes(self) -> int:
+        return len(self._stes)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(outs) for outs in self._successors)
+
+    def stes(self) -> Iterator[Ste]:
+        return iter(self._stes)
+
+    def ste(self, ste_id: int) -> Ste:
+        return self._stes[ste_id]
+
+    def successors(self, ste_id: int) -> list[int]:
+        return list(self._successors[ste_id])
+
+    def report_stes(self) -> list[Ste]:
+        """The STEs that raise report events."""
+        return [ste for ste in self._stes if ste.reports]
+
+    def start_stes(self) -> list[Ste]:
+        """The STEs with a start mode."""
+        return [ste for ste in self._stes if ste.start is not StartMode.NONE]
+
+    def max_fanout(self) -> int:
+        """Largest out-degree (a routing-congestion proxy)."""
+        return max((len(outs) for outs in self._successors), default=0)
+
+    def merge(self, other: "HomogeneousAutomaton") -> dict[int, int]:
+        """Append *other*'s network into this one (disjoint union).
+
+        Returns the mapping from *other*'s STE ids to new ids — this is
+        how a multi-guide library becomes one machine-sized network.
+        """
+        mapping: dict[int, int] = {}
+        for ste in other.stes():
+            mapping[ste.ste_id] = self.add_ste(
+                ste.char_class, start=ste.start, reports=ste.reports, name=ste.name
+            )
+        for source, outs in enumerate(other._successors):
+            for target in outs:
+                self.connect(mapping[source], mapping[target])
+        return mapping
+
+    # -- execution ---------------------------------------------------------
+
+    def _arrays(self) -> "_FrozenArrays":
+        if self._frozen is None:
+            self._frozen = _FrozenArrays(self)
+        return self._frozen
+
+    def run(self, codes: np.ndarray) -> Iterator[tuple[int, Hashable]]:
+        """Cycle-accurate run; yields ``(cycle, label)`` per report event."""
+        for cycle, _, labels in self._execute(codes, want_stats=False):
+            for label in labels:
+                yield cycle, label
+
+    def run_with_stats(self, codes: np.ndarray) -> tuple[list[tuple[int, Hashable]], CycleStats]:
+        """Run and also collect :class:`CycleStats`."""
+        reports: list[tuple[int, Hashable]] = []
+        total_matches = 0
+        peak = 0
+        report_events = 0
+        report_cycles = 0
+        cycles = 0
+        for cycle, matched_count, labels in self._execute(codes, want_stats=True):
+            cycles = cycle + 1
+            total_matches += matched_count
+            peak = max(peak, matched_count)
+            if labels:
+                report_cycles += 1
+                report_events += len(labels)
+                reports.extend((cycle, label) for label in labels)
+        cycles = max(cycles, int(np.asarray(codes).size))
+        return reports, CycleStats(
+            cycles=cycles,
+            total_matches=total_matches,
+            peak_active=peak,
+            report_events=report_events,
+            report_cycles=report_cycles,
+        )
+
+    def _execute(self, codes: np.ndarray, *, want_stats: bool):
+        codes = np.asarray(codes, dtype=np.uint8)
+        arrays = self._arrays()
+        driven = arrays.all_input | arrays.start_of_data
+        for cycle, code in enumerate(codes):
+            matched = driven & arrays.enabled_for[int(code)]
+            matched_ids = np.nonzero(matched)[0]
+            labels: list[Hashable] = []
+            for ste_id in matched_ids:
+                labels.extend(self._stes[int(ste_id)].reports)
+            yield cycle, int(matched_ids.size), labels
+            driven = arrays.all_input.copy()
+            if matched_ids.size:
+                successor_ids = arrays.successors_of(matched_ids)
+                driven[successor_ids] = True
+
+
+class _FrozenArrays:
+    """Vectorised read-only view of a homogeneous automaton."""
+
+    def __init__(self, automaton: HomogeneousAutomaton) -> None:
+        n = automaton.num_stes
+        masks = np.array([ste.char_class.mask for ste in automaton.stes()], dtype=np.uint8)
+        # enabled_for[c][s]: does STE s's class contain symbol code c?
+        from .. import alphabet
+
+        self.enabled_for = [
+            ((masks >> code) & 1).astype(bool) for code in range(alphabet.NUM_CODES)
+        ]
+        self.all_input = np.array(
+            [ste.start is StartMode.ALL_INPUT for ste in automaton.stes()], dtype=bool
+        )
+        self.start_of_data = np.array(
+            [ste.start is StartMode.START_OF_DATA for ste in automaton.stes()], dtype=bool
+        )
+        # CSR successor lists.
+        counts = [len(automaton.successors(s)) for s in range(n)]
+        self._offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=self._offsets[1:])
+        flat: list[int] = []
+        for s in range(n):
+            flat.extend(automaton.successors(s))
+        self._flat = np.array(flat, dtype=np.int64)
+
+    def successors_of(self, ste_ids: np.ndarray) -> np.ndarray:
+        """Concatenated successor ids of all *ste_ids*."""
+        pieces = [
+            self._flat[self._offsets[s] : self._offsets[s + 1]] for s in ste_ids
+        ]
+        if not pieces:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(pieces)
+
+
+def nfa_to_homogeneous(nfa: Nfa) -> HomogeneousAutomaton:
+    """Convert an edge-labelled NFA into homogeneous (STE) form.
+
+    Epsilon edges are removed first. Each NFA state becomes one STE per
+    distinct incoming character class; NFA start states with outgoing
+    edges become start modes on their successors' STEs. Start states
+    must be pure sources (no incoming edges and no accept labels) —
+    compiled search automata satisfy this by construction.
+    """
+    flat = nfa.without_epsilon() if nfa.num_epsilon else nfa
+    starts = flat.start_states()
+    for state, _ in starts.items():
+        if flat.accept_labels(state):
+            raise AutomatonError("start states must not carry accept labels")
+    incoming: dict[int, list[tuple[int, CharClass]]] = {}
+    for source in range(flat.num_states):
+        for char_class, target in flat.transitions_from(source):
+            incoming.setdefault(target, []).append((source, char_class))
+    for state in starts:
+        if state in incoming:
+            raise AutomatonError("start states must be pure sources")
+
+    automaton = HomogeneousAutomaton()
+    # ste_of[(state, class)] -> STE id; copies_of[state] -> all its STE ids.
+    ste_of: dict[tuple[int, int], int] = {}
+    copies_of: dict[int, list[int]] = {}
+    for target, edges in incoming.items():
+        classes = sorted({char_class for _, char_class in edges})
+        labels = flat.accept_labels(target)
+        for char_class in classes:
+            start_mode = StartMode.NONE
+            if any(source in starts for source, cc in edges if cc == char_class):
+                # Entered directly from a start state: all-input for
+                # search starts, start-of-data for anchored ones.
+                all_input = any(
+                    starts[source]
+                    for source, cc in edges
+                    if cc == char_class and source in starts
+                )
+                start_mode = StartMode.ALL_INPUT if all_input else StartMode.START_OF_DATA
+            ste_id = automaton.add_ste(
+                char_class,
+                start=start_mode,
+                reports=labels,
+                name=f"{flat.name_of(target)}/{char_class.symbols()}",
+            )
+            ste_of[(target, char_class.mask)] = ste_id
+            copies_of.setdefault(target, []).append(ste_id)
+    for target, edges in incoming.items():
+        for source, char_class in edges:
+            if source in starts:
+                continue  # start drive is encoded in the STE's start mode
+            for source_ste in copies_of.get(source, ()):
+                automaton.connect(source_ste, ste_of[(target, char_class.mask)])
+    return automaton

@@ -1,0 +1,223 @@
+"""Generic nondeterministic finite automata with labelled accepts.
+
+This is the edge-labelled (textbook) automaton form. Compilers in
+:mod:`repro.core` build search automata here, and
+:mod:`repro.automata.homogeneous` converts them into the state-labelled
+(ANML/STE) form the spatial platform models execute.
+
+Search semantics: a state registered via :meth:`Nfa.mark_start` with
+``all_input=True`` is re-injected into the active set at every input
+position, which is how an unanchored scan ("find the pattern anywhere
+in the genome stream") is expressed — exactly the AP's *all-input*
+start mode. Accept states carry arbitrary hashable labels; a label is
+emitted each time its state is entered, tagged with the index of the
+symbol that caused entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Iterator
+
+import numpy as np
+
+from ..errors import AutomatonError
+from .charclass import CharClass
+
+
+@dataclass(frozen=True)
+class NfaState:
+    """Introspection view of one NFA state."""
+
+    state_id: int
+    name: str
+    is_start: bool
+    all_input: bool
+    accept_labels: tuple[Hashable, ...]
+
+
+class Nfa:
+    """A mutable NFA under construction, then executable once built."""
+
+    def __init__(self) -> None:
+        self._names: list[str] = []
+        self._transitions: list[list[tuple[CharClass, int]]] = []
+        self._epsilon: list[list[int]] = []
+        self._starts: dict[int, bool] = {}  # state -> all_input?
+        self._accepts: dict[int, list[Hashable]] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add_state(self, name: str = "") -> int:
+        """Allocate a new state and return its id."""
+        state_id = len(self._names)
+        self._names.append(name or f"q{state_id}")
+        self._transitions.append([])
+        self._epsilon.append([])
+        return state_id
+
+    def _check(self, state: int) -> None:
+        if not 0 <= state < len(self._names):
+            raise AutomatonError(f"unknown state id {state}")
+
+    def add_transition(self, source: int, char_class: CharClass, target: int) -> None:
+        """Add an edge labelled *char_class* from *source* to *target*."""
+        self._check(source)
+        self._check(target)
+        if not char_class:
+            raise AutomatonError("refusing to add an edge with an empty character class")
+        self._transitions[source].append((char_class, target))
+
+    def add_epsilon(self, source: int, target: int) -> None:
+        """Add an epsilon (no-consume) edge."""
+        self._check(source)
+        self._check(target)
+        self._epsilon[source].append(target)
+
+    def mark_start(self, state: int, *, all_input: bool = True) -> None:
+        """Register a start state.
+
+        ``all_input=True`` (the default, and the search mode) re-injects
+        the state at every input position; ``False`` starts it only at
+        the beginning of the stream (anchored match).
+        """
+        self._check(state)
+        self._starts[state] = all_input
+
+    def mark_accept(self, state: int, label: Hashable) -> None:
+        """Attach an accept *label* to *state* (a state may carry several)."""
+        self._check(state)
+        self._accepts.setdefault(state, []).append(label)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def num_states(self) -> int:
+        return len(self._names)
+
+    @property
+    def num_transitions(self) -> int:
+        return sum(len(edges) for edges in self._transitions)
+
+    @property
+    def num_epsilon(self) -> int:
+        return sum(len(edges) for edges in self._epsilon)
+
+    def states(self) -> Iterator[NfaState]:
+        """Iterate introspection views of every state."""
+        for state_id, name in enumerate(self._names):
+            yield NfaState(
+                state_id=state_id,
+                name=name,
+                is_start=state_id in self._starts,
+                all_input=self._starts.get(state_id, False),
+                accept_labels=tuple(self._accepts.get(state_id, ())),
+            )
+
+    def transitions_from(self, state: int) -> list[tuple[CharClass, int]]:
+        self._check(state)
+        return list(self._transitions[state])
+
+    def epsilon_from(self, state: int) -> list[int]:
+        self._check(state)
+        return list(self._epsilon[state])
+
+    def start_states(self) -> dict[int, bool]:
+        """Mapping of start state id to its all-input flag."""
+        return dict(self._starts)
+
+    def accept_labels(self, state: int) -> tuple[Hashable, ...]:
+        self._check(state)
+        return tuple(self._accepts.get(state, ()))
+
+    def name_of(self, state: int) -> str:
+        self._check(state)
+        return self._names[state]
+
+    # -- epsilon handling --------------------------------------------------
+
+    def epsilon_closure(self, states: Iterable[int]) -> frozenset[int]:
+        """The epsilon closure of a state set."""
+        stack = list(states)
+        seen = set(stack)
+        while stack:
+            state = stack.pop()
+            for target in self._epsilon[state]:
+                if target not in seen:
+                    seen.add(target)
+                    stack.append(target)
+        return frozenset(seen)
+
+    def without_epsilon(self) -> "Nfa":
+        """Return an equivalent NFA with no epsilon edges.
+
+        Standard closure-based removal: each state inherits the outgoing
+        labelled edges and accept labels of its epsilon closure.
+        """
+        result = Nfa()
+        for name in self._names:
+            result.add_state(name)
+        for state in range(self.num_states):
+            closure = self.epsilon_closure([state])
+            seen_labels: set[Hashable] = set()
+            for member in closure:
+                for char_class, target in self._transitions[member]:
+                    result.add_transition(state, char_class, target)
+                for label in self._accepts.get(member, ()):
+                    if label not in seen_labels:
+                        seen_labels.add(label)
+                        result.mark_accept(state, label)
+        for state, all_input in self._starts.items():
+            result.mark_start(state, all_input=all_input)
+        return result
+
+    # -- execution ---------------------------------------------------------
+
+    def initial_active(self) -> frozenset[int]:
+        """Active set before any symbol is consumed."""
+        return self.epsilon_closure(self._starts.keys())
+
+    def step(self, active: frozenset[int], code: int) -> frozenset[int]:
+        """One symbol step: consume *code* from *active*, re-inject starts."""
+        moved: set[int] = set()
+        for state in active:
+            for char_class, target in self._transitions[state]:
+                if (char_class.mask >> code) & 1:
+                    moved.add(target)
+        moved = set(self.epsilon_closure(moved))
+        for state, all_input in self._starts.items():
+            if all_input:
+                moved.add(state)
+        moved |= self.epsilon_closure(
+            [s for s, all_input in self._starts.items() if all_input]
+        )
+        return frozenset(moved)
+
+    def run(self, codes: np.ndarray) -> Iterator[tuple[int, Hashable]]:
+        """Consume a code array, yielding ``(position, label)`` per accept.
+
+        A label fires when its state is *entered by consuming* the
+        symbol at ``position`` (start-state accepts never fire from
+        re-injection alone, matching report-on-activation hardware
+        semantics).
+        """
+        active = self.initial_active()
+        for position, code in enumerate(np.asarray(codes, dtype=np.uint8)):
+            moved: set[int] = set()
+            for state in active:
+                for char_class, target in self._transitions[state]:
+                    if (char_class.mask >> int(code)) & 1:
+                        moved.add(target)
+            entered = self.epsilon_closure(moved)
+            for state in entered:
+                for label in self._accepts.get(state, ()):
+                    yield position, label
+            next_active = set(entered)
+            next_active |= self.epsilon_closure(
+                [s for s, all_input in self._starts.items() if all_input]
+            )
+            active = frozenset(next_active)
+
+    def match_count(self, codes: np.ndarray) -> int:
+        """Number of accept activations over the input (convenience)."""
+        return sum(1 for _ in self.run(codes))

@@ -1,0 +1,116 @@
+"""Structural operations and statistics on automata.
+
+These are the graph-level utilities the compilers and platform models
+share: disjoint union of guide automata into one network, reachability
+pruning, and the structural statistics (state counts, fanout, transition
+density) that feed the capacity and GPU-mapping models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import AutomatonError
+from .homogeneous import HomogeneousAutomaton, StartMode
+from .nfa import Nfa
+
+
+def union(automata: list[Nfa]) -> Nfa:
+    """Disjoint union of NFAs: one machine running all of them at once."""
+    result = Nfa()
+    for nfa in automata:
+        mapping: dict[int, int] = {}
+        for state in nfa.states():
+            mapping[state.state_id] = result.add_state(state.name)
+        for state in nfa.states():
+            for char_class, target in nfa.transitions_from(state.state_id):
+                result.add_transition(mapping[state.state_id], char_class, mapping[target])
+            for target in nfa.epsilon_from(state.state_id):
+                result.add_epsilon(mapping[state.state_id], mapping[target])
+            if state.is_start:
+                result.mark_start(mapping[state.state_id], all_input=state.all_input)
+            for label in state.accept_labels:
+                result.mark_accept(mapping[state.state_id], label)
+    return result
+
+
+def union_homogeneous(automata: list[HomogeneousAutomaton]) -> HomogeneousAutomaton:
+    """Disjoint union of homogeneous automata."""
+    result = HomogeneousAutomaton()
+    for automaton in automata:
+        result.merge(automaton)
+    return result
+
+
+def reachable_states(nfa: Nfa) -> set[int]:
+    """States reachable from any start state (ignoring symbol feasibility)."""
+    stack = list(nfa.start_states())
+    seen = set(stack)
+    while stack:
+        state = stack.pop()
+        targets = [t for _, t in nfa.transitions_from(state)]
+        targets.extend(nfa.epsilon_from(state))
+        for target in targets:
+            if target not in seen:
+                seen.add(target)
+                stack.append(target)
+    return seen
+
+
+def prune_unreachable(nfa: Nfa) -> Nfa:
+    """Drop states unreachable from the starts (and their edges)."""
+    keep = sorted(reachable_states(nfa))
+    mapping = {old: new for new, old in enumerate(keep)}
+    result = Nfa()
+    for old in keep:
+        result.add_state(nfa.name_of(old))
+    for old in keep:
+        for char_class, target in nfa.transitions_from(old):
+            if target in mapping:
+                result.add_transition(mapping[old], char_class, mapping[target])
+        for target in nfa.epsilon_from(old):
+            if target in mapping:
+                result.add_epsilon(mapping[old], mapping[target])
+        for label in nfa.accept_labels(old):
+            result.mark_accept(mapping[old], label)
+    for state, all_input in nfa.start_states().items():
+        if state in mapping:
+            result.mark_start(mapping[state], all_input=all_input)
+    return result
+
+
+@dataclass(frozen=True)
+class AutomatonStats:
+    """Structural statistics of a homogeneous automaton network."""
+
+    num_stes: int
+    num_edges: int
+    num_reports: int
+    num_starts: int
+    max_fanout: int
+    mean_fanout: float
+    #: distinct character classes (AP symbol-memory sharing potential)
+    distinct_classes: int
+
+    @property
+    def transition_density(self) -> float:
+        """Edges per STE — the quantity that hurts GPU transition-list engines."""
+        return self.num_edges / self.num_stes if self.num_stes else 0.0
+
+
+def stats(automaton: HomogeneousAutomaton) -> AutomatonStats:
+    """Compute :class:`AutomatonStats` for a network."""
+    if automaton.num_stes == 0:
+        raise AutomatonError("cannot compute statistics of an empty automaton")
+    fanouts = [len(automaton.successors(s)) for s in range(automaton.num_stes)]
+    return AutomatonStats(
+        num_stes=automaton.num_stes,
+        num_edges=automaton.num_edges,
+        num_reports=len(automaton.report_stes()),
+        num_starts=sum(
+            1 for ste in automaton.stes() if ste.start is not StartMode.NONE
+        ),
+        max_fanout=max(fanouts),
+        mean_fanout=sum(fanouts) / len(fanouts),
+        distinct_classes={ste.char_class for ste in automaton.stes()}.__len__(),
+    )

@@ -1,0 +1,330 @@
+"""Two-symbol striding: automata that consume symbol *pairs*.
+
+One of the improvements the paper proposes for the spatial platforms is
+multi-symbol processing: recompile the automata over an alphabet of
+symbol pairs so the device consumes two genome bases per clock, halving
+kernel cycles at the price of larger character classes and more states.
+This module implements the transformation for real (the timing models
+price it; this executes it), for the mismatch-counting grid automata.
+
+Construction
+------------
+The pair alphabet has ``5 x 5 = 25`` codes (``pair = first * 5 +
+second``). Because the stream is cut into pairs at fixed boundaries, a
+site can start at either parity, so a guide compiles into **two phase
+automata**: phase 0 aligns the pattern to a pair boundary; phase 1
+prepends a wildcard position (the site's first base is the *second*
+element of its first pair). Odd pattern-plus-phase lengths likewise get
+a trailing wildcard. Wildcard positions match anything and never spend
+budget.
+
+Each grid step now consumes a pair, so a mismatch row can advance by 0,
+1 or 2 mismatches per step, with pair classes ``match x match``,
+``match x mismatch | mismatch x match`` (and their single-sided
+variants when only one of the two positions is budgeted) and
+``mismatch x mismatch``.
+
+Equivalence with the 1-stride automaton — identical reported genomic
+spans on every input, both parities, odd and even stream lengths — is
+pinned by property tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterator
+
+import numpy as np
+
+from .. import alphabet
+from ..errors import AutomatonError, CompileError
+from .charclass import CharClass
+
+#: number of pair-symbol codes.
+PAIR_CODES = alphabet.NUM_CODES * alphabet.NUM_CODES
+
+_FULL_PAIR_MASK = (1 << PAIR_CODES) - 1
+
+
+@dataclass(frozen=True, order=True)
+class PairClass:
+    """An immutable set of symbol-pair codes (25-bit mask)."""
+
+    mask: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.mask <= _FULL_PAIR_MASK:
+            raise AutomatonError("pair-class mask out of range")
+
+    @classmethod
+    def from_classes(cls, first: CharClass, second: CharClass) -> "PairClass":
+        """The product class: first symbol in *first*, second in *second*."""
+        mask = 0
+        for c1 in range(alphabet.NUM_CODES):
+            if not (first.mask >> c1) & 1:
+                continue
+            for c2 in range(alphabet.NUM_CODES):
+                if (second.mask >> c2) & 1:
+                    mask |= 1 << (c1 * alphabet.NUM_CODES + c2)
+        return cls(mask)
+
+    def __or__(self, other: "PairClass") -> "PairClass":
+        return PairClass(self.mask | other.mask)
+
+    def __contains__(self, pair_code: int) -> bool:
+        return bool((self.mask >> int(pair_code)) & 1)
+
+    def __bool__(self) -> bool:
+        return self.mask != 0
+
+    def cardinality(self) -> int:
+        return bin(self.mask).count("1")
+
+
+@dataclass(frozen=True)
+class StridedReport:
+    """Accept label of a strided automaton row.
+
+    ``site_length`` is the true genomic site length; ``pad_suffix`` is 1
+    when the final pair's second position was a wildcard pad, in which
+    case the site ends one symbol before the consumed pair region.
+    """
+
+    label: Hashable
+    site_length: int
+    pad_suffix: int
+
+
+class StridedAutomaton:
+    """A homogeneous automaton over the pair alphabet (2 symbols/cycle)."""
+
+    def __init__(self) -> None:
+        self._classes: list[PairClass] = []
+        self._starts: list[bool] = []
+        self._reports: list[tuple[StridedReport, ...]] = []
+        self._successors: list[list[int]] = []
+
+    def add_state(
+        self,
+        pair_class: PairClass,
+        *,
+        all_input_start: bool = False,
+        reports: tuple[StridedReport, ...] = (),
+    ) -> int:
+        if not pair_class:
+            raise AutomatonError("a strided state must match at least one pair")
+        self._classes.append(pair_class)
+        self._starts.append(all_input_start)
+        self._reports.append(tuple(reports))
+        self._successors.append([])
+        return len(self._classes) - 1
+
+    def connect(self, source: int, target: int) -> None:
+        for state in (source, target):
+            if not 0 <= state < len(self._classes):
+                raise AutomatonError(f"unknown strided state {state}")
+        if target not in self._successors[source]:
+            self._successors[source].append(target)
+
+    @property
+    def num_states(self) -> int:
+        return len(self._classes)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(outs) for outs in self._successors)
+
+    def merge(self, other: "StridedAutomaton") -> None:
+        """Disjoint union (for multi-guide / dual-phase networks)."""
+        offset = self.num_states
+        for state in range(other.num_states):
+            self._classes.append(other._classes[state])
+            self._starts.append(other._starts[state])
+            self._reports.append(other._reports[state])
+            self._successors.append(
+                [target + offset for target in other._successors[state]]
+            )
+
+    def run_pairs(self, pair_codes: np.ndarray) -> Iterator[tuple[int, StridedReport]]:
+        """Consume pair codes; yield ``(pair_index, report)`` activations."""
+        n = self.num_states
+        driven = np.array(self._starts, dtype=bool)
+        start_mask = driven.copy()
+        enabled_for = [
+            np.array([(cls.mask >> code) & 1 for cls in self._classes], dtype=bool)
+            for code in range(PAIR_CODES)
+        ]
+        for index, code in enumerate(np.asarray(pair_codes, dtype=np.int64)):
+            matched = driven & enabled_for[int(code)]
+            matched_ids = np.nonzero(matched)[0]
+            for state in matched_ids.tolist():
+                for report in self._reports[state]:
+                    yield index, report
+            driven = start_mask.copy()
+            for state in matched_ids.tolist():
+                for target in self._successors[state]:
+                    driven[target] = True
+
+
+def pack_pairs(codes: np.ndarray) -> np.ndarray:
+    """Pack a symbol-code stream into pair codes (N-padded to even length)."""
+    codes = np.asarray(codes, dtype=np.uint8)
+    if codes.size % 2:
+        codes = np.concatenate([codes, np.array([alphabet.CODE_N], dtype=np.uint8)])
+    return codes[0::2].astype(np.int64) * alphabet.NUM_CODES + codes[1::2]
+
+
+@dataclass(frozen=True)
+class _Position:
+    """One pattern slot after phase/pad extension."""
+
+    match: CharClass
+    mismatch: CharClass  #: empty when the slot cannot spend budget
+
+    @classmethod
+    def wildcard(cls) -> "_Position":
+        return cls(CharClass.any(), CharClass.empty())
+
+    @classmethod
+    def exact(cls, symbol: str) -> "_Position":
+        return cls(CharClass.from_iupac(symbol), CharClass.empty())
+
+    @classmethod
+    def budgeted(cls, symbol: str) -> "_Position":
+        return cls(CharClass.from_iupac(symbol), CharClass.mismatch_of(symbol))
+
+
+def _extended_positions(segments, phase: int) -> tuple[list[_Position], int]:
+    """Flatten segments into slots, pad to pair alignment; return pad_suffix."""
+    positions: list[_Position] = []
+    if phase == 1:
+        positions.append(_Position.wildcard())
+    for segment in segments:
+        for symbol in segment.text:
+            if segment.budgeted:
+                positions.append(_Position.budgeted(symbol))
+            else:
+                positions.append(_Position.exact(symbol))
+    pad_suffix = 0
+    if len(positions) % 2:
+        positions.append(_Position.wildcard())
+        pad_suffix = 1
+    return positions, pad_suffix
+
+
+def build_strided_hamming(
+    segments,
+    max_mismatches: int,
+    *,
+    label_factory,
+) -> StridedAutomaton:
+    """Compile a mismatch grid over the pair alphabet (both phases).
+
+    ``segments`` is the same list of
+    :class:`repro.core.hamming.PatternSegment` the 1-stride compiler
+    takes; ``label_factory(mismatches)`` builds the row's base label.
+    Returns one automaton containing the phase-0 and phase-1 networks.
+    """
+    if max_mismatches < 0:
+        raise CompileError("mismatch budget must be non-negative")
+    site_length = sum(len(segment.text) for segment in segments)
+    combined = StridedAutomaton()
+    for phase in (0, 1):
+        combined.merge(_build_phase(segments, max_mismatches, phase, site_length, label_factory))
+    return combined
+
+
+def _build_phase(
+    segments, max_mismatches: int, phase: int, site_length: int, label_factory
+) -> StridedAutomaton:
+    positions, pad_suffix = _extended_positions(segments, phase)
+    steps = len(positions) // 2
+    automaton = StridedAutomaton()
+    # frontier[j] -> state id for "consumed this many pairs with j mismatches";
+    # the entry frontier is virtual (states are targets of pair steps).
+    # For each pair step, each (previous row j, delta) pair produces a
+    # class; rows at the same (step, j') merge their classes into one
+    # state per (step, j', class)? One state per (step, j') with the OR
+    # of all incoming classes would be wrong (it must pair with the
+    # right predecessor) — so states are per (step, j_target, class).
+    frontier: dict[int, list[int]] = {0: []}  # row -> state ids at current step
+    for step in range(steps):
+        first, second = positions[2 * step], positions[2 * step + 1]
+        moves: list[tuple[int, PairClass]] = []
+        for delta_a, class_a in ((0, first.match), (1, first.mismatch)):
+            if not class_a:
+                continue
+            for delta_b, class_b in ((0, second.match), (1, second.mismatch)):
+                if not class_b:
+                    continue
+                moves.append((delta_a + delta_b, PairClass.from_classes(class_a, class_b)))
+        next_frontier: dict[int, list[int]] = {}
+        for row, sources in frontier.items():
+            for delta, pair_class in moves:
+                target_row = row + delta
+                if target_row > max_mismatches:
+                    continue
+                state = automaton.add_state(
+                    pair_class, all_input_start=(step == 0)
+                )
+                if step > 0:
+                    for source in sources:
+                        automaton.connect(source, state)
+                next_frontier.setdefault(target_row, []).append(state)
+        frontier = next_frontier
+    # Attach reports to the last step's states, per arrival row.
+    for row, states in frontier.items():
+        report = StridedReport(
+            label=label_factory(row), site_length=site_length, pad_suffix=pad_suffix
+        )
+        for state in states:
+            automaton._reports[state] = automaton._reports[state] + (report,)
+    return automaton
+
+
+def strided_search(
+    codes: np.ndarray, automaton: StridedAutomaton
+) -> list[tuple[int, Hashable]]:
+    """Run a strided automaton over a symbol stream.
+
+    Returns ``(position, label)`` pairs in *symbol* coordinates, where
+    ``position`` is the index of the site's last symbol — identical to
+    the 1-stride engines' report convention. Accepts completed only by
+    the N-padding beyond the true stream end are discarded.
+    """
+    codes = np.asarray(codes, dtype=np.uint8)
+    pair_codes = pack_pairs(codes)
+    seen: set[tuple[int, Hashable]] = set()
+    for pair_index, report in automaton.run_pairs(pair_codes):
+        end = 2 * (pair_index + 1) - report.pad_suffix
+        if end > codes.size:
+            continue
+        # Several same-row states can fire on the same cycle (the two
+        # one-mismatch pair classes are distinct states); one report.
+        seen.add((end - 1, report.label))
+    return sorted(seen, key=lambda item: item[0])
+
+
+def strided_state_count(segments, max_mismatches: int) -> int:
+    """Predicted state count of the dual-phase strided automaton."""
+    total = 0
+    for phase in (0, 1):
+        positions, _ = _extended_positions(segments, phase)
+        frontier = {0: 1}
+        for step in range(len(positions) // 2):
+            first, second = positions[2 * step], positions[2 * step + 1]
+            deltas = [
+                da + db
+                for da, ca in ((0, first.match), (1, first.mismatch))
+                if ca
+                for db, cb in ((0, second.match), (1, second.mismatch))
+                if cb
+            ]
+            next_frontier: dict[int, int] = {}
+            for row in frontier:
+                for delta in deltas:
+                    if row + delta <= max_mismatches:
+                        next_frontier[row + delta] = next_frontier.get(row + delta, 0) + 1
+                        total += 1
+            frontier = next_frontier
+    return total

@@ -1,0 +1,13 @@
+"""Baseline tools the paper compares against."""
+
+from .base import Baseline, available_baselines, get_baseline
+from .cas_offinder import CasOffinderBaseline
+from .casot import CasotBaseline
+
+__all__ = [
+    "Baseline",
+    "available_baselines",
+    "get_baseline",
+    "CasOffinderBaseline",
+    "CasotBaseline",
+]

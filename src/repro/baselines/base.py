@@ -1,0 +1,61 @@
+"""Baseline tool abstraction.
+
+Baselines differ from :class:`repro.engines.base.Engine` in one
+essential way: they do not execute the compiled automata — each
+reimplements its original tool's own algorithm end to end (brute-force
+position comparison for Cas-OFFinder, seed-and-extend for CasOT) and is
+required by the agreement tests to find the *same hits* the automata
+do. They reuse :class:`~repro.engines.base.EngineResult` so the
+benchmark harness can tabulate all six tools uniformly.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..core.compiler import SearchBudget
+from ..engines.base import EngineResult
+from ..errors import EngineError
+from ..genome.sequence import Sequence
+from ..grna.library import GuideLibrary
+
+
+class Baseline(abc.ABC):
+    """Base class for reimplemented comparison tools."""
+
+    name: str = ""
+
+    @abc.abstractmethod
+    def search(
+        self, genome: Sequence, library: GuideLibrary, budget: SearchBudget
+    ) -> EngineResult:
+        """Run the tool's own algorithm and return hits + modeled timing."""
+
+
+_REGISTRY: dict[str, type[Baseline]] = {}
+
+
+def register_baseline(baseline_class: type[Baseline]) -> type[Baseline]:
+    """Class decorator adding a baseline to the registry."""
+    if not baseline_class.name:
+        raise EngineError(f"{baseline_class.__name__} must define a name")
+    if baseline_class.name in _REGISTRY:
+        raise EngineError(f"duplicate baseline name {baseline_class.name!r}")
+    _REGISTRY[baseline_class.name] = baseline_class
+    return baseline_class
+
+
+def available_baselines() -> list[str]:
+    """Registered baseline names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_baseline(name: str, **kwargs) -> Baseline:
+    """Instantiate a registered baseline by name."""
+    try:
+        baseline_class = _REGISTRY[name]
+    except KeyError as exc:
+        raise EngineError(
+            f"unknown baseline {name!r}; available: {available_baselines()}"
+        ) from exc
+    return baseline_class(**kwargs)

@@ -1,0 +1,182 @@
+"""Command-line interface.
+
+Mirrors the original tools' usage: a reference FASTA, a guide table,
+budgets, and an engine choice; emits hits as BED-like rows plus a
+summary with the platform's modeled timing. A second subcommand runs
+the cross-platform evaluation harness on a synthetic workload.
+
+Examples::
+
+    repro-offtarget search ref.fa guides.txt --mismatches 3 --engine fpga
+    repro-offtarget evaluate --guides 10 --mismatches 3
+    repro-offtarget synthesize --length 2000000 --out ref.fa
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis.speedup import speedup_matrix
+from .analysis.tables import render_table
+from .analysis.workloads import StandardWorkload, evaluate_platforms
+from .core.search import OffTargetSearch, SearchBudget
+from .errors import ReproError
+from .genome.fasta import read_fasta, write_fasta
+from .genome.synthetic import random_genome
+from .grna.library import parse_guide_table
+
+
+def _add_budget_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--mismatches", type=int, default=3, help="mismatch budget")
+    parser.add_argument("--rna-bulges", type=int, default=0, help="RNA bulge budget")
+    parser.add_argument("--dna-bulges", type=int, default=0, help="DNA bulge budget")
+
+
+def _budget_from(args: argparse.Namespace) -> SearchBudget:
+    return SearchBudget(
+        mismatches=args.mismatches,
+        rna_bulges=args.rna_bulges,
+        dna_bulges=args.dna_bulges,
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the three-subcommand argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-offtarget",
+        description="Automata-based gRNA off-target search (HPCA'18 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    search = commands.add_parser("search", help="search a reference for off-targets")
+    search.add_argument("reference", help="reference FASTA path")
+    search.add_argument("guides", help="guide table path (name  protospacer)")
+    search.add_argument("--pam", default="NGG", help="PAM name or IUPAC pattern")
+    search.add_argument(
+        "--engine",
+        default="hyperscan",
+        help="engine or baseline: cpu-nfa, hyperscan, infant2, fpga, ap, cas-offinder, casot",
+    )
+    search.add_argument("--out", help="write hits to this file instead of stdout")
+    search.add_argument(
+        "--format", choices=("bed", "tsv"), default="bed", help="output format"
+    )
+    search.add_argument(
+        "--chunked",
+        action="store_true",
+        help="stream each sequence in bounded-memory chunks",
+    )
+    search.add_argument(
+        "--chunk-length", type=int, default=1 << 20, help="chunk size for --chunked"
+    )
+    _add_budget_arguments(search)
+
+    evaluate = commands.add_parser(
+        "evaluate", help="cross-platform modeled-time comparison on a synthetic workload"
+    )
+    evaluate.add_argument("--guides", type=int, default=10, help="guide count")
+    evaluate.add_argument(
+        "--functional-length", type=int, default=2_000_000, help="functional genome bp"
+    )
+    evaluate.add_argument(
+        "--modeled-length", type=int, default=3_100_000_000, help="modeled genome bp"
+    )
+    evaluate.add_argument("--seed", type=int, default=20180224)
+    _add_budget_arguments(evaluate)
+
+    synthesize = commands.add_parser("synthesize", help="generate a synthetic reference")
+    synthesize.add_argument("--length", type=int, default=1_000_000)
+    synthesize.add_argument("--seed", type=int, default=0)
+    synthesize.add_argument("--gc", type=float, default=0.41)
+    synthesize.add_argument("--name", default="chrSyn1")
+    synthesize.add_argument("--out", required=True, help="output FASTA path")
+    return parser
+
+
+def _command_search(args: argparse.Namespace) -> int:
+    from .analysis.report_io import write_bed, write_tsv
+    from .core.streaming import StreamingSearch
+
+    records = read_fasta(args.reference)
+    library = parse_guide_table(args.guides, pam=args.pam)
+    budget = _budget_from(args)
+    hits = []
+    if args.chunked:
+        streaming = StreamingSearch(library, budget, chunk_length=args.chunk_length)
+        hits = streaming.search_many(record.sequence for record in records)
+        print(f"# streamed {len(records)} sequence(s), {len(hits)} hits", file=sys.stderr)
+    else:
+        search = OffTargetSearch(library, budget)
+        for record in records:
+            report = search.run(record.sequence, engine=args.engine)
+            hits.extend(report.hits)
+            print(f"# {report.summary()}", file=sys.stderr)
+    writer = write_bed if args.format == "bed" else write_tsv
+    if args.out:
+        count = writer(hits, args.out)
+        print(f"# wrote {count} hits to {args.out}", file=sys.stderr)
+    else:
+        writer(hits, sys.stdout)
+    print(f"# total hits: {len(hits)}", file=sys.stderr)
+    return 0
+
+
+def _command_evaluate(args: argparse.Namespace) -> int:
+    workload = StandardWorkload(
+        name="cli",
+        modeled_genome_length=args.modeled_length,
+        functional_genome_length=args.functional_length,
+        num_guides=args.guides,
+        budget=_budget_from(args),
+        seed=args.seed,
+    )
+    tools = ("hyperscan", "infant2", "fpga", "ap", "casot") + (
+        () if workload.budget.has_bulges else ("cas-offinder",)
+    )
+    results = evaluate_platforms(workload, tools=tools)
+    rows = [
+        [
+            record.tool,
+            f"{record.modeled_total:.1f}",
+            f"{record.modeled_kernel:.1f}",
+            record.num_hits,
+        ]
+        for record in results
+    ]
+    print(render_table(["tool", "modeled total s", "modeled kernel s", "hits"], rows))
+    baselines = [tool for tool in ("cas-offinder", "casot") if tool in tools]
+    matrix = speedup_matrix(results, baselines)
+    rows = [
+        [tool, *(f"{matrix[tool][baseline]:.1f}x" for baseline in baselines)]
+        for tool in matrix
+    ]
+    print()
+    print(render_table(["tool", *[f"vs {b}" for b in baselines]], rows, title="Speedups"))
+    return 0
+
+
+def _command_synthesize(args: argparse.Namespace) -> int:
+    genome = random_genome(args.length, seed=args.seed, gc_content=args.gc, name=args.name)
+    write_fasta([genome], args.out)
+    print(f"wrote {args.length:,} bp to {args.out}", file=sys.stderr)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "search": _command_search,
+        "evaluate": _command_evaluate,
+        "synthesize": _command_synthesize,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,168 @@
+"""The mismatch-and-bulge search automaton.
+
+Extends the Hamming grid of :mod:`repro.core.hamming` with bulge rows,
+matching the search modes of CasOT (the only baseline that handles
+indels):
+
+* an **RNA bulge** leaves one guide base unpaired — the genomic site is
+  one base *shorter*. In automaton terms: skip a pattern position
+  without consuming a genome symbol (an epsilon edge).
+* a **DNA bulge** leaves one genome base unpaired — the site is one
+  base *longer*. In automaton terms: consume one genome symbol (any
+  base) without advancing the pattern.
+
+Bulges are confined to the interior of the protospacer (a bulge at
+either end is indistinguishable from a shifted or shortened site, so
+tools exclude them), never occur in the PAM, and draw on their own
+budgets, separate from the mismatch budget.
+
+The state space is the grid ``(i, j, r, d)``: pattern position,
+mismatches, RNA bulges, DNA bulges. Rows with distinct ``(j, r, d)``
+end in distinct accept states, so a report still identifies its full
+edit profile with no counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..automata.charclass import CharClass
+from ..automata.nfa import Nfa
+from ..errors import CompileError
+from .hamming import PatternSegment
+from .labels import MatchLabel
+
+
+@dataclass(frozen=True)
+class BulgeBudget:
+    """Separate budgets for the two bulge kinds."""
+
+    rna: int = 0
+    dna: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rna < 0 or self.dna < 0:
+            raise CompileError("bulge budgets must be non-negative")
+
+    @property
+    def total(self) -> int:
+        return self.rna + self.dna
+
+
+def build_bulge_nfa(
+    segments: list[PatternSegment],
+    max_mismatches: int,
+    bulges: BulgeBudget,
+    *,
+    guide_name: str,
+    strand: str,
+) -> Nfa:
+    """Compile *segments* into a mismatch+bulge search NFA.
+
+    Exactly one segment must be budgeted (the protospacer); bulge and
+    mismatch budgets apply inside it only. Accept labels carry the full
+    ``(mismatches, rna_bulges, dna_bulges)`` profile and the consumed
+    genome length (pattern length + DNA bulges − RNA bulges).
+    """
+    if max_mismatches < 0:
+        raise CompileError("mismatch budget must be non-negative")
+    if strand not in ("+", "-"):
+        raise CompileError(f"strand must be '+' or '-', got {strand!r}")
+    budgeted_count = sum(1 for segment in segments if segment.budgeted)
+    if budgeted_count != 1:
+        raise CompileError(
+            f"bulge compilation requires exactly one budgeted segment, got {budgeted_count}"
+        )
+    total_length = sum(len(segment.text) for segment in segments)
+
+    nfa = Nfa()
+    start = nfa.add_state("start")
+    nfa.mark_start(start, all_input=True)
+    # frontier: (j, r, d) -> state id.
+    frontier: dict[tuple[int, int, int], int] = {(0, 0, 0): start}
+
+    for segment in segments:
+        if segment.budgeted:
+            frontier = _build_grid(
+                nfa, segment.text, frontier, max_mismatches, bulges
+            )
+        else:
+            for symbol in segment.text:
+                symbol_class = CharClass.from_iupac(symbol)
+                next_frontier: dict[tuple[int, int, int], int] = {}
+                for key, state in frontier.items():
+                    target = nfa.add_state(f"x{key}")
+                    nfa.add_transition(state, symbol_class, target)
+                    next_frontier[key] = target
+                frontier = next_frontier
+
+    for (j, r, d), state in sorted(frontier.items()):
+        nfa.mark_accept(
+            state,
+            MatchLabel(
+                guide_name=guide_name,
+                strand=strand,
+                mismatches=j,
+                rna_bulges=r,
+                dna_bulges=d,
+                consumed=total_length + d - r,
+            ),
+        )
+    return nfa
+
+
+def _build_grid(
+    nfa: Nfa,
+    pattern: str,
+    entry: dict[tuple[int, int, int], int],
+    max_mismatches: int,
+    bulges: BulgeBudget,
+) -> dict[tuple[int, int, int], int]:
+    """Lay down the (i, j, r, d) grid; return the exit frontier."""
+    m = len(pattern)
+    if m < 1:
+        raise CompileError("budgeted segment must be non-empty")
+    # layers[i][(j, r, d)] -> state id; layer 0 is the entry frontier.
+    layer: dict[tuple[int, int, int], int] = dict(entry)
+
+    def interior_skip(i: int) -> bool:
+        # RNA bulge skips pattern position i; termini excluded.
+        return 0 < i < m - 1
+
+    def interior_insert(i: int) -> bool:
+        # DNA bulge inserts between positions i-1 and i; termini excluded.
+        return 1 <= i <= m - 1
+
+    for i in range(m):
+        match_class = CharClass.from_iupac(pattern[i])
+        mismatch_class = CharClass.mismatch_of(pattern[i])
+        # DNA bulges within the current layer: ascending d so each new
+        # state can itself bulge again up to the budget.
+        if interior_insert(i) and bulges.dna:
+            for d in range(bulges.dna):
+                for (j, r, dd), state in list(layer.items()):
+                    if dd != d:
+                        continue
+                    key = (j, r, d + 1)
+                    target = layer.get(key)
+                    if target is None:
+                        target = nfa.add_state(f"i{i}b{key}")
+                        layer[key] = target
+                    nfa.add_transition(state, CharClass.any(), target)
+        next_layer: dict[tuple[int, int, int], int] = {}
+
+        def state_for(key: tuple[int, int, int]) -> int:
+            state = next_layer.get(key)
+            if state is None:
+                state = nfa.add_state(f"i{i + 1}s{key}")
+                next_layer[key] = state
+            return state
+
+        for (j, r, d), state in layer.items():
+            nfa.add_transition(state, match_class, state_for((j, r, d)))
+            if j < max_mismatches and mismatch_class:
+                nfa.add_transition(state, mismatch_class, state_for((j + 1, r, d)))
+            if r < bulges.rna and interior_skip(i):
+                nfa.add_epsilon(state, state_for((j, r + 1, d)))
+        layer = next_layer
+    return layer

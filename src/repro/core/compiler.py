@@ -1,0 +1,166 @@
+"""Guide → search-automaton compilation.
+
+A guide compiles into **two** automata — one for its forward pattern
+and one for its reverse-complement pattern — so that a single streaming
+pass over the + strand of the reference covers both strands, which is
+the property that makes the automata formulation a one-pass algorithm.
+
+A library compiles into the disjoint union of all its guides' automata:
+one network, streamed once, reporting for every guide simultaneously.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Iterator
+
+from .. import alphabet
+from ..automata import ops
+from ..automata.dfa import Dfa, determinize, minimize
+from ..automata.homogeneous import HomogeneousAutomaton, nfa_to_homogeneous
+from ..automata.nfa import Nfa
+from ..errors import CompileError
+from ..grna.guide import Guide
+from ..grna.library import GuideLibrary
+from .bulge import BulgeBudget, build_bulge_nfa
+from .hamming import PatternSegment, build_hamming_nfa
+
+
+@dataclass(frozen=True)
+class SearchBudget:
+    """How different an off-target site may be from the guide."""
+
+    mismatches: int = 3
+    rna_bulges: int = 0
+    dna_bulges: int = 0
+
+    def __post_init__(self) -> None:
+        if min(self.mismatches, self.rna_bulges, self.dna_bulges) < 0:
+            raise CompileError("budgets must be non-negative")
+
+    @property
+    def has_bulges(self) -> bool:
+        return self.rna_bulges > 0 or self.dna_bulges > 0
+
+    @property
+    def bulges(self) -> BulgeBudget:
+        return BulgeBudget(rna=self.rna_bulges, dna=self.dna_bulges)
+
+
+def _segments(guide: Guide, *, reverse: bool) -> list[PatternSegment]:
+    """Pattern segments for one strand of *guide*."""
+    protospacer = PatternSegment(guide.protospacer, budgeted=True)
+    pam = PatternSegment(guide.pam.pattern, budgeted=False)
+    if guide.pam.side == "3prime":
+        forward = [protospacer, pam]
+    else:
+        forward = [pam, protospacer]
+    if not reverse:
+        return forward
+    return [
+        PatternSegment(alphabet.reverse_complement(segment.text), budgeted=segment.budgeted)
+        for segment in reversed(forward)
+    ]
+
+
+def _compile_strand(guide: Guide, budget: SearchBudget, *, strand: str) -> Nfa:
+    segments = _segments(guide, reverse=strand == "-")
+    if budget.has_bulges:
+        return build_bulge_nfa(
+            segments,
+            budget.mismatches,
+            budget.bulges,
+            guide_name=guide.name,
+            strand=strand,
+        )
+    return build_hamming_nfa(
+        segments, budget.mismatches, guide_name=guide.name, strand=strand
+    )
+
+
+@dataclass(frozen=True)
+class CompiledGuide:
+    """One guide's pair of strand automata plus derived machine forms."""
+
+    guide: Guide
+    budget: SearchBudget
+    forward: Nfa = field(repr=False)
+    reverse: Nfa = field(repr=False)
+
+    @cached_property
+    def combined(self) -> Nfa:
+        """Both strands as one NFA."""
+        return ops.union([self.forward, self.reverse])
+
+    @cached_property
+    def homogeneous(self) -> HomogeneousAutomaton:
+        """Both strands in STE (ANML) form."""
+        return nfa_to_homogeneous(self.combined)
+
+    @cached_property
+    def dfa(self) -> Dfa:
+        """Both strands determinised and minimised (HyperScan-style)."""
+        return minimize(determinize(self.combined.without_epsilon()))
+
+    @property
+    def num_states(self) -> int:
+        return self.combined.num_states
+
+    @property
+    def num_stes(self) -> int:
+        return self.homogeneous.num_stes
+
+
+@dataclass(frozen=True)
+class CompiledLibrary:
+    """A whole guide library compiled into one multi-pattern network."""
+
+    library: GuideLibrary
+    budget: SearchBudget
+    guides: tuple[CompiledGuide, ...]
+
+    def __iter__(self) -> Iterator[CompiledGuide]:
+        return iter(self.guides)
+
+    def __len__(self) -> int:
+        return len(self.guides)
+
+    @cached_property
+    def combined_nfa(self) -> Nfa:
+        """Every guide, both strands, as one NFA."""
+        return ops.union([compiled.combined for compiled in self.guides])
+
+    @cached_property
+    def homogeneous(self) -> HomogeneousAutomaton:
+        """The full network in STE form — what a spatial platform loads."""
+        return ops.union_homogeneous([compiled.homogeneous for compiled in self.guides])
+
+    @property
+    def num_stes(self) -> int:
+        return sum(compiled.num_stes for compiled in self.guides)
+
+    def stats(self) -> ops.AutomatonStats:
+        """Structural statistics of the full network."""
+        return ops.stats(self.homogeneous)
+
+
+def compile_guide(guide: Guide, budget: SearchBudget) -> CompiledGuide:
+    """Compile one guide into its strand-pair automaton."""
+    return CompiledGuide(
+        guide=guide,
+        budget=budget,
+        forward=_compile_strand(guide, budget, strand="+"),
+        reverse=_compile_strand(guide, budget, strand="-"),
+    )
+
+
+def compile_library(library: GuideLibrary, budget: SearchBudget) -> CompiledLibrary:
+    """Compile every guide in *library* under one shared *budget*."""
+    if len(library) == 0:
+        raise CompileError("cannot compile an empty guide library")
+    return CompiledLibrary(
+        library=library,
+        budget=budget,
+        guides=tuple(compile_guide(guide, budget) for guide in library),
+    )

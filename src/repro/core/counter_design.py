@@ -1,0 +1,171 @@
+"""The counter-based mismatch design — the row design's rival.
+
+The paper's row design (:mod:`repro.core.hamming`) spends STEs on one
+row per mismatch count; automata-processing folklore offers an
+alternative that uses the AP's **counter elements** instead: a single
+match/mismatch chain whose mismatch STEs pulse a counter, with a
+boolean gate suppressing the report once the counter passes the budget.
+This module implements that design on the full ANML element model
+(:mod:`repro.automata.elements`) so the trade-off can be measured
+rather than asserted:
+
+* **anchored mode** — one chain, one counter: verifies a single
+  candidate window (the shape a two-stage seed-filter architecture
+  needs). Resources are O(site length), *independent of the budget* —
+  this is where counters win.
+* **streaming mode** — unanchored genome search. Overlapping windows
+  each need their own live count, so the design must be replicated
+  into ``site_length`` phase instances, each gated by a ring of clock
+  STEs and owning a private counter: O(site length²) STEs. This is why
+  the paper's streaming search uses rows, not counters — and the
+  counter design also loses the per-row mismatch-count labelling
+  (reports only say "within budget").
+
+Timing scheme (streaming): phase ``w``'s chain head is enabled by ring
+STE ``w-1`` (and START_OF_DATA for the very first window); the chain
+head's own output doubles as the counter reset, so the reset pulse
+arrives in the same cycle as the window's first mismatch pulse —
+reset-before-count semantics make that safe — while the *previous*
+window's accept gate (evaluated one cycle earlier) still sees its own
+final count.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from ..automata.charclass import CharClass
+from ..automata.elements import CounterMode, ElementNetwork, GateKind
+from ..automata.homogeneous import StartMode
+from ..errors import CompileError
+from .hamming import PatternSegment
+
+
+def _positions(segments: list[PatternSegment]) -> list[tuple[CharClass, CharClass]]:
+    """Flatten segments into (match, mismatch) class pairs per position."""
+    pairs: list[tuple[CharClass, CharClass]] = []
+    for segment in segments:
+        for symbol in segment.text:
+            match = CharClass.from_iupac(symbol)
+            mismatch = (
+                CharClass.mismatch_of(symbol) if segment.budgeted else CharClass.empty()
+            )
+            pairs.append((match, mismatch))
+    if not pairs:
+        raise CompileError("cannot compile an empty pattern")
+    return pairs
+
+
+def build_counter_design(
+    segments: list[PatternSegment],
+    max_mismatches: int,
+    *,
+    label: Hashable,
+    streaming: bool = True,
+) -> ElementNetwork:
+    """Compile the counter-based design for one strand pattern.
+
+    ``streaming=True`` builds the phase-replicated unanchored search
+    network; ``streaming=False`` builds the single anchored verifier
+    (window at stream position 0). Reports carry *label* only — the
+    counter design cannot tell 0 mismatches from ``max_mismatches``.
+    """
+    if max_mismatches < 0:
+        raise CompileError("mismatch budget must be non-negative")
+    positions = _positions(segments)
+    length = len(positions)
+    network = ElementNetwork()
+
+    ring: list[int] = []
+    if streaming:
+        for index in range(length):
+            ring.append(
+                network.add_ste(
+                    CharClass.any(),
+                    start=StartMode.START_OF_DATA if index == 0 else StartMode.NONE,
+                )
+            )
+        for index in range(length):
+            network.connect(ring[index], ring[(index + 1) % length])
+
+    phases = range(length) if streaming else range(1)
+    for phase in phases:
+        _build_phase_instance(
+            network,
+            positions,
+            max_mismatches,
+            label=label,
+            ring_enable=ring[(phase - 1) % length] if streaming else None,
+            first_window_at_start=(phase == 0),
+        )
+    return network
+
+
+def _build_phase_instance(
+    network: ElementNetwork,
+    positions,
+    max_mismatches: int,
+    *,
+    label: Hashable,
+    ring_enable: int | None,
+    first_window_at_start: bool,
+) -> None:
+    counter = network.add_counter(max_mismatches + 1, mode=CounterMode.LATCH)
+    previous: list[int] = []
+    head_stes: list[int] = []
+    for index, (match_class, mismatch_class) in enumerate(positions):
+        start = (
+            StartMode.START_OF_DATA
+            if index == 0 and first_window_at_start
+            else StartMode.NONE
+        )
+        current: list[int] = []
+        match_ste = network.add_ste(match_class, start=start)
+        current.append(match_ste)
+        if mismatch_class:
+            mismatch_ste = network.add_ste(mismatch_class, start=start)
+            current.append(mismatch_ste)
+            network.connect_count(mismatch_ste, counter)
+        if index == 0:
+            head_stes = list(current)
+            if ring_enable is not None:
+                for ste in current:
+                    network.connect(ring_enable, ste)
+        for source in previous:
+            for target in current:
+                network.connect(source, target)
+        previous = current
+    # The chain head's activation marks a fresh window: reset the counter
+    # (same-cycle reset precedes the head's own mismatch pulse).
+    for ste in head_stes:
+        network.connect_reset(ste, counter)
+    # Accept = chain completed AND counter below target.
+    chain_end = network.add_gate(GateKind.OR)
+    for source in previous:
+        network.connect(source, chain_end)
+    in_budget = network.add_gate(GateKind.NOT)
+    network.connect(counter, in_budget)
+    accept = network.add_gate(GateKind.AND)
+    network.connect(chain_end, accept)
+    network.connect(in_budget, accept)
+    network.mark_report(accept, label)
+
+
+def counter_design_resources(
+    site_length: int, budgeted_length: int, *, streaming: bool = True
+) -> dict[str, int]:
+    """Element counts of the counter design (budget-independent).
+
+    Compare against :func:`repro.platforms.resources.estimate_stes` for
+    the row design: rows scale with the budget, counters with the
+    square of the site length (streaming) or linearly (anchored).
+    """
+    if budgeted_length > site_length or min(site_length, budgeted_length) < 0:
+        raise CompileError("invalid lengths")
+    chain = site_length + budgeted_length  # match STEs + mismatch STEs
+    instances = site_length if streaming else 1
+    return {
+        "stes": instances * chain + (site_length if streaming else 0),
+        "counters": instances,
+        "gates": instances * 3,
+    }

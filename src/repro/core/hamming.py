@@ -1,0 +1,128 @@
+"""The mismatch-counting (Hamming) search automaton.
+
+This is the paper's base design: a grid of states ``(i, j)`` — "matched
+``i`` pattern positions with ``j`` of them substituted" — laid out as
+one row per mismatch count. Row ``j`` ends in its own accept state, so
+a report identifies the mismatch count for free, with no counting
+hardware.
+
+Patterns are given as *segments*: a budgeted segment (the protospacer,
+where substitutions spend the mismatch budget) or an exact segment (the
+PAM, matched per its IUPAC classes and never charged). This one builder
+therefore covers 3'-PAM guides (protospacer then PAM), 5'-PAM guides
+(PAM then protospacer), and the reverse-complement patterns where the
+PAM segment comes first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import alphabet
+from ..automata.charclass import CharClass
+from ..automata.nfa import Nfa
+from ..errors import CompileError
+from .labels import MatchLabel
+
+
+@dataclass(frozen=True)
+class PatternSegment:
+    """One stretch of the search pattern.
+
+    ``budgeted`` segments consume the mismatch budget on substitutions;
+    exact segments must match their IUPAC classes outright.
+    """
+
+    text: str
+    budgeted: bool
+
+    def __post_init__(self) -> None:
+        text = alphabet.validate_iupac(self.text, what="pattern segment")
+        object.__setattr__(self, "text", text)
+        if not text:
+            raise CompileError("pattern segments must be non-empty")
+
+
+def build_hamming_nfa(
+    segments: list[PatternSegment],
+    max_mismatches: int,
+    *,
+    guide_name: str,
+    strand: str,
+) -> Nfa:
+    """Compile *segments* into a mismatch-counting search NFA.
+
+    The returned NFA has a single all-input start state (a pure source)
+    and one accept state per realised mismatch count ``j``, labelled
+    ``MatchLabel(guide_name, strand, j, 0, 0, total_length)``.
+    """
+    if max_mismatches < 0:
+        raise CompileError("mismatch budget must be non-negative")
+    if not segments:
+        raise CompileError("cannot compile an empty pattern")
+    if strand not in ("+", "-"):
+        raise CompileError(f"strand must be '+' or '-', got {strand!r}")
+    total_length = sum(len(segment.text) for segment in segments)
+
+    nfa = Nfa()
+    start = nfa.add_state("start")
+    nfa.mark_start(start, all_input=True)
+    # frontier[j] = state meaning "consumed the pattern so far with j mismatches".
+    frontier: dict[int, int] = {0: start}
+    consumed = 0
+    for segment in segments:
+        for symbol in segment.text:
+            match_class = CharClass.from_iupac(symbol)
+            mismatch_class = CharClass.mismatch_of(symbol)
+            next_frontier: dict[int, int] = {}
+
+            def state_for(j: int) -> int:
+                state = next_frontier.get(j)
+                if state is None:
+                    state = nfa.add_state(f"p{consumed}m{j}")
+                    next_frontier[j] = state
+                return state
+
+            for j, state in frontier.items():
+                nfa.add_transition(state, match_class, state_for(j))
+                if segment.budgeted and j < max_mismatches and mismatch_class:
+                    nfa.add_transition(state, mismatch_class, state_for(j + 1))
+            frontier = next_frontier
+            consumed += 1
+    for j, state in sorted(frontier.items()):
+        nfa.mark_accept(
+            state,
+            MatchLabel(
+                guide_name=guide_name,
+                strand=strand,
+                mismatches=j,
+                rna_bulges=0,
+                dna_bulges=0,
+                consumed=total_length,
+            ),
+        )
+    return nfa
+
+
+def hamming_state_count(segments: list[PatternSegment], max_mismatches: int) -> int:
+    """Predicted NFA state count for a mismatch grid over *segments*.
+
+    Computed by walking the mismatch-row frontier the same way the
+    builder does — row ``j`` exists once ``j`` budgeted positions have
+    been consumed — without materialising any states. For the canonical
+    3'-PAM layout (budgeted length ``m``, exact length ``g``, budget
+    ``k``) this equals ``1 + sum_{i=1..m} (min(i, k) + 1) + (k + 1) g``.
+    Used by the resource models and checked by property tests.
+    """
+    if max_mismatches < 0:
+        raise CompileError("mismatch budget must be non-negative")
+    count = 1  # start state
+    rows = 1  # mismatch rows realised so far (j = 0 .. rows-1)
+    budgeted_seen = 0
+    for segment in segments:
+        for _symbol in segment.text:
+            if segment.budgeted:
+                budgeted_seen += 1
+                rows = min(budgeted_seen, max_mismatches) + 1
+            count += rows
+    return count

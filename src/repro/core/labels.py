@@ -1,0 +1,49 @@
+"""Accept labels attached to compiled search automata.
+
+A report event from any engine is a ``(position, MatchLabel)`` pair;
+the label carries everything needed to reconstruct the genomic hit —
+which guide, which strand, the edit counts of the accepting automaton
+row, and how many genome symbols the accepting path consumed (which
+differs from the site length exactly by the bulge counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class MatchLabel:
+    """Identity of one accepting automaton row.
+
+    Attributes
+    ----------
+    guide_name:
+        The guide whose automaton accepted.
+    strand:
+        ``"+"`` when the forward-pattern automaton accepted, ``"-"``
+        for the reverse-complement-pattern automaton.
+    mismatches, rna_bulges, dna_bulges:
+        Edit counts of the accepting row.
+    consumed:
+        Genome symbols consumed by the accepting path: site length
+        plus DNA bulges minus RNA bulges. A report at stream position
+        ``p`` denotes the genomic span ``[p + 1 - consumed, p + 1)``.
+    """
+
+    guide_name: str
+    strand: str
+    mismatches: int
+    rna_bulges: int
+    dna_bulges: int
+    consumed: int
+
+    @property
+    def edits(self) -> int:
+        """Total edit count."""
+        return self.mismatches + self.rna_bulges + self.dna_bulges
+
+    def span_at(self, report_position: int) -> tuple[int, int]:
+        """Half-open genomic span for a report at *report_position*."""
+        end = report_position + 1
+        return end - self.consumed, end

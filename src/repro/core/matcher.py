@@ -1,0 +1,273 @@
+"""Vectorised off-target matching kernel.
+
+This is the functional workhorse behind every automata engine's
+``search``: a numpy implementation of exactly the match semantics the
+automata encode (and :mod:`repro.core.reference` oracles), fast enough
+for multi-megabase synthetic genomes. The engines differ in *execution
+model* — cycle behaviour, capacity, timing — which their simulators and
+timing models capture; the *language accepted* is identical, so they
+share this kernel for large-input hit enumeration. Property tests pin
+the kernel against both the oracle and direct automaton runs.
+
+The mismatch-only path is a shifted-comparison scan (one pass per
+pattern position). The bulge path prefilters by the exact (PAM)
+segments, then runs the banded alignment DP vectorised across all
+surviving candidate positions at once, exploiting the invariant that a
+DP cell ``(i, g)`` fixes ``dna_bulges − rna_bulges = g − i``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import alphabet
+from ..genome.sequence import Sequence
+from ..grna.guide import Guide
+from ..grna.hit import OffTargetHit, dedupe_hits
+from .compiler import SearchBudget, _segments
+from .hamming import PatternSegment
+
+
+def _match_lut(symbol: str) -> np.ndarray:
+    """Boolean lookup: does genome code ``c`` satisfy IUPAC *symbol*?"""
+    mask = alphabet.iupac_code_mask(symbol)
+    return np.array(
+        [(mask >> code) & 1 for code in range(alphabet.NUM_CODES)], dtype=bool
+    )
+
+
+def find_hits(
+    genome: Sequence, guides, budget: SearchBudget
+) -> list[OffTargetHit]:
+    """Enumerate all off-target hits of *guides* in *genome* under *budget*."""
+    hits: list[OffTargetHit] = []
+    for guide in guides:
+        for strand in ("+", "-"):
+            segments = _segments(guide, reverse=strand == "-")
+            if budget.has_bulges:
+                hits.extend(
+                    _scan_bulged(genome, guide, strand, segments, budget)
+                )
+            else:
+                hits.extend(
+                    _scan_mismatch_only(genome, guide, strand, segments, budget)
+                )
+    return dedupe_hits(hits)
+
+
+def count_report_rows(
+    genome: Sequence, guides, budget: SearchBudget
+) -> int:
+    """Total accept-state activations (pre-dedup report events).
+
+    Each hit span activates one accept row per feasible edit profile;
+    this is the quantity the spatial reporting models charge for, and it
+    exceeds the deduplicated hit count whenever bulge paths overlap.
+    """
+    events = 0
+    for guide in guides:
+        for strand in ("+", "-"):
+            segments = _segments(guide, reverse=strand == "-")
+            if budget.has_bulges:
+                raw = _scan_bulged(genome, guide, strand, segments, budget, all_profiles=True)
+            else:
+                raw = _scan_mismatch_only(genome, guide, strand, segments, budget)
+            events += len(raw)
+    return events
+
+
+# -- mismatch-only path ------------------------------------------------------
+
+
+def _scan_mismatch_only(
+    genome: Sequence,
+    guide: Guide,
+    strand: str,
+    segments: list[PatternSegment],
+    budget: SearchBudget,
+) -> list[OffTargetHit]:
+    codes = genome.codes
+    total = sum(len(segment.text) for segment in segments)
+    valid = len(codes) - total + 1
+    if valid <= 0:
+        return []
+    mismatches = np.zeros(valid, dtype=np.int16)
+    exact_ok = np.ones(valid, dtype=bool)
+    offset = 0
+    for segment in segments:
+        for symbol in segment.text:
+            lut = _match_lut(symbol)
+            window = lut[codes[offset : offset + valid]]
+            if segment.budgeted:
+                mismatches += ~window
+            else:
+                exact_ok &= window
+            offset += 1
+    selected = exact_ok & (mismatches <= budget.mismatches)
+    starts = np.nonzero(selected)[0]
+    text = genome.text
+    hits = []
+    for start in starts.tolist():
+        site = text[start : start + total]
+        if strand == "-":
+            site = alphabet.reverse_complement(site)
+        hits.append(
+            OffTargetHit(
+                guide_name=guide.name,
+                sequence_name=genome.name,
+                strand=strand,
+                start=start,
+                end=start + total,
+                mismatches=int(mismatches[start]),
+                site=site,
+            )
+        )
+    return hits
+
+
+# -- bulge path ---------------------------------------------------------------
+
+
+def _scan_bulged(
+    genome: Sequence,
+    guide: Guide,
+    strand: str,
+    segments: list[PatternSegment],
+    budget: SearchBudget,
+    *,
+    all_profiles: bool = False,
+) -> list[OffTargetHit]:
+    codes = genome.codes
+    n = len(codes)
+    max_rna, max_dna, max_mm = budget.rna_bulges, budget.dna_bulges, budget.mismatches
+    total = sum(len(segment.text) for segment in segments)
+    deltas = list(range(-max_rna, max_dna + 1))
+
+    budgeted = next(segment for segment in segments if segment.budgeted)
+    m = len(budgeted.text)
+    b_off = 0
+    for segment in segments:
+        if segment.budgeted:
+            break
+        b_off += len(segment.text)
+
+    # Exact-segment validity per delta (segments after the budgeted one
+    # shift by delta), with explicit bounds masking.
+    valid = n - (total - max_rna) + 1
+    if valid <= 0:
+        return []
+    pam_ok: dict[int, np.ndarray] = {}
+    for delta in deltas:
+        ok = np.ones(valid, dtype=bool)
+        site_length = total + delta
+        limit = n - site_length + 1
+        if limit <= 0:
+            pam_ok[delta] = np.zeros(valid, dtype=bool)
+            continue
+        ok[limit:] = False
+        offset = 0
+        passed_budgeted = False
+        for segment in segments:
+            if segment.budgeted:
+                passed_budgeted = True
+                offset += m
+                continue
+            shift = delta if passed_budgeted else 0
+            for t, symbol in enumerate(segment.text):
+                lut = _match_lut(symbol)
+                absolute = offset + shift + t
+                window = lut[codes[absolute : absolute + limit]]
+                ok[:limit] &= window
+            offset += len(segment.text)
+        pam_ok[delta] = ok
+
+    any_ok = np.zeros(valid, dtype=bool)
+    for ok in pam_ok.values():
+        any_ok |= ok
+    candidates = np.nonzero(any_ok)[0]
+    if candidates.size == 0:
+        return []
+
+    # Window symbols per offset g, padded with N beyond the genome end
+    # (padding cannot create hits: accepts are masked by per-delta bounds).
+    padded = np.concatenate(
+        [codes, np.full(m + max_dna + b_off + 4, alphabet.CODE_N, dtype=np.uint8)]
+    )
+    window_codes = [
+        padded[candidates + b_off + g] for g in range(m + max_dna)
+    ]
+    pattern_luts = [_match_lut(symbol) for symbol in budgeted.text]
+
+    # Banded DP, vectorised over candidates.
+    # reach[(i, g, j, r, d)] -> bool array over candidates; g - i == d - r.
+    reach: dict[tuple[int, int, int, int, int], np.ndarray] = {
+        (0, 0, 0, 0, 0): np.ones(candidates.size, dtype=bool)
+    }
+
+    def sink(key: tuple[int, int, int, int, int], value: np.ndarray) -> None:
+        existing = reach.get(key)
+        reach[key] = value.copy() if existing is None else existing | value
+
+    for i in range(m + 1):
+        for g in range(i - max_rna, i + max_dna + 1):
+            if g < 0 or g > m + max_dna:
+                continue
+            layer_keys = [key for key in list(reach) if key[0] == i and key[1] == g]
+            # DNA bulges chain within (i, g) -> (i, g+1): ascending d first.
+            for key in sorted(layer_keys, key=lambda key: key[4]):
+                cell = reach[key]
+                _, _, j, r, d = key
+                if d < max_dna and 1 <= i <= m - 1:
+                    sink((i, g + 1, j, r, d + 1), cell)
+            layer_keys = [key for key in list(reach) if key[0] == i and key[1] == g]
+            for key in layer_keys:
+                cell = reach[key]
+                _, _, j, r, d = key
+                if i < m and 0 < i < m - 1 and r < max_rna:
+                    sink((i + 1, g, j, r + 1, d), cell)
+                if i < m and g < m + max_dna:
+                    matches = pattern_luts[i][window_codes[g]]
+                    sink((i + 1, g + 1, j, r, d), cell & matches)
+                    if j < max_mm:
+                        sink((i + 1, g + 1, j + 1, r, d), cell & ~matches)
+
+    # Assemble hits per delta, best profile first (unless all_profiles).
+    text = genome.text
+    hits: list[OffTargetHit] = []
+    for delta in deltas:
+        profiles = sorted(
+            (
+                key
+                for key in reach
+                if key[0] == m and key[1] == m + delta
+            ),
+            key=lambda key: (key[2] + key[3] + key[4], key[3] + key[4], key[2]),
+        )
+        chosen = np.zeros(candidates.size, dtype=bool)
+        pam = pam_ok[delta][candidates]
+        for key in profiles:
+            _, _, j, r, d = key
+            selected = reach[key] & pam
+            if not all_profiles:
+                selected = selected & ~chosen
+                chosen |= selected
+            for index in np.nonzero(selected)[0].tolist():
+                start = int(candidates[index])
+                end = start + total + delta
+                site = text[start:end]
+                if strand == "-":
+                    site = alphabet.reverse_complement(site)
+                hits.append(
+                    OffTargetHit(
+                        guide_name=guide.name,
+                        sequence_name=genome.name,
+                        strand=strand,
+                        start=start,
+                        end=end,
+                        mismatches=j,
+                        rna_bulges=r,
+                        dna_bulges=d,
+                        site=site,
+                    )
+                )
+    return hits

@@ -1,0 +1,162 @@
+"""Naive reference off-target scorer — the ground-truth oracle.
+
+This module deliberately shares no matching machinery with the automata
+or the vectorised kernels: it walks every genome position with a plain
+per-site check (mismatch counting, or a small dynamic program when
+bulges are allowed) written directly from the match semantics:
+
+* mismatches substitute budgeted (protospacer) positions, up to the
+  mismatch budget; a genome ``N`` mismatches every concrete pattern base;
+* exact (PAM) segments must satisfy their IUPAC classes outright;
+* an RNA bulge skips one interior protospacer position (site shorter);
+* a DNA bulge absorbs one extra genome base between interior
+  protospacer positions (site longer);
+* the reverse strand is the reverse-complement pattern scanned on the
+  + strand.
+
+It is quadratic-ish and pure Python — use it on kilobase inputs as the
+oracle in tests and agreement benchmarks, not on full genomes.
+"""
+
+from __future__ import annotations
+
+from .. import alphabet
+from ..genome.sequence import Sequence
+from ..grna.guide import Guide
+from ..grna.hit import OffTargetHit, dedupe_hits
+from .compiler import SearchBudget, _segments
+from .hamming import PatternSegment
+
+
+class NaiveSearcher:
+    """Exhaustive per-position scorer for a guide set."""
+
+    def __init__(self, budget: SearchBudget) -> None:
+        self._budget = budget
+
+    @property
+    def budget(self) -> SearchBudget:
+        return self._budget
+
+    def search(self, genome: Sequence, guides) -> list[OffTargetHit]:
+        """Return the deduplicated hit list for *guides* over *genome*."""
+        hits: list[OffTargetHit] = []
+        text = genome.text
+        for guide in guides:
+            for strand in ("+", "-"):
+                hits.extend(self._search_strand(text, genome.name, guide, strand))
+        return dedupe_hits(hits)
+
+    # -- per-strand scan ---------------------------------------------------
+
+    def _search_strand(
+        self, text: str, sequence_name: str, guide: Guide, strand: str
+    ) -> list[OffTargetHit]:
+        budget = self._budget
+        segments = _segments(guide, reverse=strand == "-")
+        base_length = sum(len(segment.text) for segment in segments)
+        deltas = range(-budget.rna_bulges, budget.dna_bulges + 1)
+        hits: list[OffTargetHit] = []
+        for start in range(len(text)):
+            for delta in deltas:
+                site_length = base_length + delta
+                end = start + site_length
+                if site_length < 1 or end > len(text):
+                    continue
+                profiles = site_profiles(text, start, segments, delta, budget)
+                if not profiles:
+                    continue
+                best = min(profiles, key=lambda p: (sum(p), p[1] + p[2], p[0]))
+                site = text[start:end]
+                if strand == "-":
+                    site = alphabet.reverse_complement(site)
+                hits.append(
+                    OffTargetHit(
+                        guide_name=guide.name,
+                        sequence_name=sequence_name,
+                        strand=strand,
+                        start=start,
+                        end=end,
+                        mismatches=best[0],
+                        rna_bulges=best[1],
+                        dna_bulges=best[2],
+                        site=site,
+                    )
+                )
+        return hits
+
+
+def site_profiles(
+    text: str,
+    start: int,
+    segments: list[PatternSegment],
+    delta: int,
+    budget: SearchBudget,
+) -> set[tuple[int, int, int]]:
+    """Feasible (mismatches, rna, dna) profiles with ``dna - rna == delta``.
+
+    Direct per-site check of one candidate span against the segment
+    pattern; shared by the oracle and by the CasOT baseline's
+    verification stage (real CasOT verifies candidates the same way).
+    """
+    cursor = start
+    profiles: set[tuple[int, int, int]] | None = None
+    for segment in segments:
+        if segment.budgeted:
+            window = text[cursor : cursor + len(segment.text) + delta]
+            profiles = _budgeted_profiles(
+                segment.text,
+                window,
+                budget.mismatches,
+                budget.rna_bulges,
+                budget.dna_bulges,
+            )
+            cursor += len(segment.text) + delta
+        else:
+            for symbol in segment.text:
+                if not alphabet.iupac_matches(symbol, text[cursor]):
+                    return set()
+                cursor += 1
+    if profiles is None:  # no budgeted segment: exact-only pattern
+        return {(0, 0, 0)} if delta == 0 else set()
+    return {p for p in profiles if p[2] - p[1] == delta}
+
+
+def _budgeted_profiles(
+    pattern: str, window: str, max_mismatches: int, max_rna: int, max_dna: int
+) -> set[tuple[int, int, int]]:
+    """All feasible edit profiles aligning *pattern* over all of *window*."""
+    m = len(pattern)
+    n = len(window)
+    if n < m - max_rna or n > m + max_dna:
+        return set()
+    # reach[(i, g)] = set of (j, r, d) profiles aligning pattern[:i] to window[:g].
+    reach: dict[tuple[int, int], set[tuple[int, int, int]]] = {(0, 0): {(0, 0, 0)}}
+    for i in range(m + 1):
+        for g in range(n + 1):
+            profiles = reach.get((i, g))
+            if not profiles:
+                continue
+            # DNA bulge: absorb window[g] without advancing the pattern
+            # (interior only: between pattern positions, 1 <= i <= m-1).
+            if g < n and 1 <= i <= m - 1:
+                bucket = reach.setdefault((i, g + 1), set())
+                for j, r, d in profiles:
+                    if d < max_dna:
+                        bucket.add((j, r, d + 1))
+            if i < m:
+                # RNA bulge: skip interior pattern position i.
+                if 0 < i < m - 1:
+                    bucket = reach.setdefault((i + 1, g), set())
+                    for j, r, d in profiles:
+                        if r < max_rna:
+                            bucket.add((j, r + 1, d))
+                if g < n:
+                    matches = alphabet.iupac_matches(pattern[i], window[g])
+                    bucket = reach.setdefault((i + 1, g + 1), set())
+                    for j, r, d in profiles:
+                        if matches:
+                            bucket.add((j, r, d))
+                        elif j < max_mismatches:
+                            bucket.add((j + 1, r, d))
+    return reach.get((m, n), set())

@@ -1,0 +1,169 @@
+"""The public off-target search API.
+
+Typical use::
+
+    from repro import Guide, GuideLibrary, OffTargetSearch, SearchBudget
+    from repro.genome import read_fasta
+
+    genome = read_fasta("reference.fa")[0].sequence
+    guides = GuideLibrary.from_guides([
+        Guide("EMX1", "GAGTCCGAGCAGAAGAAGAA"),
+    ])
+    search = OffTargetSearch(guides, SearchBudget(mismatches=3))
+    report = search.run(genome)                   # default engine
+    report = search.run(genome, engine="fpga")    # pick a platform model
+    for hit in report.hits:
+        print(hit.to_bed_line())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Iterable, Union
+
+from ..errors import EngineError
+from ..genome.sequence import Sequence
+from ..grna.guide import Guide
+from ..grna.hit import OffTargetHit
+from ..grna.library import GuideLibrary
+from .compiler import CompiledLibrary, SearchBudget, compile_library
+
+#: Engine used when the caller does not pick one.
+DEFAULT_ENGINE = "hyperscan"
+
+
+@dataclass(frozen=True)
+class SearchReport:
+    """Everything one search run produced."""
+
+    engine: str
+    budget: SearchBudget
+    hits: tuple[OffTargetHit, ...]
+    modeled_seconds: float
+    modeled_kernel_seconds: float
+    measured_seconds: float
+    genome_length: int
+    num_guides: int
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def num_hits(self) -> int:
+        return len(self.hits)
+
+    def hits_for(self, guide_name: str) -> list[OffTargetHit]:
+        """Hits of one guide, sorted by position."""
+        return sorted(hit for hit in self.hits if hit.guide_name == guide_name)
+
+    def hits_within(self, max_edits: int) -> list[OffTargetHit]:
+        """Hits with at most *max_edits* total edits."""
+        return sorted(hit for hit in self.hits if hit.edits <= max_edits)
+
+    def summary(self) -> str:
+        """One-paragraph human summary."""
+        return (
+            f"{self.num_hits} candidate off-target sites for {self.num_guides} "
+            f"guide(s) over {self.genome_length:,} bp "
+            f"[engine={self.engine}, budget={self.budget.mismatches}mm/"
+            f"{self.budget.rna_bulges}rb/{self.budget.dna_bulges}db; "
+            f"modeled {self.modeled_seconds:.3g}s, measured {self.measured_seconds:.3g}s]"
+        )
+
+
+class OffTargetSearch:
+    """Compile a guide library once, search any number of references."""
+
+    def __init__(
+        self,
+        guides: Union[GuideLibrary, Iterable[Guide]],
+        budget: SearchBudget | None = None,
+    ) -> None:
+        if not isinstance(guides, GuideLibrary):
+            guides = GuideLibrary.from_guides(list(guides))
+        self._library = guides
+        self._budget = budget or SearchBudget()
+
+    @property
+    def library(self) -> GuideLibrary:
+        return self._library
+
+    @property
+    def budget(self) -> SearchBudget:
+        return self._budget
+
+    @cached_property
+    def compiled(self) -> CompiledLibrary:
+        """The compiled automata network (built lazily, cached)."""
+        return compile_library(self._library, self._budget)
+
+    def run(
+        self,
+        genome: Union[Sequence, Iterable[Sequence]],
+        *,
+        engine: str = DEFAULT_ENGINE,
+    ) -> SearchReport:
+        """Search one reference sequence (or several) with *engine*.
+
+        Engines are the paper's platforms (``cpu-nfa``, ``hyperscan``,
+        ``infant2``, ``fpga``, ``ap``); baselines (``cas-offinder``,
+        ``casot``) are accepted too, so the whole evaluation runs
+        through one entry point.
+        """
+        sequences = [genome] if isinstance(genome, Sequence) else list(genome)
+        if not sequences:
+            raise EngineError("no sequences to search")
+        runner = _resolve(engine)
+        hits: list[OffTargetHit] = []
+        modeled_total = 0.0
+        modeled_kernel = 0.0
+        measured = 0.0
+        stats: dict = {}
+        total_length = 0
+        for sequence in sequences:
+            result = runner(sequence, self)
+            hits.extend(result.hits)
+            modeled_total += result.modeled.total_seconds
+            modeled_kernel += result.modeled.kernel_with_reports_seconds
+            measured += result.measured_seconds
+            stats = result.stats
+            total_length += len(sequence)
+        return SearchReport(
+            engine=engine,
+            budget=self._budget,
+            hits=tuple(sorted(hits)),
+            modeled_seconds=modeled_total,
+            modeled_kernel_seconds=modeled_kernel,
+            measured_seconds=measured,
+            genome_length=total_length,
+            num_guides=len(self._library),
+            stats=stats,
+        )
+
+
+def _resolve(name: str):
+    """Resolve an engine or baseline name to a uniform callable.
+
+    Imported lazily to keep :mod:`repro.core` free of import cycles
+    with :mod:`repro.engines`.
+    """
+    from ..baselines.base import available_baselines, get_baseline
+    from ..engines.base import available_engines, get_engine
+
+    if name in available_engines():
+        engine = get_engine(name)
+
+        def run_engine(sequence: Sequence, search: OffTargetSearch):
+            return engine.search(sequence, search.compiled)
+
+        return run_engine
+    if name in available_baselines():
+        baseline = get_baseline(name)
+
+        def run_baseline(sequence: Sequence, search: OffTargetSearch):
+            return baseline.search(sequence, search.library, search.budget)
+
+        return run_baseline
+    raise EngineError(
+        f"unknown engine {name!r}; engines: {available_engines()}, "
+        f"baselines: {available_baselines()}"
+    )

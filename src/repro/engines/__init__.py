@@ -1,0 +1,21 @@
+"""Execution engines: one per evaluated platform."""
+
+from .base import Engine, EngineResult, available_engines, get_engine, register_engine
+from .cpu_nfa import CpuNfaEngine
+from .hyperscan import HyperscanEngine
+from .infant2 import Infant2Engine
+from .fpga import FpgaEngine
+from .ap import ApEngine
+
+__all__ = [
+    "Engine",
+    "EngineResult",
+    "available_engines",
+    "get_engine",
+    "register_engine",
+    "CpuNfaEngine",
+    "HyperscanEngine",
+    "Infant2Engine",
+    "FpgaEngine",
+    "ApEngine",
+]

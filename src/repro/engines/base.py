@@ -1,0 +1,149 @@
+"""Engine abstraction shared by the four platform models.
+
+Every engine answers the same question — *which sites does the compiled
+automata network accept?* — but models a different execution substrate.
+An engine therefore exposes two paths:
+
+* :meth:`Engine.search` — the scalable functional path. Hit enumeration
+  uses the shared vectorised kernel (:mod:`repro.core.matcher`), which
+  property tests pin to the automata semantics; the engine contributes
+  its platform's :class:`~repro.platforms.timing.TimingBreakdown` and
+  micro-architectural statistics.
+* :meth:`Engine.simulate` — the faithful execution-model path: the
+  engine literally steps its platform's data structures (STE arrays,
+  transition lists, DFA tables, ...) symbol by symbol. Use it on
+  bounded inputs; tests assert it reproduces the functional path.
+
+This split is the standard simulator-plus-model methodology: the
+functional results are exact, the platform times are modeled, and the
+two are decoupled so neither compromises the other.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+import numpy as np
+
+from ..core import matcher
+from ..core.compiler import CompiledLibrary
+from ..errors import EngineError
+from ..genome.sequence import Sequence
+from ..grna.hit import OffTargetHit
+from ..platforms.reporting import ReportTraffic
+from ..platforms.resources import expected_activity
+from ..platforms.timing import TimingBreakdown, WorkloadProfile
+
+
+@dataclass(frozen=True)
+class EngineResult:
+    """Outcome of one engine search."""
+
+    engine: str
+    hits: tuple[OffTargetHit, ...]
+    modeled: TimingBreakdown
+    measured_seconds: float  #: host wall time of the functional run
+    stats: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def num_hits(self) -> int:
+        return len(self.hits)
+
+
+class Engine(abc.ABC):
+    """Base class for platform engines."""
+
+    #: registry key; subclasses must override.
+    name: str = ""
+
+    @abc.abstractmethod
+    def model_time(self, profile: WorkloadProfile) -> TimingBreakdown:
+        """This platform's analytic time for *profile*."""
+
+    def platform_stats(self, profile: WorkloadProfile, compiled: CompiledLibrary) -> dict[str, Any]:
+        """Platform-specific statistics to attach to the result."""
+        return {}
+
+    @abc.abstractmethod
+    def simulate(
+        self, codes: np.ndarray, compiled: CompiledLibrary
+    ) -> list[tuple[int, Hashable]]:
+        """Faithful execution-model run; returns ``(position, label)`` reports."""
+
+    def search(self, genome: Sequence, compiled: CompiledLibrary) -> EngineResult:
+        """Functional search plus this platform's modeled timing."""
+        started = time.perf_counter()
+        hits = matcher.find_hits(genome, compiled.library, compiled.budget)
+        measured = time.perf_counter() - started
+        profile = build_profile(genome, compiled, hits)
+        return EngineResult(
+            engine=self.name,
+            hits=tuple(hits),
+            modeled=self.model_time(profile),
+            measured_seconds=measured,
+            stats=self.platform_stats(profile, compiled),
+        )
+
+
+def build_profile(
+    genome: Sequence,
+    compiled: CompiledLibrary,
+    hits: list[OffTargetHit] | tuple[OffTargetHit, ...],
+    *,
+    genome_length_override: int | None = None,
+) -> WorkloadProfile:
+    """Assemble the :class:`WorkloadProfile` the timing models consume.
+
+    Report traffic is taken from the deduplicated hit list (one event
+    per hit, coalescing by report position) — a slight lower bound on
+    raw accept activations when bulge paths overlap; the reporting
+    experiments use :func:`repro.core.matcher.count_report_rows` when
+    exact activation counts matter.
+    """
+    stats = compiled.stats()
+    traffic = ReportTraffic(
+        events=len(hits),
+        cycles_with_reports=len({(hit.sequence_name, hit.end) for hit in hits}),
+    )
+    guide = compiled.library[0]
+    return WorkloadProfile(
+        genome_length=genome_length_override or len(genome),
+        num_guides=len(compiled.library),
+        site_length=guide.site_length,
+        total_stes=stats.num_stes,
+        total_transitions=stats.num_edges,
+        expected_active=expected_activity(compiled.homogeneous, gc_content=genome.gc_fraction() or 0.41),
+        report_traffic=traffic,
+    )
+
+
+_REGISTRY: dict[str, type[Engine]] = {}
+
+
+def register_engine(engine_class: type[Engine]) -> type[Engine]:
+    """Class decorator adding an engine to the registry."""
+    if not engine_class.name:
+        raise EngineError(f"{engine_class.__name__} must define a name")
+    if engine_class.name in _REGISTRY:
+        raise EngineError(f"duplicate engine name {engine_class.name!r}")
+    _REGISTRY[engine_class.name] = engine_class
+    return engine_class
+
+
+def available_engines() -> list[str]:
+    """Registered engine names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_engine(name: str, **kwargs) -> Engine:
+    """Instantiate a registered engine by name."""
+    try:
+        engine_class = _REGISTRY[name]
+    except KeyError as exc:
+        raise EngineError(
+            f"unknown engine {name!r}; available: {available_engines()}"
+        ) from exc
+    return engine_class(**kwargs)

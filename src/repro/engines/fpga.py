@@ -1,0 +1,76 @@
+"""FPGA spatial automata engine.
+
+Models an automata overlay in the REAPR mould: every STE becomes a
+flip-flop plus LUT logic, the whole network evaluates in parallel each
+clock, and one input symbol is consumed per cycle at the routed clock
+rate. Capacity is LUT-bound; guide sets beyond one device's worth run
+in multiple configuration passes (each with a bitstream load). Reports
+leave through an on-chip FIFO whose drains stall the pipeline — the
+spatial-output bottleneck the paper's optimisation section targets.
+
+The simulate path executes the homogeneous network cycle-by-cycle —
+the same dataflow the synthesised design performs in hardware.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+import numpy as np
+
+from ..core.compiler import CompiledLibrary
+from ..errors import CapacityError
+from ..platforms.resources import fpga_luts_for
+from ..platforms.spec import FpgaSpec
+from ..platforms.timing import TimingBreakdown, WorkloadProfile, fpga_time
+from .base import Engine, register_engine
+
+
+@register_engine
+class FpgaEngine(Engine):
+    """One-symbol-per-cycle spatial execution, LUT-bound capacity."""
+
+    name = "fpga"
+
+    def __init__(self, spec: FpgaSpec | None = None, *, coalesce_reports: bool = False) -> None:
+        self._spec = spec or FpgaSpec()
+        self._coalesce = coalesce_reports
+
+    @property
+    def spec(self) -> FpgaSpec:
+        return self._spec
+
+    def model_time(self, profile: WorkloadProfile) -> TimingBreakdown:
+        return fpga_time(profile, self._spec, coalesce_reports=self._coalesce)
+
+    def validate_capacity(self, compiled: CompiledLibrary) -> None:
+        """Raise :class:`CapacityError` when one guide exceeds the device."""
+        capacity_stes = int(self._spec.luts / self._spec.luts_per_ste)
+        for compiled_guide in compiled:
+            if compiled_guide.num_stes > capacity_stes:
+                raise CapacityError(
+                    f"guide {compiled_guide.guide.name!r} needs "
+                    f"{fpga_luts_for(compiled_guide.num_stes, self._spec)} LUTs; "
+                    f"device has {self._spec.luts}"
+                )
+
+    def search(self, genome, compiled: CompiledLibrary):
+        """Functional search with a capacity pre-check."""
+        self.validate_capacity(compiled)
+        return super().search(genome, compiled)
+
+    def platform_stats(self, profile: WorkloadProfile, compiled: CompiledLibrary) -> dict[str, Any]:
+        luts = fpga_luts_for(profile.total_stes, self._spec)
+        breakdown = self.model_time(profile)
+        return {
+            "luts_used": luts,
+            "lut_utilization": luts / self._spec.luts,
+            "passes": breakdown.passes,
+            "synthesis_seconds_offline": self._spec.synthesis_seconds,
+        }
+
+    def simulate(
+        self, codes: np.ndarray, compiled: CompiledLibrary
+    ) -> list[tuple[int, Hashable]]:
+        """Cycle-accurate run of the spatial network."""
+        return list(compiled.homogeneous.run(np.asarray(codes, dtype=np.uint8)))

@@ -1,0 +1,162 @@
+"""HyperScan-proxy CPU engine.
+
+HyperScan is Intel's high-performance regex/automata library; the paper
+runs the guide automata through it single-threaded as the tuned-CPU
+data point. Two of its execution strategies are modelled here:
+
+* for small per-guide automata it effectively runs determinised
+  machines — the simulate path can execute the compiled, minimised
+  :class:`~repro.automata.dfa.Dfa` per guide;
+* for wide mismatch budgets it falls back to bit-parallel NFA
+  emulation — the simulate path implements the classic Shift-And
+  automaton with one bit row per mismatch count (Wu–Manber style),
+  which is structurally the same grid the paper's automata encode.
+
+The timing model charges active-state updates at a tuned-engine rate
+with a DFA-like scan-rate ceiling, so the modeled time degrades with
+guide count and mismatch budget exactly the way a von Neumann automata
+engine does.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+import numpy as np
+
+from .. import alphabet
+from ..core.compiler import CompiledGuide, CompiledLibrary
+from ..core.labels import MatchLabel
+from ..errors import EngineError
+from ..platforms.spec import CpuSpec
+from ..platforms.timing import TimingBreakdown, WorkloadProfile, hyperscan_time
+from .base import Engine, register_engine
+
+
+@register_engine
+class HyperscanEngine(Engine):
+    """Single-thread tuned CPU automata engine."""
+
+    name = "hyperscan"
+
+    def __init__(self, spec: CpuSpec | None = None) -> None:
+        self._spec = spec or CpuSpec()
+
+    def model_time(self, profile: WorkloadProfile) -> TimingBreakdown:
+        return hyperscan_time(profile, self._spec)
+
+    def platform_stats(self, profile: WorkloadProfile, compiled: CompiledLibrary) -> dict[str, Any]:
+        return {
+            "expected_active_states": profile.expected_active,
+            "scan_rate_bytes_per_second": profile.genome_length
+            / max(self.model_time(profile).kernel_seconds, 1e-12),
+        }
+
+    def simulate(
+        self, codes: np.ndarray, compiled: CompiledLibrary
+    ) -> list[tuple[int, Hashable]]:
+        """Execute each guide's minimised DFA (HyperScan's fast path)."""
+        reports: list[tuple[int, Hashable]] = []
+        for compiled_guide in compiled:
+            reports.extend(compiled_guide.dfa.run(codes))
+        reports.sort(key=lambda item: item[0])
+        return reports
+
+    def simulate_bitparallel(
+        self, codes: np.ndarray, compiled_guide: CompiledGuide
+    ) -> list[tuple[int, Hashable]]:
+        """Shift-And with mismatch rows for one guide (both strands).
+
+        Only defined for mismatch-only budgets (bit-parallel rows model
+        substitutions, not indels) — raises otherwise. Used by tests as
+        a fourth independent execution of the same language.
+        """
+        if compiled_guide.budget.has_bulges:
+            raise EngineError("bit-parallel path models mismatches only")
+        reports: list[tuple[int, Hashable]] = []
+        guide = compiled_guide.guide
+        for strand in ("+", "-"):
+            pattern = (
+                guide.target_pattern
+                if strand == "+"
+                else alphabet.reverse_complement(guide.target_pattern)
+            )
+            budgeted = set(
+                guide.protospacer_positions()
+                if strand == "+"
+                else [
+                    len(pattern) - 1 - position
+                    for position in guide.protospacer_positions()
+                ]
+            )
+            reports.extend(
+                _shift_and(
+                    codes,
+                    pattern,
+                    budgeted,
+                    compiled_guide.budget.mismatches,
+                    guide.name,
+                    strand,
+                )
+            )
+        reports.sort(key=lambda item: item[0])
+        return reports
+
+
+def _shift_and(
+    codes: np.ndarray,
+    pattern: str,
+    budgeted_positions: set[int],
+    max_mismatches: int,
+    guide_name: str,
+    strand: str,
+) -> list[tuple[int, Hashable]]:
+    """Classic bit-parallel search with one row per mismatch count.
+
+    Row ``R_j`` holds, as bits, the pattern prefixes currently alive
+    with exactly ``j`` mismatches. Per symbol: ``R_0 = ((R_0 << 1) | 1)
+    & M[c]`` and ``R_j = ((R_j << 1) | 1) & M[c] | ((R_{j-1} << 1) | 1)
+    & B & ~M[c]`` — advance with a match, or spend a mismatch at a
+    budgeted position. The accepted language is exactly the Hamming
+    grid automaton's.
+    """
+    length = len(pattern)
+    if length > 62:
+        raise EngineError("bit-parallel rows support patterns up to 62 symbols")
+    match_masks = [0] * alphabet.NUM_CODES
+    budget_mask = 0
+    for position, symbol in enumerate(pattern):
+        class_mask = alphabet.iupac_code_mask(symbol)
+        for code in range(alphabet.NUM_CODES):
+            if (class_mask >> code) & 1:
+                match_masks[code] |= 1 << position
+        if position in budgeted_positions:
+            budget_mask |= 1 << position
+    accept_bit = 1 << (length - 1)
+    rows = [0] * (max_mismatches + 1)
+    reports: list[tuple[int, Hashable]] = []
+    for position, code in enumerate(np.asarray(codes, dtype=np.uint8)):
+        mask = match_masks[int(code)]
+        previous = rows[:]
+        for j in range(max_mismatches, -1, -1):
+            advanced = (previous[j] << 1) | 1
+            rows[j] = advanced & mask
+            if j > 0:
+                spent = (previous[j - 1] << 1) | 1
+                rows[j] |= spent & budget_mask & ~mask
+        for j in range(max_mismatches + 1):
+            if rows[j] & accept_bit:
+                reports.append(
+                    (
+                        position,
+                        MatchLabel(
+                            guide_name=guide_name,
+                            strand=strand,
+                            mismatches=j,
+                            rna_bulges=0,
+                            dna_bulges=0,
+                            consumed=length,
+                        ),
+                    )
+                )
+    return reports

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the failure domain via the subclasses.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class AlphabetError(ReproError):
+    """A sequence or symbol is outside the supported DNA/IUPAC alphabet."""
+
+
+class FastaError(ReproError):
+    """A FASTA stream is malformed (bad header, empty record, ...)."""
+
+
+class GuideError(ReproError):
+    """A guide RNA specification is invalid (length, alphabet, PAM)."""
+
+
+class PamError(ReproError):
+    """A PAM specification is unknown or malformed."""
+
+
+class AutomatonError(ReproError):
+    """An automaton is structurally invalid for the requested operation."""
+
+
+class CompileError(ReproError):
+    """A guide could not be compiled into a search automaton."""
+
+
+class EngineError(ReproError):
+    """An execution engine failed or was misconfigured."""
+
+
+class CapacityError(EngineError):
+    """A spatial engine cannot fit the requested automata even multi-pass."""
+
+
+class PlatformError(ReproError):
+    """A platform specification is unknown or inconsistent."""

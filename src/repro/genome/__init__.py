@@ -1,0 +1,18 @@
+"""Genome substrate: sequences, FASTA I/O, synthetic genomes, seed index."""
+
+from .sequence import Sequence, TwoBitSequence
+from .fasta import read_fasta, write_fasta, FastaRecord
+from .synthetic import SyntheticGenomeBuilder, random_genome, plant_sites
+from .index import KmerIndex
+
+__all__ = [
+    "Sequence",
+    "TwoBitSequence",
+    "FastaRecord",
+    "read_fasta",
+    "write_fasta",
+    "SyntheticGenomeBuilder",
+    "random_genome",
+    "plant_sites",
+    "KmerIndex",
+]

@@ -1,0 +1,105 @@
+"""FASTA reading and writing.
+
+Supports multi-record files, arbitrary line wrapping, blank lines, and
+``;`` comment lines (an old but still-encountered FASTA dialect). The
+reader validates symbols through :mod:`repro.alphabet`, so a malformed
+reference fails loudly at load time rather than mid-search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Iterable, Iterator, Union
+
+from ..errors import FastaError
+from .sequence import Sequence
+
+PathOrHandle = Union[str, Path, IO[str]]
+
+
+@dataclass(frozen=True)
+class FastaRecord:
+    """One FASTA record: identifier, free-text description, sequence."""
+
+    identifier: str
+    description: str
+    sequence: Sequence
+
+    @classmethod
+    def from_parts(cls, header: str, body: str) -> "FastaRecord":
+        identifier, _, description = header.partition(" ")
+        if not identifier:
+            raise FastaError("FASTA record has an empty identifier")
+        if not body:
+            raise FastaError(f"FASTA record {identifier!r} has an empty sequence")
+        return cls(identifier, description.strip(), Sequence.from_text(identifier, body))
+
+
+def _iter_lines(source: PathOrHandle) -> Iterator[str]:
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="ascii") as handle:
+            yield from handle
+    else:
+        yield from source
+
+
+def parse_fasta(source: PathOrHandle) -> Iterator[FastaRecord]:
+    """Yield :class:`FastaRecord` objects from a path or open handle."""
+    header: str | None = None
+    chunks: list[str] = []
+    saw_any = False
+    for raw in _iter_lines(source):
+        line = raw.rstrip("\n").rstrip("\r")
+        if not line or line.startswith(";"):
+            continue
+        if line.startswith(">"):
+            if header is not None:
+                yield FastaRecord.from_parts(header, "".join(chunks))
+            header = line[1:].strip()
+            chunks = []
+            saw_any = True
+        else:
+            if header is None:
+                raise FastaError("FASTA stream has sequence data before any '>' header")
+            chunks.append(line.strip())
+    if header is not None:
+        yield FastaRecord.from_parts(header, "".join(chunks))
+    elif not saw_any:
+        raise FastaError("FASTA stream contains no records")
+
+
+def read_fasta(source: PathOrHandle) -> list[FastaRecord]:
+    """Read every record from a FASTA path or handle into a list."""
+    return list(parse_fasta(source))
+
+
+def write_fasta(
+    records: Iterable[Union[FastaRecord, Sequence]],
+    destination: PathOrHandle,
+    *,
+    width: int = 70,
+) -> None:
+    """Write records (or bare sequences) to FASTA with *width*-wrapped lines."""
+    if width <= 0:
+        raise FastaError("line width must be positive")
+
+    def emit(handle: IO[str]) -> None:
+        for record in records:
+            if isinstance(record, Sequence):
+                header = record.name
+                text = record.text
+            else:
+                header = record.identifier
+                if record.description:
+                    header = f"{header} {record.description}"
+                text = record.sequence.text
+            handle.write(f">{header}\n")
+            for start in range(0, len(text), width):
+                handle.write(text[start : start + width] + "\n")
+
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", encoding="ascii") as handle:
+            emit(handle)
+    else:
+        emit(destination)

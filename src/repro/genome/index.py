@@ -1,0 +1,129 @@
+"""Exact k-mer seed index.
+
+The CasOT baseline is a seed-and-extend search: it requires every
+candidate off-target site to match the guide exactly over a short seed
+region, finds those candidates via an index of the reference, and then
+verifies the full site. This module provides that index.
+
+The index maps every k-mer (over called bases only — windows containing
+``N`` are skipped, as a seed cannot match through a gap) to the sorted
+array of genome positions where it occurs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import alphabet
+from ..errors import AlphabetError
+from .sequence import Sequence
+
+
+class KmerIndex:
+    """Hash index from k-mer integer keys to genome positions.
+
+    Keys are the base-4 packing of the k-mer (A=0, C=1, G=2, T=3); the
+    positions for a key are returned in increasing order. Construction
+    is a single vectorised pass, so indexing multi-megabase references
+    stays fast in pure numpy.
+    """
+
+    def __init__(self, sequence: Sequence, k: int) -> None:
+        if k <= 0:
+            raise AlphabetError("k must be positive")
+        if k > 30:
+            raise AlphabetError("k larger than 30 would overflow the 64-bit key")
+        self._sequence = sequence
+        self._k = k
+        self._positions, self._starts, self._keys = self._build()
+
+    @property
+    def k(self) -> int:
+        """Seed length."""
+        return self._k
+
+    @property
+    def sequence(self) -> Sequence:
+        """The indexed sequence."""
+        return self._sequence
+
+    def _build(self) -> tuple[np.ndarray, np.ndarray, dict[int, int]]:
+        codes = self._sequence.codes
+        n = codes.size
+        k = self._k
+        if n < k:
+            return np.empty(0, dtype=np.int64), np.zeros(1, dtype=np.int64), {}
+        valid = codes != alphabet.CODE_N
+        window_valid = np.ones(n - k + 1, dtype=bool)
+        # A window is valid when all k of its positions are called.
+        counts = np.cumsum(valid.astype(np.int64))
+        window_counts = counts[k - 1 :].copy()
+        window_counts[1:] -= counts[: n - k]
+        window_valid = window_counts == k
+        keys = np.zeros(n - k + 1, dtype=np.int64)
+        safe = np.where(valid, codes, 0).astype(np.int64)
+        for offset in range(k):
+            keys = keys * 4 + safe[offset : offset + n - k + 1]
+        positions = np.nonzero(window_valid)[0].astype(np.int64)
+        keys = keys[window_valid]
+        order = np.argsort(keys, kind="stable")
+        keys_sorted = keys[order]
+        positions_sorted = positions[order]
+        unique_keys, starts = np.unique(keys_sorted, return_index=True)
+        starts = np.append(starts, keys_sorted.size).astype(np.int64)
+        key_to_slot = {int(key): slot for slot, key in enumerate(unique_keys)}
+        return positions_sorted, starts, key_to_slot
+
+    @staticmethod
+    def pack(kmer: str) -> int:
+        """Pack a concrete k-mer string into its integer key."""
+        key = 0
+        for symbol in kmer.upper():
+            code = alphabet.code_of(symbol)
+            if code == alphabet.CODE_N:
+                raise AlphabetError("cannot pack a k-mer containing N")
+            key = key * 4 + code
+        return key
+
+    def lookup(self, kmer: str) -> np.ndarray:
+        """Return the sorted positions where *kmer* occurs (may be empty)."""
+        if len(kmer) != self._k:
+            raise AlphabetError(f"k-mer length {len(kmer)} != index k {self._k}")
+        slot = self._keys.get(self.pack(kmer))
+        if slot is None:
+            return np.empty(0, dtype=np.int64)
+        return self._positions[self._starts[slot] : self._starts[slot + 1]]
+
+    def lookup_ambiguous(self, pattern: str) -> np.ndarray:
+        """Return positions matching an IUPAC *pattern* of length k.
+
+        Expands the ambiguity codes into every concrete k-mer; intended
+        for low-ambiguity seeds (a fully ambiguous seed would expand to
+        4^k keys and is rejected).
+        """
+        pattern = alphabet.validate_iupac(pattern, what="seed pattern")
+        if len(pattern) != self._k:
+            raise AlphabetError(f"pattern length {len(pattern)} != index k {self._k}")
+        expansion = 1
+        for symbol in pattern:
+            expansion *= len(alphabet.iupac_bases(symbol))
+            if expansion > 4096:
+                raise AlphabetError("seed pattern too ambiguous to expand")
+        candidates = [""]
+        for symbol in pattern:
+            bases = alphabet.iupac_bases(symbol)
+            candidates = [prefix + base for prefix in candidates for base in bases]
+        hits = [self.lookup(kmer) for kmer in candidates]
+        if not hits:
+            return np.empty(0, dtype=np.int64)
+        merged = np.concatenate(hits)
+        merged.sort()
+        return merged
+
+    def num_kmers(self) -> int:
+        """Number of distinct k-mers present in the reference."""
+        return len(self._keys)
+
+    def num_positions(self) -> int:
+        """Total number of indexed (valid) windows."""
+        return int(self._positions.size)

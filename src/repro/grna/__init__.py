@@ -1,0 +1,19 @@
+"""Guide-RNA domain model: guides, PAMs, hit records, guide libraries."""
+
+from .pam import Pam, PAM_CATALOG, get_pam
+from .guide import Guide
+from .hit import OffTargetHit, dedupe_hits, render_alignment
+from .library import GuideLibrary, sample_guides_from_genome, parse_guide_table
+
+__all__ = [
+    "Pam",
+    "PAM_CATALOG",
+    "get_pam",
+    "Guide",
+    "OffTargetHit",
+    "dedupe_hits",
+    "render_alignment",
+    "GuideLibrary",
+    "sample_guides_from_genome",
+    "parse_guide_table",
+]

@@ -1,0 +1,129 @@
+"""The guide RNA value type.
+
+A :class:`Guide` is a protospacer (the ~20 nt of the guide that pairs
+with the genome) plus a :class:`~repro.grna.pam.Pam`. Its *target
+pattern* is the IUPAC string a genomic site must resemble: protospacer
+followed by PAM for 3'-PAM nucleases, PAM followed by protospacer for
+5'-PAM nucleases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import alphabet
+from ..errors import GuideError
+from .pam import Pam, get_pam
+
+#: Protospacer lengths accepted without an explicit override.
+_MIN_LENGTH = 10
+_MAX_LENGTH = 30
+
+
+@dataclass(frozen=True)
+class Guide:
+    """An immutable guide RNA.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in hit reports.
+    protospacer:
+        Concrete ``ACGT`` string, 5'→3', genome-strand orientation.
+    pam:
+        A :class:`Pam` or a catalog name / IUPAC pattern.
+    """
+
+    name: str
+    protospacer: str
+    pam: Pam = field(default_factory=lambda: get_pam("NGG"))
+
+    def __post_init__(self) -> None:
+        if isinstance(self.pam, str):
+            object.__setattr__(self, "pam", get_pam(self.pam))
+        protospacer = self.protospacer.upper().replace("U", "T")
+        if not alphabet.is_dna(protospacer):
+            raise GuideError(
+                f"guide {self.name!r} protospacer must be concrete ACGT, got "
+                f"{self.protospacer!r}"
+            )
+        if not _MIN_LENGTH <= len(protospacer) <= _MAX_LENGTH:
+            raise GuideError(
+                f"guide {self.name!r} protospacer length {len(protospacer)} outside "
+                f"[{_MIN_LENGTH}, {_MAX_LENGTH}]"
+            )
+        object.__setattr__(self, "protospacer", protospacer)
+
+    def __len__(self) -> int:
+        return len(self.protospacer)
+
+    @property
+    def target_pattern(self) -> str:
+        """IUPAC pattern of a perfect on-target site on the + strand."""
+        if self.pam.side == "3prime":
+            return self.protospacer + self.pam.pattern
+        return self.pam.pattern + self.protospacer
+
+    @property
+    def site_length(self) -> int:
+        """Length of a (bulge-free) genomic site for this guide."""
+        return len(self.protospacer) + len(self.pam)
+
+    def pam_positions(self) -> range:
+        """Index range of the PAM within the target pattern."""
+        if self.pam.side == "3prime":
+            return range(len(self.protospacer), self.site_length)
+        return range(0, len(self.pam))
+
+    def protospacer_positions(self) -> range:
+        """Index range of the protospacer within the target pattern."""
+        if self.pam.side == "3prime":
+            return range(0, len(self.protospacer))
+        return range(len(self.pam), self.site_length)
+
+    def concrete_target(self, rng: np.random.Generator | None = None) -> str:
+        """A concrete on-target site: ambiguous PAM symbols resolved.
+
+        With an *rng*, ambiguity codes resolve uniformly at random;
+        without, to their alphabetically-first base (deterministic).
+        """
+        resolved = []
+        for symbol in self.target_pattern:
+            bases = alphabet.iupac_bases(symbol)
+            if len(bases) == 1 or rng is None:
+                resolved.append(bases[0])
+            else:
+                resolved.append(bases[int(rng.integers(0, len(bases)))])
+        return "".join(resolved)
+
+    def reverse_complement_pattern(self) -> str:
+        """IUPAC pattern a site presents on the − strand (as read on +)."""
+        return alphabet.reverse_complement(self.target_pattern)
+
+    def with_pam(self, pam: Pam | str) -> "Guide":
+        """Return a copy of this guide targeting a different PAM."""
+        return Guide(self.name, self.protospacer, pam if isinstance(pam, Pam) else get_pam(pam))
+
+    @classmethod
+    def from_target(cls, name: str, target: str, pam: Pam | str = "NGG") -> "Guide":
+        """Build a guide from a full target site (protospacer + PAM).
+
+        The PAM-length suffix (3' PAMs) or prefix (5' PAMs) is stripped;
+        it must satisfy the PAM motif.
+        """
+        resolved = pam if isinstance(pam, Pam) else get_pam(pam)
+        target = target.upper()
+        if len(target) <= len(resolved):
+            raise GuideError(f"target {target!r} shorter than PAM {resolved.name}")
+        if resolved.side == "3prime":
+            protospacer, pam_site = target[: -len(resolved)], target[-len(resolved):]
+        else:
+            pam_site, protospacer = target[: len(resolved)], target[len(resolved):]
+        if not resolved.matches(pam_site):
+            raise GuideError(
+                f"target {target!r} does not end in a valid {resolved.name} PAM "
+                f"(found {pam_site!r})"
+            )
+        return cls(name, protospacer, resolved)

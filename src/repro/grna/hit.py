@@ -1,0 +1,123 @@
+"""Off-target hit records.
+
+Every engine and baseline reports hits in this one canonical form so
+they can be compared with plain set operations. A hit is keyed by
+``(guide name, sequence name, strand, start, end)`` — the genomic span
+of the matched site on the + strand — plus its edit counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from .. import alphabet
+from .guide import Guide
+
+
+@dataclass(frozen=True, order=True)
+class OffTargetHit:
+    """One candidate off-target site.
+
+    Attributes
+    ----------
+    guide_name:
+        Name of the matching guide.
+    sequence_name:
+        Name of the reference sequence the site lies on.
+    strand:
+        ``"+"`` or ``"-"``; for ``"-"`` the site matches the guide's
+        reverse-complement pattern, and *site* below is reported in
+        guide orientation (i.e. reverse-complemented back).
+    start, end:
+        Half-open span of the site on the + strand of the reference.
+    mismatches:
+        Number of substituted protospacer positions.
+    rna_bulges:
+        Guide bases unpaired (genome site is shorter): deletions.
+    dna_bulges:
+        Genome bases unpaired (genome site is longer): insertions.
+    site:
+        The genomic site text, in guide orientation.
+    """
+
+    guide_name: str
+    sequence_name: str
+    strand: str
+    start: int
+    end: int
+    mismatches: int
+    rna_bulges: int = 0
+    dna_bulges: int = 0
+    site: str = ""
+
+    @property
+    def edits(self) -> int:
+        """Total edit count (mismatches + both bulge kinds)."""
+        return self.mismatches + self.rna_bulges + self.dna_bulges
+
+    @property
+    def key(self):
+        """Identity key used for deduplication and cross-engine comparison."""
+        return (self.guide_name, self.sequence_name, self.strand, self.start, self.end)
+
+    def to_bed_line(self) -> str:
+        """Render as a BED6-style line (score = mismatch count)."""
+        return "\t".join(
+            (
+                self.sequence_name,
+                str(self.start),
+                str(self.end),
+                self.guide_name,
+                str(self.mismatches),
+                self.strand,
+            )
+        )
+
+
+def dedupe_hits(hits: Iterable[OffTargetHit]) -> list[OffTargetHit]:
+    """Collapse duplicate reports of the same site, keeping the best.
+
+    Engines that explore bulge alignments can reach the same genomic
+    span along several alignment paths; the canonical report keeps the
+    one with the fewest total edits (ties broken by fewest bulges, then
+    fewest mismatches).
+    """
+    best: dict[tuple, OffTargetHit] = {}
+    for hit in hits:
+        current = best.get(hit.key)
+        if current is None or _edit_rank(hit) < _edit_rank(current):
+            best[hit.key] = hit
+    return sorted(best.values())
+
+
+def _edit_rank(hit: OffTargetHit) -> tuple[int, int, int]:
+    return (hit.edits, hit.rna_bulges + hit.dna_bulges, hit.mismatches)
+
+
+def render_alignment(guide: Guide, hit: OffTargetHit) -> str:
+    """Render a two-line guide-vs-site alignment for human inspection.
+
+    Mismatched positions are lower-cased in the site line and marked
+    with ``*`` in the rail between the lines. Only meaningful for
+    bulge-free hits (equal lengths); bulged hits render with a gap
+    notice instead.
+    """
+    pattern = guide.target_pattern
+    site = hit.site
+    if len(site) != len(pattern):
+        return (
+            f"{pattern}\n"
+            f"(bulged alignment: {hit.rna_bulges} RNA / {hit.dna_bulges} DNA bulges)\n"
+            f"{site}"
+        )
+    rail = []
+    shown = []
+    for pattern_symbol, base in zip(pattern, site):
+        if alphabet.iupac_matches(pattern_symbol, base):
+            rail.append("|")
+            shown.append(base)
+        else:
+            rail.append("*")
+            shown.append(base.lower())
+    return f"{pattern}\n{''.join(rail)}\n{''.join(shown)}"

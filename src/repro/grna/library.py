@@ -1,0 +1,143 @@
+"""Guide libraries: batches of guides searched together.
+
+The paper's workloads stream the genome once past *many* guide automata
+simultaneously, so the unit of work is a library, not a single guide.
+Libraries can be parsed from the simple whitespace table format the
+original tools accept, or sampled from a reference genome (every sample
+is a real PAM-adjacent site, so each guide has at least one exact
+on-target hit — handy for validation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Iterator, Sequence as SequenceType, Union
+
+import numpy as np
+
+from .. import alphabet
+from ..errors import GuideError
+from ..genome.sequence import Sequence
+from .guide import Guide
+from .pam import Pam, get_pam
+
+
+@dataclass(frozen=True)
+class GuideLibrary:
+    """An ordered, uniquely-named collection of guides."""
+
+    guides: tuple[Guide, ...]
+
+    def __post_init__(self) -> None:
+        names = [guide.name for guide in self.guides]
+        if len(set(names)) != len(names):
+            duplicates = sorted({name for name in names if names.count(name) > 1})
+            raise GuideError(f"duplicate guide names in library: {duplicates}")
+
+    def __len__(self) -> int:
+        return len(self.guides)
+
+    def __iter__(self) -> Iterator[Guide]:
+        return iter(self.guides)
+
+    def __getitem__(self, index: int) -> Guide:
+        return self.guides[index]
+
+    def by_name(self, name: str) -> Guide:
+        """Look up a guide by name."""
+        for guide in self.guides:
+            if guide.name == name:
+                return guide
+        raise GuideError(f"no guide named {name!r} in library")
+
+    def subset(self, count: int) -> "GuideLibrary":
+        """The first *count* guides, as a new library."""
+        if not 0 <= count <= len(self.guides):
+            raise GuideError(f"cannot take {count} guides from a library of {len(self.guides)}")
+        return GuideLibrary(self.guides[:count])
+
+    @classmethod
+    def from_guides(cls, guides: SequenceType[Guide]) -> "GuideLibrary":
+        return cls(tuple(guides))
+
+
+def parse_guide_table(source: Union[str, Path, IO[str]], *, pam: Union[Pam, str] = "NGG") -> GuideLibrary:
+    """Parse the two-column guide table format: ``name  protospacer``.
+
+    Blank lines and ``#`` comments are skipped. A single-column line is
+    accepted too; the guide is then named ``guide<N>`` by position.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="ascii") as handle:
+            lines = handle.readlines()
+    else:
+        lines = list(source)
+    resolved = pam if isinstance(pam, Pam) else get_pam(pam)
+    guides: list[Guide] = []
+    for line_number, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split()
+        if len(fields) == 1:
+            name, protospacer = f"guide{len(guides) + 1}", fields[0]
+        elif len(fields) >= 2:
+            name, protospacer = fields[0], fields[1]
+        else:  # pragma: no cover - split() never yields zero fields here
+            continue
+        try:
+            guides.append(Guide(name, protospacer, resolved))
+        except GuideError as exc:
+            raise GuideError(f"line {line_number}: {exc}") from exc
+    if not guides:
+        raise GuideError("guide table contains no guides")
+    return GuideLibrary(tuple(guides))
+
+
+def sample_guides_from_genome(
+    genome: Sequence,
+    count: int,
+    *,
+    pam: Union[Pam, str] = "NGG",
+    protospacer_length: int = 20,
+    seed: int = 0,
+    name_prefix: str = "g",
+) -> GuideLibrary:
+    """Sample *count* guides whose targets occur verbatim in *genome*.
+
+    Each sample picks a random position, requires a concrete (N-free)
+    window with a valid PAM on the + strand, and cuts the guide out of
+    it. Raises :class:`GuideError` when the genome is too PAM-poor to
+    yield enough guides.
+    """
+    resolved = pam if isinstance(pam, Pam) else get_pam(pam)
+    rng = np.random.default_rng(seed)
+    site_length = protospacer_length + len(resolved)
+    if len(genome) < site_length:
+        raise GuideError("genome shorter than one guide site")
+    guides: list[Guide] = []
+    seen: set[str] = set()
+    attempts = 0
+    max_attempts = max(10000, count * 2000)
+    while len(guides) < count:
+        attempts += 1
+        if attempts > max_attempts:
+            raise GuideError(
+                f"could only sample {len(guides)}/{count} guides after {attempts} attempts"
+            )
+        position = int(rng.integers(0, len(genome) - site_length + 1))
+        window = genome.window(position, site_length)
+        if "N" in window:
+            continue
+        if resolved.side == "3prime":
+            protospacer, pam_site = window[:protospacer_length], window[protospacer_length:]
+        else:
+            pam_site, protospacer = window[: len(resolved)], window[len(resolved):]
+        if not resolved.matches(pam_site):
+            continue
+        if protospacer in seen:
+            continue
+        seen.add(protospacer)
+        guides.append(Guide(f"{name_prefix}{len(guides) + 1:04d}", protospacer, resolved))
+    return GuideLibrary(tuple(guides))

@@ -1,0 +1,107 @@
+"""Protospacer-adjacent motif (PAM) definitions.
+
+A Cas nuclease only cleaves next to its PAM; the PAM is matched
+*exactly* (per its IUPAC pattern) and never consumes the mismatch
+budget. SpCas9's canonical PAM is ``NGG`` on the 3' side of the
+protospacer; the catalog also carries the relaxed ``NAG``/``NRG``
+variants the off-target literature searches with, and a few other
+nucleases for completeness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import alphabet
+from ..errors import PamError
+
+
+@dataclass(frozen=True)
+class Pam:
+    """A PAM motif.
+
+    Parameters
+    ----------
+    name:
+        Catalog key, e.g. ``"NGG"``.
+    pattern:
+        IUPAC pattern matched exactly against the genome.
+    side:
+        ``"3prime"`` when the PAM follows the protospacer (Cas9 family),
+        ``"5prime"`` when it precedes it (Cas12a family).
+    nuclease:
+        Human-readable nuclease name.
+    """
+
+    name: str
+    pattern: str
+    side: str
+    nuclease: str
+
+    def __post_init__(self) -> None:
+        pattern = alphabet.validate_iupac(self.pattern, what=f"PAM {self.name!r}")
+        object.__setattr__(self, "pattern", pattern)
+        if self.side not in ("3prime", "5prime"):
+            raise PamError(f"PAM side must be '3prime' or '5prime', got {self.side!r}")
+        if not pattern:
+            raise PamError("PAM pattern must be non-empty")
+
+    def __len__(self) -> int:
+        return len(self.pattern)
+
+    def matches(self, site: str) -> bool:
+        """Return True when *site* (concrete bases) satisfies the motif."""
+        if len(site) != len(self.pattern):
+            return False
+        return all(
+            alphabet.iupac_matches(pattern_symbol, base)
+            for pattern_symbol, base in zip(self.pattern, site.upper())
+        )
+
+    def expected_hit_rate(self, gc_content: float = 0.41) -> float:
+        """Probability that a random genome window satisfies the motif.
+
+        Used by the timing and reporting models to predict candidate
+        densities without scanning.
+        """
+        at = (1.0 - gc_content) / 2.0
+        gc = gc_content / 2.0
+        base_probability = {"A": at, "C": gc, "G": gc, "T": at}
+        rate = 1.0
+        for symbol in self.pattern:
+            rate *= sum(base_probability[base] for base in alphabet.iupac_bases(symbol))
+        return rate
+
+    def reverse_complement_pattern(self) -> str:
+        """The IUPAC pattern this PAM presents on the opposite strand."""
+        return alphabet.reverse_complement(self.pattern)
+
+
+#: Catalog of PAMs used throughout the evaluation.
+PAM_CATALOG: dict[str, Pam] = {
+    pam.name: pam
+    for pam in (
+        Pam("NGG", "NGG", "3prime", "SpCas9"),
+        Pam("NAG", "NAG", "3prime", "SpCas9 (relaxed)"),
+        Pam("NRG", "NRG", "3prime", "SpCas9 (NGG+NAG)"),
+        Pam("NNGRRT", "NNGRRT", "3prime", "SaCas9"),
+        Pam("NNNNGATT", "NNNNGATT", "3prime", "NmCas9"),
+        Pam("TTTV", "TTTV", "5prime", "AsCpf1/Cas12a"),
+        Pam("NNNNRYAC", "NNNNRYAC", "3prime", "CjCas9"),
+    )
+}
+
+
+def get_pam(name_or_pattern: str) -> Pam:
+    """Resolve a PAM by catalog name, or build an ad-hoc 3' PAM.
+
+    An unknown *name_or_pattern* that is a valid IUPAC string becomes a
+    custom 3'-side PAM, matching how the original tools accept free-form
+    PAM patterns on the command line.
+    """
+    key = name_or_pattern.upper()
+    if key in PAM_CATALOG:
+        return PAM_CATALOG[key]
+    if alphabet.is_iupac(key):
+        return Pam(key, key, "3prime", "custom")
+    raise PamError(f"unknown PAM {name_or_pattern!r}")

@@ -1,0 +1,41 @@
+"""Platform models: device specs, timing models, resource and report models."""
+
+from .spec import (
+    ApSpec,
+    CasOffinderSpec,
+    CasotSpec,
+    CpuSpec,
+    FpgaSpec,
+    GpuNfaSpec,
+    DEVICES,
+    device,
+)
+from .timing import TimingBreakdown, WorkloadProfile
+from .resources import (
+    estimate_nfa_states,
+    estimate_stes,
+    expected_activity,
+    fpga_luts_for,
+    guides_per_pass,
+)
+from .reporting import ReportCostModel, ReportTraffic
+
+__all__ = [
+    "ApSpec",
+    "CasOffinderSpec",
+    "CasotSpec",
+    "CpuSpec",
+    "FpgaSpec",
+    "GpuNfaSpec",
+    "DEVICES",
+    "device",
+    "TimingBreakdown",
+    "WorkloadProfile",
+    "estimate_nfa_states",
+    "estimate_stes",
+    "expected_activity",
+    "fpga_luts_for",
+    "guides_per_pass",
+    "ReportCostModel",
+    "ReportTraffic",
+]

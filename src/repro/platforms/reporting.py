@@ -1,0 +1,71 @@
+"""Report-event cost model for spatial architectures.
+
+On the AP and on FPGA automata overlays, match *computation* is free —
+every STE evaluates every cycle — but match *reporting* is not: report
+events are gathered into on-chip event buffers which must be drained
+over a comparatively slow host link, stalling symbol processing when
+they fill. The paper's discussion of spatial-platform optimisations
+centres on exactly this output bottleneck, so the model is explicit
+and shared by both spatial engines, and the F6/F7 experiments sweep it.
+
+Two optimisations from the paper's "methods to further improve
+performance" are modelled:
+
+* **report coalescing** — report vectors are recorded once per cycle
+  that has any report, not once per reporting STE, collapsing the
+  many simultaneous accept-row activations a repeat-dense region
+  produces;
+* **mismatch-threshold pruning** — report only rows up to a smaller
+  mismatch count in a first pass and rescan flagged regions, trading
+  a cheap second pass for drastically fewer events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import PlatformError
+
+
+@dataclass(frozen=True)
+class ReportTraffic:
+    """Raw report volume of one run."""
+
+    events: int  #: reporting-STE activations
+    cycles_with_reports: int  #: cycles in which at least one STE reported
+
+    def __post_init__(self) -> None:
+        if self.events < 0 or self.cycles_with_reports < 0:
+            raise PlatformError("report traffic counts must be non-negative")
+        if self.cycles_with_reports > self.events:
+            raise PlatformError("cycles_with_reports cannot exceed events")
+
+
+@dataclass(frozen=True)
+class ReportCostModel:
+    """Stall model for an event buffer of *buffer_entries* entries.
+
+    Every time the buffer fills, the device stalls *drain_cycles* while
+    the host drains it.
+    """
+
+    buffer_entries: int
+    drain_cycles: int
+    coalesce: bool = False
+
+    def __post_init__(self) -> None:
+        if self.buffer_entries <= 0 or self.drain_cycles < 0:
+            raise PlatformError("buffer must be positive and drain non-negative")
+
+    def recorded_entries(self, traffic: ReportTraffic) -> int:
+        """Buffer entries actually consumed under the configured mode."""
+        return traffic.cycles_with_reports if self.coalesce else traffic.events
+
+    def stall_cycles(self, traffic: ReportTraffic) -> int:
+        """Total cycles stalled draining report buffers."""
+        drains = self.recorded_entries(traffic) // self.buffer_entries
+        return drains * self.drain_cycles
+
+    def with_coalescing(self) -> "ReportCostModel":
+        """The same model with per-cycle report coalescing enabled."""
+        return ReportCostModel(self.buffer_entries, self.drain_cycles, coalesce=True)

@@ -1,0 +1,179 @@
+"""Resource estimation for compiled guide automata.
+
+Closed-form predictors for the sizes that determine spatial-platform
+capacity (STE counts, FPGA LUTs, guides per configuration pass), plus
+the expected-activity model that drives the CPU/GPU NFA timing models.
+The predictors are validated against actually-compiled automata by the
+test suite, so sweeps (capacity figures, guide-scaling benches) can
+cover parameter ranges without compiling thousands of automata.
+"""
+
+from __future__ import annotations
+
+from .. import alphabet
+from ..automata.homogeneous import HomogeneousAutomaton, StartMode
+from ..errors import PlatformError
+from .spec import ApSpec, FpgaSpec
+
+
+def estimate_nfa_states(
+    protospacer_length: int,
+    pam_length: int,
+    mismatches: int,
+    rna_bulges: int = 0,
+    dna_bulges: int = 0,
+) -> int:
+    """Predicted NFA states for ONE strand pattern of one guide.
+
+    Mismatch-only grids follow the exact closed form of
+    :func:`repro.core.hamming.hamming_state_count` (3'-PAM layout).
+    Bulged grids are predicted by walking the profile frontier the same
+    way the builder does, which is exact for the canonical layout.
+    """
+    if min(protospacer_length, pam_length, mismatches, rna_bulges, dna_bulges) < 0:
+        raise PlatformError("all size parameters must be non-negative")
+    m, g, k = protospacer_length, pam_length, mismatches
+    if rna_bulges == 0 and dna_bulges == 0:
+        grid = sum(min(i, k) + 1 for i in range(1, m + 1))
+        return 1 + grid + (k + 1) * g
+    count = 1
+    # Frontier of (j, r, d) profiles, walked layer by layer.
+    layer = {(0, 0, 0)}
+    for i in range(m):
+        if 1 <= i <= m - 1 and dna_bulges:
+            grown = set(layer)
+            for j, r, d in layer:
+                for extra in range(1, dna_bulges - d + 1):
+                    grown.add((j, r, d + extra))
+            count += len(grown) - len(layer)
+            layer = grown
+        next_layer = set()
+        for j, r, d in layer:
+            next_layer.add((j, r, d))
+            if j < k:
+                next_layer.add((j + 1, r, d))
+            if 0 < i < m - 1 and r < rna_bulges:
+                next_layer.add((j, r + 1, d))
+        count += len(next_layer)
+        layer = next_layer
+    # Exact (PAM) chain: one chain per surviving profile row.
+    count += len(layer) * g
+    return count
+
+
+def estimate_stes(
+    protospacer_length: int,
+    pam_length: int,
+    mismatches: int,
+    rna_bulges: int = 0,
+    dna_bulges: int = 0,
+    *,
+    both_strands: bool = True,
+) -> int:
+    """Predicted STE count for one guide's homogeneous automaton.
+
+    The homogeneous conversion creates one STE per distinct incoming
+    character class of each NFA state: grid states entered by both a
+    match and a mismatch edge split in two; single-class states (PAM
+    chain, pure-match row 0 interior, DNA-bulge any-class entries)
+    stay single. The factor below reflects the canonical grid: every
+    state with an in-budget mismatch predecessor doubles.
+    """
+    m, g, k = protospacer_length, pam_length, mismatches
+    if rna_bulges == 0 and dna_bulges == 0:
+        # A grid state (i, j) gets a match-class STE when row j already
+        # existed at position i-1 (j <= min(i-1, k)) and a mismatch-class
+        # STE when it is entered from row j-1 (1 <= j <= min(i-1, k)+1,
+        # capped at k). The PAM chain is per-row when it follows the
+        # grid (pam-last layout) but shared when it precedes it
+        # (pam-first layout, the reverse strand of a 3'-PAM guide).
+        def grid_stes() -> int:
+            count = 0
+            for i in range(1, m + 1):
+                reachable_rows = min(i - 1, k) + 1
+                count += reachable_rows  # match-class copies
+                count += min(reachable_rows, k)  # mismatch-class copies
+            return count
+
+        pam_last = grid_stes() + (k + 1) * g
+        pam_first = g + grid_stes()
+        total = pam_last + pam_first if both_strands else pam_last
+        return total
+    # Bulged grids add any-class (DNA) and epsilon-collapsed (RNA)
+    # entries; bound with the empirical ~2.4 copies/state factor,
+    # validated (as an upper bound) by tests.
+    states = estimate_nfa_states(m, g, k, rna_bulges, dna_bulges)
+    total = int(states * 2.4)
+    return total * (2 if both_strands else 1)
+
+
+def fpga_luts_for(stes: int, spec: FpgaSpec) -> int:
+    """LUTs consumed by a network of *stes* on *spec*."""
+    return int(stes * spec.luts_per_ste)
+
+
+def guides_per_pass(stes_per_guide: int, spec) -> int:
+    """How many guides fit in one configuration pass of a spatial device."""
+    if stes_per_guide <= 0:
+        raise PlatformError("stes_per_guide must be positive")
+    if isinstance(spec, ApSpec):
+        capacity = spec.capacity_stes
+    elif isinstance(spec, FpgaSpec):
+        capacity = int(spec.luts / spec.luts_per_ste)
+    else:
+        raise PlatformError(f"no capacity model for {spec!r}")
+    return max(1, capacity // stes_per_guide)
+
+
+def expected_activity(
+    automaton: HomogeneousAutomaton, *, gc_content: float = 0.41
+) -> float:
+    """Expected matched STEs per symbol on random genome input.
+
+    Forward probability propagation through the (acyclic) network: a
+    start STE matches with the probability of its class under the base
+    distribution; an internal STE matches with (probability some
+    predecessor matched, union-bounded at 1) × (its class probability).
+    This is the activity figure the HyperScan and iNFAnt2 timing models
+    consume — on von Neumann platforms, active states cost time.
+    """
+    at = (1.0 - gc_content) / 2.0
+    gc = gc_content / 2.0
+    base_probability = [at, gc, gc, at, 0.0]  # A C G T N
+
+    def class_probability(mask: int) -> float:
+        return sum(
+            base_probability[code]
+            for code in range(alphabet.NUM_CODES)
+            if (mask >> code) & 1
+        )
+
+    n = automaton.num_stes
+    indegree = [0] * n
+    for source in range(n):
+        for target in automaton.successors(source):
+            indegree[target] += 1
+    order = [s for s in range(n) if indegree[s] == 0]
+    queue = list(order)
+    while queue:
+        source = queue.pop()
+        for target in automaton.successors(source):
+            indegree[target] -= 1
+            if indegree[target] == 0:
+                order.append(target)
+                queue.append(target)
+    if len(order) != n:
+        raise PlatformError("expected_activity requires an acyclic network")
+
+    probability = [0.0] * n
+    incoming: list[float] = [0.0] * n
+    for ste_id in order:
+        ste = automaton.ste(ste_id)
+        if ste.start is StartMode.ALL_INPUT:
+            enabled = 1.0
+        else:
+            enabled = min(1.0, incoming[ste_id])
+        probability[ste_id] = enabled * class_probability(ste.char_class.mask)
+        for target in automaton.successors(ste_id):
+            incoming[target] += probability[ste_id]
+    return float(sum(probability))

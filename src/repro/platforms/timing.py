@@ -1,0 +1,192 @@
+"""Analytic timing models for every platform.
+
+Each model maps a :class:`WorkloadProfile` — what was searched, how big
+the compiled network is, how active it is, how much it reports — to a
+:class:`TimingBreakdown`. The breakdown separates *kernel* time (symbol
+processing) from *setup* (configuration/compile/transfer) and *report*
+time, because the paper reports kernel-only and end-to-end comparisons
+separately (the AP-vs-FPGA 1.5× claim is kernel-only).
+
+All models are linear in genome length, which is structurally true of
+every platform here (streaming automata, brute-force position scans,
+or seed scans), so functional runs on megabase synthetic genomes and
+modeled times for gigabase references share one profile.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..errors import PlatformError
+from .reporting import ReportCostModel, ReportTraffic
+from .spec import ApSpec, CasOffinderSpec, CasotSpec, CpuSpec, FpgaSpec, GpuNfaSpec
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Everything a timing model needs to know about one search run."""
+
+    genome_length: int
+    num_guides: int
+    site_length: int  #: protospacer + PAM length
+    total_stes: int  #: compiled network size (both strands, all guides)
+    total_transitions: int  #: edges of the compiled network
+    expected_active: float  #: expected matched STEs per symbol
+    report_traffic: ReportTraffic = field(
+        default_factory=lambda: ReportTraffic(0, 0)
+    )
+    #: candidate count for seed-and-extend baselines (CasOT model)
+    seed_candidates: int = 0
+
+    def __post_init__(self) -> None:
+        if self.genome_length < 0 or self.num_guides <= 0:
+            raise PlatformError("profile requires non-negative length and >=1 guide")
+
+
+@dataclass(frozen=True)
+class TimingBreakdown:
+    """Modeled wall time, decomposed."""
+
+    platform: str
+    setup_seconds: float
+    kernel_seconds: float
+    report_seconds: float = 0.0
+    passes: int = 1
+
+    @property
+    def total_seconds(self) -> float:
+        return self.setup_seconds + self.kernel_seconds + self.report_seconds
+
+    @property
+    def kernel_with_reports_seconds(self) -> float:
+        """Device-resident time (kernel + report stalls), excluding setup."""
+        return self.kernel_seconds + self.report_seconds
+
+
+def ap_time(profile: WorkloadProfile, spec: ApSpec, *, coalesce_reports: bool = False) -> TimingBreakdown:
+    """Micron AP: 1 symbol/cycle, multi-pass beyond STE capacity."""
+    passes = max(1, math.ceil(profile.total_stes / spec.capacity_stes))
+    cycles = profile.genome_length * passes
+    model = ReportCostModel(spec.event_buffer_entries, spec.event_drain_cycles, coalesce=coalesce_reports)
+    stall_cycles = model.stall_cycles(profile.report_traffic)
+    return TimingBreakdown(
+        platform=spec.name,
+        setup_seconds=spec.config_seconds_per_pass * passes,
+        kernel_seconds=cycles / spec.clock_hz,
+        report_seconds=stall_cycles / spec.clock_hz,
+        passes=passes,
+    )
+
+
+def fpga_time(profile: WorkloadProfile, spec: FpgaSpec, *, coalesce_reports: bool = False) -> TimingBreakdown:
+    """FPGA overlay: 1 symbol/cycle at the routed clock, LUT-capacity passes."""
+    capacity_stes = int(spec.luts / spec.luts_per_ste)
+    passes = max(1, math.ceil(profile.total_stes / capacity_stes))
+    cycles = profile.genome_length * passes
+    model = ReportCostModel(spec.report_fifo_entries, spec.report_drain_cycles, coalesce=coalesce_reports)
+    stall_cycles = model.stall_cycles(profile.report_traffic)
+    return TimingBreakdown(
+        platform=spec.name,
+        setup_seconds=spec.bitstream_seconds * passes,
+        kernel_seconds=cycles / spec.clock_hz,
+        report_seconds=stall_cycles / spec.clock_hz,
+        passes=passes,
+    )
+
+
+def hyperscan_time(profile: WorkloadProfile, spec: CpuSpec) -> TimingBreakdown:
+    """HyperScan (single thread): time ∝ active-state updates.
+
+    The scan rate collapses from the DFA-like ceiling toward the
+    active-state budget as guides/budgets grow — the algorithmic story
+    of why a von Neumann automata engine still beats seed-and-extend
+    but loses to spatial hardware.
+    """
+    update_seconds = profile.genome_length * profile.expected_active / spec.state_update_rate
+    floor_seconds = profile.genome_length / spec.max_scan_rate
+    return TimingBreakdown(
+        platform=spec.name,
+        setup_seconds=spec.setup_seconds,
+        kernel_seconds=max(update_seconds, floor_seconds),
+    )
+
+
+def infant2_time(profile: WorkloadProfile, spec: GpuNfaSpec) -> TimingBreakdown:
+    """iNFAnt2 (GPU NFA): per-symbol sync + active-transition traffic.
+
+    The fixed per-symbol synchronisation term is the reason the
+    approach "does not map well to the GPU": it cannot be amortised,
+    so small workloads see no benefit, and once transition tables
+    spill out of shared memory the transition term inflates by the
+    spill penalty.
+    """
+    if profile.total_stes <= 0:
+        raise PlatformError("iNFAnt2 model requires a non-empty network")
+    mean_fanout = profile.total_transitions / profile.total_stes
+    active_transitions = profile.expected_active * max(1.0, mean_fanout)
+    transition_seconds = active_transitions / spec.transition_rate
+    if profile.total_transitions > spec.table_capacity_transitions:
+        transition_seconds *= spec.spill_penalty
+    per_symbol = spec.sync_seconds_per_symbol + transition_seconds
+    return TimingBreakdown(
+        platform=spec.name,
+        setup_seconds=spec.setup_seconds,
+        kernel_seconds=profile.genome_length * per_symbol,
+    )
+
+
+def cas_offinder_time(profile: WorkloadProfile, spec: CasOffinderSpec) -> TimingBreakdown:
+    """Cas-OFFinder: stream + PAM-scan every position, compare at PAM sites.
+
+    The streaming term dominates for small guide batches (the tool is
+    disk/transfer bound), so runtime is nearly flat in guide count until
+    the per-site comparisons saturate — which is why a GPU NFA engine
+    that *does* scale with automata activity can end up slower than
+    this brute force at large batch sizes (the abstract's iNFAnt2
+    observation).
+    """
+    positions = profile.genome_length * 2  # both strands
+    stream = positions * spec.position_seconds
+    compares = positions * spec.pam_site_fraction * profile.num_guides
+    return TimingBreakdown(
+        platform=spec.name,
+        setup_seconds=spec.setup_seconds,
+        kernel_seconds=stream + compares * spec.site_guide_seconds,
+    )
+
+
+def casot_time(profile: WorkloadProfile, spec: CasotSpec) -> TimingBreakdown:
+    """CasOT: streaming scan plus per-candidate extension.
+
+    The candidate count is the workload-dependent term that explodes
+    with the mismatch budget (weaker seeds ⇒ more candidates).
+    """
+    stream = profile.genome_length * spec.stream_seconds_per_symbol
+    verify = profile.seed_candidates * spec.verify_seconds_per_candidate
+    return TimingBreakdown(
+        platform=spec.name,
+        setup_seconds=spec.setup_seconds,
+        kernel_seconds=stream + verify,
+    )
+
+
+def expected_casot_candidates(
+    genome_length: int,
+    num_guides: int,
+    protospacer_length: int,
+    mismatches: int,
+) -> int:
+    """Expected seed candidates for the pigeonhole seed-and-extend model.
+
+    The protospacer splits into ``mismatches + 1`` fragments; a site
+    within budget must match one fragment exactly, so the expected
+    candidate count per guide-strand is ``fragments × genome_length /
+    4^fragment_length`` — the quantity that blows up as fragments
+    shorten. Used by sweeps to model gigabase workloads without
+    running the functional baseline.
+    """
+    fragments = mismatches + 1
+    fragment_length = protospacer_length / fragments
+    per_pattern = fragments * genome_length / (4.0 ** fragment_length)
+    return int(per_pattern * num_guides * 2)

@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Guide, GuideLibrary, SearchBudget, random_genome, sample_guides_from_genome
+from repro.core.compiler import compile_guide, compile_library
+
+
+@pytest.fixture(scope="session")
+def small_genome():
+    """A deterministic 5 kbp genome for engine-level tests."""
+    return random_genome(5000, seed=11, name="chrTest")
+
+
+@pytest.fixture(scope="session")
+def tiny_genome():
+    """A deterministic 800 bp genome for oracle-heavy tests."""
+    return random_genome(800, seed=12, name="chrTiny")
+
+
+@pytest.fixture(scope="session")
+def guide():
+    """A single concrete NGG guide."""
+    return Guide("EMX1", "GAGTCCGAGCAGAAGAAGAA")
+
+
+@pytest.fixture(scope="session")
+def library(small_genome):
+    """Three guides sampled from the small genome (on-targets included)."""
+    return sample_guides_from_genome(small_genome, 3, seed=13)
+
+
+@pytest.fixture(scope="session")
+def mismatch_budget():
+    return SearchBudget(mismatches=2)
+
+
+@pytest.fixture(scope="session")
+def bulge_budget():
+    return SearchBudget(mismatches=1, rna_bulges=1, dna_bulges=1)
+
+
+@pytest.fixture(scope="session")
+def compiled_guide(guide, mismatch_budget):
+    return compile_guide(guide, mismatch_budget)
+
+
+@pytest.fixture(scope="session")
+def compiled_library(library, mismatch_budget):
+    return compile_library(library, mismatch_budget)

@@ -1,0 +1,18 @@
+"""Shared helper functions for the test suite."""
+
+
+def hit_spans(hits):
+    """Canonical span set for comparing hit collections."""
+    return {
+        (h.guide_name, h.strand, h.start, h.end, h.mismatches, h.rna_bulges, h.dna_bulges)
+        for h in hits
+    }
+
+
+def report_spans(reports):
+    """Canonical span set from engine (position, label) reports."""
+    spans = set()
+    for position, label in reports:
+        start, end = label.span_at(position)
+        spans.add((label.guide_name, label.strand, start, end))
+    return spans

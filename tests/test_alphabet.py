@@ -1,0 +1,153 @@
+"""Unit tests for repro.alphabet."""
+
+import numpy as np
+import pytest
+
+from repro import alphabet
+from repro.errors import AlphabetError
+
+
+class TestEncodeDecode:
+    def test_encode_basic(self):
+        codes = alphabet.encode("ACGTN")
+        assert codes.tolist() == [0, 1, 2, 3, 4]
+
+    def test_encode_lowercase(self):
+        assert alphabet.encode("acgtn").tolist() == [0, 1, 2, 3, 4]
+
+    def test_encode_u_aliases_t(self):
+        assert alphabet.encode("U").tolist() == [alphabet.CODE_T]
+        assert alphabet.encode("u").tolist() == [alphabet.CODE_T]
+
+    def test_encode_empty(self):
+        assert alphabet.encode("").size == 0
+
+    def test_encode_rejects_bad_symbol(self):
+        with pytest.raises(AlphabetError, match="position 2"):
+            alphabet.encode("ACXGT")
+
+    def test_decode_roundtrip(self):
+        text = "ACGTNNACGT"
+        assert alphabet.decode(alphabet.encode(text)) == text
+
+    def test_decode_rejects_out_of_range(self):
+        with pytest.raises(AlphabetError):
+            alphabet.decode(np.array([0, 5], dtype=np.uint8))
+
+    def test_decode_empty(self):
+        assert alphabet.decode(np.array([], dtype=np.uint8)) == ""
+
+
+class TestValidation:
+    def test_is_dna(self):
+        assert alphabet.is_dna("ACGT")
+        assert alphabet.is_dna("acgt")
+        assert not alphabet.is_dna("ACGN")
+        assert not alphabet.is_dna("ACGR")
+
+    def test_is_genome(self):
+        assert alphabet.is_genome("ACGTN")
+        assert not alphabet.is_genome("ACGR")
+
+    def test_is_iupac(self):
+        assert alphabet.is_iupac("ACGTRYSWKMBDHVN")
+        assert not alphabet.is_iupac("ACGZ")
+
+    def test_validate_genome_uppercases(self):
+        assert alphabet.validate_genome("acgtn") == "ACGTN"
+
+    def test_validate_genome_u_to_t(self):
+        assert alphabet.validate_genome("augc") == "ATGC"
+
+    def test_validate_genome_rejects(self):
+        with pytest.raises(AlphabetError, match="what-label"):
+            alphabet.validate_genome("ACR", what="what-label")
+
+    def test_validate_iupac(self):
+        assert alphabet.validate_iupac("nrg") == "NRG"
+
+    def test_validate_iupac_rejects(self):
+        with pytest.raises(AlphabetError):
+            alphabet.validate_iupac("NR!")
+
+
+class TestComplement:
+    def test_complement_bases(self):
+        assert alphabet.complement("ACGT") == "TGCA"
+
+    def test_reverse_complement(self):
+        assert alphabet.reverse_complement("AACG") == "CGTT"
+
+    def test_reverse_complement_involution(self):
+        text = "ACGTNRYSWKM"
+        assert alphabet.reverse_complement(alphabet.reverse_complement(text)) == text
+
+    def test_complement_iupac(self):
+        assert alphabet.complement("RY") == "YR"
+        assert alphabet.complement("N") == "N"
+
+    def test_complement_rejects_unknown(self):
+        with pytest.raises(AlphabetError):
+            alphabet.complement("Z")
+
+    def test_ngg_reverse_complement_is_ccn(self):
+        assert alphabet.reverse_complement("NGG") == "CCN"
+
+
+class TestIupac:
+    def test_bases_of_concrete(self):
+        assert alphabet.iupac_bases("A") == "A"
+
+    def test_bases_of_r(self):
+        assert alphabet.iupac_bases("R") == "AG"
+
+    def test_bases_of_n(self):
+        assert alphabet.iupac_bases("N") == "ACGT"
+
+    def test_bases_rejects_unknown(self):
+        with pytest.raises(AlphabetError):
+            alphabet.iupac_bases("Z")
+
+    def test_matches_concrete(self):
+        assert alphabet.iupac_matches("A", "A")
+        assert not alphabet.iupac_matches("A", "G")
+
+    def test_matches_ambiguous(self):
+        assert alphabet.iupac_matches("R", "G")
+        assert not alphabet.iupac_matches("R", "C")
+
+    def test_genome_n_only_matches_pattern_n(self):
+        assert alphabet.iupac_matches("N", "N")
+        assert not alphabet.iupac_matches("A", "N")
+        assert not alphabet.iupac_matches("R", "N")
+
+    def test_code_mask_concrete(self):
+        assert alphabet.iupac_code_mask("A") == 0b00001
+        assert alphabet.iupac_code_mask("T") == 0b01000
+
+    def test_code_mask_n_includes_genome_n(self):
+        assert alphabet.iupac_code_mask("N") == 0b11111
+
+    def test_code_mask_r(self):
+        assert alphabet.iupac_code_mask("R") == 0b00101
+
+
+class TestCodes:
+    def test_code_of(self):
+        assert [alphabet.code_of(b) for b in "ACGTN"] == [0, 1, 2, 3, 4]
+
+    def test_code_of_lowercase(self):
+        assert alphabet.code_of("g") == 2
+
+    def test_code_of_rejects(self):
+        with pytest.raises(AlphabetError):
+            alphabet.code_of("R")
+
+    def test_base_of(self):
+        assert [alphabet.base_of(c) for c in range(5)] == list("ACGTN")
+
+    def test_base_of_rejects(self):
+        with pytest.raises(AlphabetError):
+            alphabet.base_of(5)
+        with pytest.raises(AlphabetError):
+            alphabet.base_of(-1)

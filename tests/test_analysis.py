@@ -1,0 +1,166 @@
+"""Unit tests for the analysis package."""
+
+import pytest
+
+from repro import SearchBudget
+from repro.analysis.results import ResultSet, RunRecord
+from repro.analysis.speedup import speedup_matrix, speedup_vs
+from repro.analysis.tables import render_series, render_table
+from repro.analysis.workloads import StandardWorkload, evaluate_platforms
+from repro.errors import ReproError
+from repro.platforms.timing import TimingBreakdown
+
+
+def _record(tool, total, workload="w", hits=5, kernel=None):
+    return RunRecord(
+        tool=tool,
+        workload=workload,
+        genome_length=1000,
+        num_guides=2,
+        mismatches=3,
+        rna_bulges=0,
+        dna_bulges=0,
+        modeled=TimingBreakdown(
+            tool, setup_seconds=0.0, kernel_seconds=kernel or total, report_seconds=0.0
+        ),
+        num_hits=hits,
+    )
+
+
+class TestResultSet:
+    def test_tools_and_workloads(self):
+        results = ResultSet([_record("a", 1.0), _record("b", 2.0, workload="x")])
+        assert results.tools() == ["a", "b"]
+        assert results.workloads() == ["w", "x"]
+
+    def test_get(self):
+        results = ResultSet([_record("a", 1.0)])
+        assert results.get("a").tool == "a"
+
+    def test_get_missing(self):
+        with pytest.raises(ReproError):
+            ResultSet().get("a")
+
+    def test_get_ambiguous(self):
+        results = ResultSet([_record("a", 1.0), _record("a", 2.0)])
+        with pytest.raises(ReproError):
+            results.get("a")
+
+    def test_agreement(self):
+        agreeing = ResultSet([_record("a", 1.0, hits=5), _record("b", 2.0, hits=5)])
+        assert agreeing.agreement()
+        disagreeing = ResultSet([_record("a", 1.0, hits=5), _record("b", 2.0, hits=6)])
+        assert not disagreeing.agreement()
+
+    def test_filters(self):
+        results = ResultSet([_record("a", 1.0), _record("b", 2.0, workload="x")])
+        assert len(results.for_tool("a")) == 1
+        assert len(results.for_workload("x")) == 1
+
+    def test_budget_label(self):
+        assert _record("a", 1.0).budget_label == "3mm/0rb/0db"
+
+
+class TestSpeedup:
+    def test_speedup_vs(self):
+        results = ResultSet([_record("fast", 2.0), _record("slow", 20.0)])
+        assert speedup_vs(results, "fast", "slow") == pytest.approx(10.0)
+
+    def test_kernel_only(self):
+        results = ResultSet(
+            [_record("fast", 2.0, kernel=1.0), _record("slow", 20.0, kernel=10.0)]
+        )
+        assert speedup_vs(results, "fast", "slow", kernel_only=True) == pytest.approx(10.0)
+
+    def test_matrix_excludes_baselines(self):
+        results = ResultSet([_record("a", 1.0), _record("b", 2.0), _record("base", 10.0)])
+        matrix = speedup_matrix(results, ["base"])
+        assert set(matrix) == {"a", "b"}
+        assert matrix["a"]["base"] == pytest.approx(10.0)
+
+
+class TestTables:
+    def test_render_table_alignment(self):
+        text = render_table(["tool", "sec"], [["ap", 1.5], ["fpga", 20.25]])
+        lines = text.splitlines()
+        assert lines[0].startswith("tool")
+        assert len(lines) == 4
+
+    def test_render_table_title(self):
+        assert render_table(["a"], [[1]], title="T2").splitlines()[0] == "T2"
+
+    def test_float_formatting(self):
+        text = render_table(["x"], [[0.000123], [123456.0], [1.5]])
+        assert "0.000123" in text
+        assert "1.23e+05" in text
+        assert "1.5" in text
+
+    def test_render_series(self):
+        text = render_series("k", [1, 2], {"ap": [0.1, 0.2], "fpga": [0.3, 0.4]})
+        lines = text.splitlines()
+        assert lines[0].split() == ["k", "ap", "fpga"]
+        assert lines[2].split() == ["1", "0.1", "0.3"]
+
+
+class TestWorkloads:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return StandardWorkload(
+            name="test",
+            modeled_genome_length=100_000_000,
+            functional_genome_length=200_000,
+            num_guides=3,
+            budget=SearchBudget(mismatches=2),
+            seed=77,
+        )
+
+    def test_deterministic_genome(self, workload):
+        assert workload.genome.text == workload.genome.text
+        assert len(workload.genome) == 200_000
+
+    def test_library_sampled(self, workload):
+        assert len(workload.library) == 3
+
+    def test_scale(self, workload):
+        assert workload.scale == pytest.approx(500.0)
+
+    def test_modeled_profile_scales_traffic(self, workload):
+        profile = workload.modeled_profile()
+        assert profile.genome_length == 100_000_000
+        assert profile.report_traffic.events >= len(workload.functional_hits)
+
+    def test_with_budget_and_guides(self, workload):
+        changed = workload.with_budget(SearchBudget(mismatches=1))
+        assert changed.budget.mismatches == 1
+        assert changed.name != workload.name
+        grown = workload.with_guides(5)
+        assert grown.num_guides == 5
+
+    def test_evaluate_platforms(self, workload):
+        results = evaluate_platforms(workload)
+        assert set(results.tools()) == {
+            "hyperscan",
+            "infant2",
+            "fpga",
+            "ap",
+            "cas-offinder",
+            "casot",
+        }
+        assert results.agreement()
+        # The paper's ordering: spatial < GPU NFA < tuned CPU < baselines.
+        total = {tool: results.get(tool).modeled_total for tool in results.tools()}
+        assert total["ap"] < total["fpga"] < total["infant2"] < total["hyperscan"]
+        assert total["hyperscan"] < total["cas-offinder"] < total["casot"]
+
+    def test_evaluate_with_functional_baselines(self):
+        workload = StandardWorkload(
+            name="mini",
+            modeled_genome_length=10_000_000,
+            functional_genome_length=50_000,
+            num_guides=2,
+            budget=SearchBudget(mismatches=2),
+            seed=78,
+        )
+        results = evaluate_platforms(workload, run_functional_baselines=True)
+        assert results.agreement()
+        assert results.get("casot").extra["functional"] is True

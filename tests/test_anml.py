@@ -1,0 +1,89 @@
+"""Unit tests for repro.automata.anml."""
+
+import numpy as np
+import pytest
+
+from repro import alphabet
+from repro.automata.anml import from_anml, to_anml
+from repro.automata.charclass import CharClass
+from repro.automata.homogeneous import HomogeneousAutomaton, StartMode
+from repro.core.compiler import SearchBudget, compile_guide
+from repro.errors import AutomatonError
+from repro.grna.guide import Guide
+
+
+def _sample_automaton():
+    automaton = HomogeneousAutomaton()
+    a = automaton.add_ste(CharClass.of("A"), start=StartMode.ALL_INPUT)
+    b = automaton.add_ste(CharClass.of("CG"), reports=("hit",))
+    automaton.connect(a, b)
+    return automaton
+
+
+def test_roundtrip_structure():
+    automaton = _sample_automaton()
+    back = from_anml(to_anml(automaton))
+    assert back.num_stes == 2
+    assert back.num_edges == 1
+    assert back.ste(0).start is StartMode.ALL_INPUT
+    assert back.ste(0).char_class == CharClass.of("A")
+    assert back.ste(1).reports == ("'hit'",)
+
+
+def test_roundtrip_preserves_behaviour():
+    guide = Guide("g", "ACGTACGTACGTACGTACGT")
+    compiled = compile_guide(guide, SearchBudget(mismatches=1))
+    original = compiled.homogeneous
+    back = from_anml(to_anml(original))
+    rng = np.random.default_rng(9)
+    codes = rng.integers(0, 4, 300).astype(np.uint8)
+    original_cycles = sorted(cycle for cycle, _ in original.run(codes))
+    back_cycles = sorted(cycle for cycle, _ in back.run(codes))
+    assert original_cycles == back_cycles
+
+
+def test_xml_shape():
+    xml = to_anml(_sample_automaton(), network_id="net42")
+    assert 'id="net42"' in xml
+    assert 'symbol-set="A"' in xml
+    assert "activate-on-match" in xml
+    assert "report-on-match" in xml
+
+
+def test_file_roundtrip(tmp_path):
+    path = tmp_path / "net.anml"
+    path.write_text(to_anml(_sample_automaton()))
+    back = from_anml(path)
+    assert back.num_stes == 2
+
+
+def test_malformed_xml_rejected():
+    with pytest.raises(AutomatonError):
+        from_anml("<anml><unclosed>")
+
+
+def test_missing_network_rejected():
+    with pytest.raises(AutomatonError):
+        from_anml("<anml></anml>")
+
+
+def test_unknown_start_mode_rejected():
+    xml = (
+        '<anml><automata-network id="x">'
+        '<state-transition-element id="a" symbol-set="A" start="sometimes"/>'
+        "</automata-network></anml>"
+    )
+    with pytest.raises(AutomatonError):
+        from_anml(xml)
+
+
+def test_dangling_edge_rejected():
+    xml = (
+        '<anml><automata-network id="x">'
+        '<state-transition-element id="a" symbol-set="A" start="none">'
+        '<activate-on-match element="ghost"/>'
+        "</state-transition-element>"
+        "</automata-network></anml>"
+    )
+    with pytest.raises(AutomatonError):
+        from_anml(xml)

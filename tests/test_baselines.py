@@ -1,0 +1,105 @@
+"""Unit tests for the baseline tool reimplementations."""
+
+import pytest
+
+from repro import SearchBudget
+from repro.baselines import CasOffinderBaseline, CasotBaseline
+from repro.baselines.base import available_baselines, get_baseline
+from repro.baselines.casot import split_fragments
+from repro.core import matcher
+from repro.errors import EngineError
+from repro.grna.library import sample_guides_from_genome
+
+from helpers import hit_spans
+
+
+class TestRegistry:
+    def test_available(self):
+        assert available_baselines() == ["cas-offinder", "casot"]
+
+    def test_get(self):
+        assert isinstance(get_baseline("casot"), CasotBaseline)
+
+    def test_unknown(self):
+        with pytest.raises(EngineError):
+            get_baseline("crispor")
+
+
+class TestCasOffinder:
+    def test_agrees_with_automata(self, small_genome, library):
+        for k in (0, 1, 3):
+            budget = SearchBudget(mismatches=k)
+            result = CasOffinderBaseline().search(small_genome, library, budget)
+            expected = matcher.find_hits(small_genome, library, budget)
+            assert hit_spans(result.hits) == hit_spans(expected)
+
+    def test_rejects_bulges(self, small_genome, library):
+        with pytest.raises(EngineError, match="mismatches only"):
+            CasOffinderBaseline().search(
+                small_genome, library, SearchBudget(rna_bulges=1)
+            )
+
+    def test_stats(self, small_genome, library):
+        result = CasOffinderBaseline().search(
+            small_genome, library, SearchBudget(mismatches=1)
+        )
+        assert result.stats["pam_candidates"] > 0
+        assert result.stats["packed_reference_bytes"] < len(small_genome)
+        assert result.stats["positions_compared"] == len(small_genome) * len(library) * 2
+
+    def test_modeled_time_scales_with_guides(self, small_genome, library):
+        baseline = CasOffinderBaseline()
+        budget = SearchBudget(mismatches=1)
+        one = baseline.search(small_genome, library.subset(1), budget)
+        three = baseline.search(small_genome, library, budget)
+        assert three.modeled.kernel_seconds > one.modeled.kernel_seconds
+
+
+class TestCasot:
+    def test_agrees_with_automata_mismatch_only(self, small_genome, library):
+        budget = SearchBudget(mismatches=2)
+        result = CasotBaseline().search(small_genome, library, budget)
+        expected = matcher.find_hits(small_genome, library, budget)
+        assert hit_spans(result.hits) == hit_spans(expected)
+
+    def test_agrees_with_automata_bulged(self, small_genome, library):
+        budget = SearchBudget(mismatches=1, rna_bulges=1, dna_bulges=1)
+        result = CasotBaseline().search(small_genome, library, budget)
+        expected = matcher.find_hits(small_genome, library, budget)
+        assert hit_spans(result.hits) == hit_spans(expected)
+
+    def test_candidates_grow_with_budget(self, small_genome, library):
+        baseline = CasotBaseline()
+        low = baseline.search(small_genome, library, SearchBudget(mismatches=1))
+        high = baseline.search(small_genome, library, SearchBudget(mismatches=4))
+        assert high.stats["candidates_verified"] > low.stats["candidates_verified"]
+        assert high.modeled.kernel_seconds > low.modeled.kernel_seconds
+
+    def test_budget_too_large_rejected(self, small_genome, library):
+        with pytest.raises(EngineError, match="fragments"):
+            CasotBaseline().search(small_genome, library, SearchBudget(mismatches=25))
+
+
+class TestSplitFragments:
+    def test_partition(self):
+        spans = split_fragments(20, 4)
+        assert spans == [(0, 5), (5, 10), (10, 15), (15, 20)]
+
+    def test_uneven_lengths(self):
+        spans = split_fragments(20, 3)
+        assert spans == [(0, 7), (7, 14), (14, 20)]
+        assert spans[-1][1] == 20
+
+    def test_covers_everything_contiguously(self):
+        for length in (10, 17, 20, 23):
+            for parts in range(1, length + 1):
+                spans = split_fragments(length, parts)
+                assert spans[0][0] == 0 and spans[-1][1] == length
+                for (_, prev_end), (start, _) in zip(spans, spans[1:]):
+                    assert prev_end == start
+
+    def test_rejects_impossible(self):
+        with pytest.raises(EngineError):
+            split_fragments(5, 6)
+        with pytest.raises(EngineError):
+            split_fragments(5, 0)

@@ -1,0 +1,151 @@
+"""Unit tests for the mismatch+bulge automaton compiler."""
+
+import pytest
+
+from repro import alphabet
+from repro.core.bulge import BulgeBudget, build_bulge_nfa
+from repro.core.hamming import PatternSegment
+from repro.errors import CompileError
+
+
+def _codes(text):
+    return alphabet.encode(text)
+
+
+PROTO = "ACGTACGTAC"
+
+
+def _nfa(k=0, rna=0, dna=0, proto=PROTO):
+    return build_bulge_nfa(
+        [PatternSegment(proto, budgeted=True), PatternSegment("NGG", budgeted=False)],
+        k,
+        BulgeBudget(rna=rna, dna=dna),
+        guide_name="g",
+        strand="+",
+    )
+
+
+class TestExact:
+    def test_exact_still_accepted(self):
+        nfa = _nfa(k=1, rna=1, dna=1)
+        labels = [label for _, label in nfa.run(_codes(PROTO + "AGG"))]
+        best = min(labels, key=lambda l: l.edits)
+        assert (best.mismatches, best.rna_bulges, best.dna_bulges) == (0, 0, 0)
+
+
+class TestRnaBulge:
+    def test_deleted_interior_base_found(self):
+        # Remove protospacer position 4 (interior): site one base shorter.
+        site = PROTO[:4] + PROTO[5:] + "AGG"
+        nfa = _nfa(rna=1)
+        reports = list(nfa.run(_codes(site)))
+        assert reports, "RNA-bulged site must be accepted"
+        label = min((l for _, l in reports), key=lambda l: l.edits)
+        assert label.rna_bulges == 1
+        assert label.consumed == len(site)
+
+    def test_rna_budget_enforced(self):
+        site = PROTO[:3] + PROTO[4:6] + PROTO[7:] + "AGG"  # two deletions
+        assert list(_nfa(rna=1).run(_codes(site))) == []
+        assert list(_nfa(rna=2).run(_codes(site)))
+
+    def test_terminal_deletion_not_an_rna_bulge(self):
+        # Deleting the first base is just a shifted site; the automaton
+        # must not spend a bulge on it (no accept of the shorter site
+        # at that alignment with rna budget but zero mismatch budget and
+        # a non-matching replacement).
+        nfa = _nfa(rna=1)
+        site_del_first = PROTO[1:] + "AGG"
+        labels = [l for _, l in nfa.run(_codes("T" + site_del_first))]
+        # Any acceptance here is the plain shifted exact match, not a bulge.
+        assert all(l.rna_bulges == 0 for l in labels) or not labels
+
+
+class TestDnaBulge:
+    def test_inserted_interior_base_found(self):
+        site = PROTO[:5] + "T" + PROTO[5:] + "AGG"  # insertion between 4 and 5
+        nfa = _nfa(dna=1)
+        reports = list(nfa.run(_codes(site)))
+        assert reports, "DNA-bulged site must be accepted"
+        label = min((l for _, l in reports), key=lambda l: l.edits)
+        assert label.dna_bulges == 1
+        assert label.consumed == len(site)
+
+    def test_dna_budget_enforced(self):
+        site = PROTO[:3] + "G" + PROTO[3:7] + "C" + PROTO[7:] + "AGG"
+        assert list(_nfa(dna=1).run(_codes(site))) == []
+        assert list(_nfa(dna=2).run(_codes(site)))
+
+    def test_insertion_in_pam_rejected(self):
+        site = PROTO + "AG" + "T" + "G"  # broken PAM
+        assert list(_nfa(dna=1).run(_codes(site))) == []
+
+    def test_inserted_n_absorbed(self):
+        # A DNA bulge consumes any symbol, including N.
+        site = PROTO[:5] + "N" + PROTO[5:] + "AGG"
+        assert list(_nfa(dna=1).run(_codes(site)))
+
+
+class TestCombined:
+    def test_mismatch_plus_bulge(self):
+        mutated = list(PROTO)
+        mutated[2] = "T"  # G->T mismatch
+        site = "".join(mutated[:6]) + "A" + "".join(mutated[6:]) + "AGG"
+        nfa = _nfa(k=1, dna=1)
+        reports = list(nfa.run(_codes(site)))
+        assert reports
+        label = min((l for _, l in reports), key=lambda l: l.edits)
+        assert (label.mismatches, label.dna_bulges) == (1, 1)
+
+    def test_consumed_accounting(self):
+        nfa = _nfa(k=1, rna=1, dna=1)
+        total = len(PROTO) + 3
+        for state in nfa.states():
+            for label in state.accept_labels:
+                assert label.consumed == total + label.dna_bulges - label.rna_bulges
+
+    def test_all_profiles_have_accept_rows(self):
+        nfa = _nfa(k=1, rna=1, dna=1)
+        profiles = {
+            (l.mismatches, l.rna_bulges, l.dna_bulges)
+            for state in nfa.states()
+            for l in state.accept_labels
+        }
+        # Every in-budget profile is representable.
+        assert (0, 0, 0) in profiles
+        assert (1, 0, 0) in profiles
+        assert (0, 1, 0) in profiles
+        assert (0, 0, 1) in profiles
+        assert (1, 1, 1) in profiles
+
+
+class TestValidation:
+    def test_requires_exactly_one_budgeted_segment(self):
+        with pytest.raises(CompileError):
+            build_bulge_nfa(
+                [PatternSegment("NGG", budgeted=False)],
+                1,
+                BulgeBudget(rna=1),
+                guide_name="g",
+                strand="+",
+            )
+        with pytest.raises(CompileError):
+            build_bulge_nfa(
+                [
+                    PatternSegment("ACGT", budgeted=True),
+                    PatternSegment("ACGT", budgeted=True),
+                ],
+                1,
+                BulgeBudget(rna=1),
+                guide_name="g",
+                strand="+",
+            )
+
+    def test_negative_budgets_rejected(self):
+        with pytest.raises(CompileError):
+            BulgeBudget(rna=-1)
+        with pytest.raises(CompileError):
+            _nfa(k=-1, rna=1)
+
+    def test_budget_total(self):
+        assert BulgeBudget(rna=1, dna=2).total == 3

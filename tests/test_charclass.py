@@ -1,0 +1,81 @@
+"""Unit tests for repro.automata.charclass."""
+
+import pytest
+
+from repro.automata.charclass import CharClass
+from repro.errors import AutomatonError
+
+
+class TestConstruction:
+    def test_of(self):
+        cc = CharClass.of("AG")
+        assert "A" in cc
+        assert "G" in cc
+        assert "C" not in cc
+
+    def test_empty_and_any(self):
+        assert not CharClass.empty()
+        assert CharClass.any().cardinality() == 5
+
+    def test_bases_excludes_n(self):
+        cc = CharClass.bases()
+        assert cc.cardinality() == 4
+        assert "N" not in cc
+
+    def test_from_iupac_concrete(self):
+        assert CharClass.from_iupac("A").symbols() == "A"
+
+    def test_from_iupac_r(self):
+        assert CharClass.from_iupac("R").symbols() == "AG"
+
+    def test_from_iupac_n_includes_genome_n(self):
+        assert CharClass.from_iupac("N").symbols() == "ACGTN"
+
+    def test_mismatch_of_concrete_includes_n(self):
+        cc = CharClass.mismatch_of("A")
+        assert cc.symbols() == "CGTN"
+
+    def test_mismatch_of_n_is_empty(self):
+        assert not CharClass.mismatch_of("N")
+
+    def test_match_and_mismatch_partition_alphabet(self):
+        for symbol in "ACGTRYSWKMN":
+            match = CharClass.from_iupac(symbol)
+            mismatch = CharClass.mismatch_of(symbol)
+            assert (match | mismatch) == CharClass.any()
+            assert match.is_disjoint(mismatch)
+
+    def test_mask_bounds(self):
+        with pytest.raises(AutomatonError):
+            CharClass(1 << 6)
+        with pytest.raises(AutomatonError):
+            CharClass(-1)
+
+
+class TestAlgebra:
+    def test_or(self):
+        assert (CharClass.of("A") | CharClass.of("C")).symbols() == "AC"
+
+    def test_and(self):
+        assert (CharClass.of("ACG") & CharClass.of("GT")).symbols() == "G"
+
+    def test_invert(self):
+        assert (~CharClass.of("A")).symbols() == "CGTN"
+
+    def test_contains_code(self):
+        assert 0 in CharClass.of("A")
+        assert 1 not in CharClass.of("A")
+
+    def test_bool(self):
+        assert CharClass.of("A")
+        assert not CharClass.empty()
+
+    def test_ordering_and_hash(self):
+        a = CharClass.of("A")
+        also_a = CharClass.of("A")
+        assert a == also_a
+        assert hash(a) == hash(also_a)
+        assert len({a, also_a}) == 1
+
+    def test_cardinality(self):
+        assert CharClass.of("ACGT").cardinality() == 4

@@ -1,0 +1,118 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.genome.fasta import write_fasta
+from repro.genome.synthetic import random_genome
+
+
+@pytest.fixture()
+def reference(tmp_path):
+    path = tmp_path / "ref.fa"
+    write_fasta([random_genome(30_000, seed=71, name="chrCli")], path)
+    return path
+
+
+@pytest.fixture()
+def guide_table(tmp_path):
+    path = tmp_path / "guides.txt"
+    path.write_text("EMX1 GAGTCCGAGCAGAAGAAGAA\nVEGFA GGGTGGGGGGAGTTTGCTCC\n")
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_search_defaults(self):
+        args = build_parser().parse_args(["search", "r.fa", "g.txt"])
+        assert args.engine == "hyperscan"
+        assert args.mismatches == 3
+
+    def test_budget_flags(self):
+        args = build_parser().parse_args(
+            ["search", "r.fa", "g.txt", "--mismatches", "2", "--rna-bulges", "1"]
+        )
+        assert (args.mismatches, args.rna_bulges, args.dna_bulges) == (2, 1, 0)
+
+
+class TestSearch:
+    def test_search_outputs_bed(self, reference, guide_table, capsys):
+        code = main(["search", str(reference), str(guide_table), "--mismatches", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for line in out.splitlines():
+            fields = line.split("\t")
+            assert len(fields) == 6
+            assert fields[0] == "chrCli"
+
+    def test_search_each_engine(self, reference, guide_table, capsys):
+        for engine in ("fpga", "ap", "cas-offinder"):
+            assert main(
+                ["search", str(reference), str(guide_table), "--engine", engine]
+            ) == 0
+
+    def test_search_unknown_engine_errors(self, reference, guide_table, capsys):
+        code = main(["search", str(reference), str(guide_table), "--engine", "nope"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestEvaluate:
+    def test_evaluate_prints_tables(self, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--guides",
+                "2",
+                "--functional-length",
+                "60000",
+                "--mismatches",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "casot" in out
+        assert "Speedups" in out
+        assert "vs cas-offinder" in out
+
+    def test_evaluate_bulged_drops_cas_offinder(self, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--guides",
+                "2",
+                "--functional-length",
+                "60000",
+                "--mismatches",
+                "1",
+                "--rna-bulges",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "vs casot" in out
+        assert "vs cas-offinder" not in out
+
+
+class TestSynthesize:
+    def test_synthesize_writes_fasta(self, tmp_path, capsys):
+        out_path = tmp_path / "syn.fa"
+        code = main(
+            ["synthesize", "--length", "5000", "--seed", "3", "--out", str(out_path)]
+        )
+        assert code == 0
+        from repro.genome.fasta import read_fasta
+
+        records = read_fasta(out_path)
+        assert len(records[0].sequence) == 5000
+
+    def test_synthesize_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.fa", tmp_path / "b.fa"
+        main(["synthesize", "--length", "2000", "--seed", "9", "--out", str(a)])
+        main(["synthesize", "--length", "2000", "--seed", "9", "--out", str(b)])
+        assert a.read_text() == b.read_text()

@@ -1,0 +1,117 @@
+"""Unit tests for repro.core.compiler."""
+
+import pytest
+
+from repro import alphabet
+from repro.core.compiler import (
+    SearchBudget,
+    _segments,
+    compile_guide,
+    compile_library,
+)
+from repro.errors import CompileError
+from repro.grna.guide import Guide
+from repro.grna.library import GuideLibrary
+from repro.grna.pam import get_pam
+
+
+class TestSearchBudget:
+    def test_defaults(self):
+        budget = SearchBudget()
+        assert budget.mismatches == 3
+        assert not budget.has_bulges
+
+    def test_has_bulges(self):
+        assert SearchBudget(rna_bulges=1).has_bulges
+        assert SearchBudget(dna_bulges=1).has_bulges
+
+    def test_bulge_budget_view(self):
+        budget = SearchBudget(mismatches=1, rna_bulges=2, dna_bulges=1)
+        assert budget.bulges.rna == 2
+        assert budget.bulges.dna == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(CompileError):
+            SearchBudget(mismatches=-1)
+
+
+class TestSegments:
+    def test_forward_3prime(self, guide):
+        segments = _segments(guide, reverse=False)
+        assert [s.budgeted for s in segments] == [True, False]
+        assert segments[0].text == guide.protospacer
+        assert segments[1].text == "NGG"
+
+    def test_reverse_3prime(self, guide):
+        segments = _segments(guide, reverse=True)
+        assert [s.budgeted for s in segments] == [False, True]
+        assert segments[0].text == "CCN"
+        assert segments[1].text == alphabet.reverse_complement(guide.protospacer)
+
+    def test_forward_5prime(self):
+        guide = Guide("g", "ACGTACGTACGTACGTACGT", get_pam("TTTV"))
+        segments = _segments(guide, reverse=False)
+        assert [s.budgeted for s in segments] == [False, True]
+        assert segments[0].text == "TTTV"
+
+    def test_reverse_5prime(self):
+        guide = Guide("g", "ACGTACGTACGTACGTACGT", get_pam("TTTV"))
+        segments = _segments(guide, reverse=True)
+        assert [s.budgeted for s in segments] == [True, False]
+        assert segments[1].text == "BAAA"
+
+
+class TestCompiledGuide:
+    def test_strand_pair(self, compiled_guide):
+        forward_labels = {
+            l.strand for s in compiled_guide.forward.states() for l in s.accept_labels
+        }
+        reverse_labels = {
+            l.strand for s in compiled_guide.reverse.states() for l in s.accept_labels
+        }
+        assert forward_labels == {"+"}
+        assert reverse_labels == {"-"}
+
+    def test_combined_counts(self, compiled_guide):
+        assert (
+            compiled_guide.combined.num_states
+            == compiled_guide.forward.num_states + compiled_guide.reverse.num_states
+        )
+        assert compiled_guide.num_states == compiled_guide.combined.num_states
+
+    def test_cached_properties_stable(self, compiled_guide):
+        assert compiled_guide.homogeneous is compiled_guide.homogeneous
+        assert compiled_guide.dfa is compiled_guide.dfa
+
+    def test_num_stes(self, compiled_guide):
+        assert compiled_guide.num_stes == compiled_guide.homogeneous.num_stes
+
+    def test_bulged_compile_uses_bulge_builder(self, guide):
+        compiled = compile_guide(guide, SearchBudget(mismatches=0, rna_bulges=1))
+        profiles = {
+            (l.rna_bulges, l.dna_bulges)
+            for s in compiled.forward.states()
+            for l in s.accept_labels
+        }
+        assert (1, 0) in profiles
+
+
+class TestCompiledLibrary:
+    def test_guides_compiled(self, compiled_library, library):
+        assert len(compiled_library) == len(library)
+        assert [c.guide.name for c in compiled_library] == [g.name for g in library]
+
+    def test_combined_network_size(self, compiled_library):
+        assert compiled_library.num_stes == sum(
+            c.num_stes for c in compiled_library
+        )
+        assert compiled_library.homogeneous.num_stes == compiled_library.num_stes
+
+    def test_stats(self, compiled_library):
+        stats = compiled_library.stats()
+        assert stats.num_stes == compiled_library.num_stes
+        assert stats.num_reports >= 2 * len(compiled_library)
+
+    def test_empty_library_rejected(self, mismatch_budget):
+        with pytest.raises(Exception):
+            compile_library(GuideLibrary(()), mismatch_budget)

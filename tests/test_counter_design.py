@@ -1,0 +1,123 @@
+"""Unit tests for the counter-based mismatch design."""
+
+import numpy as np
+import pytest
+
+from repro import alphabet
+from repro.core.compiler import SearchBudget, _segments, compile_guide
+from repro.core.counter_design import build_counter_design, counter_design_resources
+from repro.errors import CompileError
+from repro.grna.guide import Guide
+from repro.platforms.resources import estimate_stes
+
+GUIDE = Guide("g", "ACGTACGTCA")  # short protospacer keeps networks small
+
+
+def _network(k, *, strand="+", streaming=True):
+    segments = _segments(GUIDE, reverse=strand == "-")
+    return build_counter_design(segments, k, label=("hit", strand), streaming=streaming)
+
+
+def _row_positions(k, codes, *, strand="+"):
+    compiled = compile_guide(GUIDE, SearchBudget(mismatches=k))
+    nfa = compiled.forward if strand == "+" else compiled.reverse
+    return sorted({p for p, _ in nfa.run(codes)})
+
+
+class TestStreamingEquivalence:
+    @pytest.mark.parametrize("k", [0, 1, 2, 3])
+    def test_random_streams(self, k):
+        network = _network(k)
+        rng = np.random.default_rng(23)
+        for length in (150, 259):
+            codes = rng.integers(0, 4, length).astype(np.uint8)
+            got = sorted({p for p, _ in network.run(codes)})
+            assert got == _row_positions(k, codes)
+
+    def test_every_alignment_offset(self):
+        # Windows at every phase must be detected (ring correctness).
+        network = _network(1)
+        target = GUIDE.concrete_target()
+        for offset in range(15):
+            codes = alphabet.encode("T" * offset + target + "AC")
+            got = {p for p, _ in network.run(codes)}
+            assert offset + len(target) - 1 in got, f"missed phase {offset}"
+
+    def test_back_to_back_windows_same_phase(self):
+        # Consecutive windows of one phase share a counter; the reset
+        # must isolate them.
+        target = GUIDE.concrete_target()
+        mutated = "TT" + target[2:]  # 2 mismatches at the front
+        network = _network(1)
+        codes = alphabet.encode(target + mutated + target)
+        positions = {p for p, _ in network.run(codes)}
+        L = len(target)
+        assert L - 1 in positions  # first exact window
+        assert 3 * L - 1 in positions  # third window exact again
+        assert 2 * L - 1 not in positions  # middle window over budget
+
+    def test_reverse_strand_pattern(self):
+        network = _network(1, strand="-")
+        rng = np.random.default_rng(29)
+        codes = rng.integers(0, 4, 200).astype(np.uint8)
+        got = sorted({p for p, _ in network.run(codes)})
+        assert got == _row_positions(1, codes, strand="-")
+
+    def test_genome_n_counts_as_mismatch(self):
+        target = "N" + GUIDE.concrete_target()[1:]
+        codes = alphabet.encode(target)
+        assert {p for p, _ in _network(0).run(codes)} == set()
+        assert {p for p, _ in _network(1).run(codes)} == {len(target) - 1}
+
+
+class TestAnchoredMode:
+    def test_verifies_window_at_origin_only(self):
+        network = _network(1, streaming=False)
+        target = GUIDE.concrete_target()
+        codes = alphabet.encode(target + target)
+        positions = {p for p, _ in network.run(codes)}
+        assert positions == {len(target) - 1}  # only the anchored window
+
+    def test_rejects_over_budget(self):
+        target = list(GUIDE.concrete_target())
+        target[2] = "A" if target[2] != "A" else "C"
+        target[5] = "A" if target[5] != "A" else "C"
+        codes = alphabet.encode("".join(target))
+        assert list(_network(1, streaming=False).run(codes)) == []
+        assert list(_network(2, streaming=False).run(codes))
+
+
+class TestResources:
+    def test_streaming_counts_match_builder(self):
+        network = _network(2)
+        predicted = counter_design_resources(13, 10, streaming=True)
+        assert network.num_stes() == predicted["stes"]
+        assert network.num_counters() == predicted["counters"]
+        assert network.num_gates() == predicted["gates"]
+
+    def test_anchored_counts_match_builder(self):
+        network = _network(2, streaming=False)
+        predicted = counter_design_resources(13, 10, streaming=False)
+        assert network.num_stes() == predicted["stes"]
+        assert network.num_counters() == predicted["counters"]
+
+    def test_budget_independent(self):
+        assert _network(0).num_elements == _network(5).num_elements
+
+    def test_anchored_beats_rows_at_high_budget(self):
+        # Counters win for candidate verification at wide budgets...
+        anchored = counter_design_resources(23, 20, streaming=False)["stes"]
+        rows = estimate_stes(20, 3, 5, both_strands=False)
+        assert anchored < rows
+
+    def test_rows_beat_streaming_counters(self):
+        # ...but rows win for streaming search at practical budgets.
+        streaming = counter_design_resources(23, 20, streaming=True)["stes"]
+        for k in range(6):
+            assert estimate_stes(20, 3, k, both_strands=False) < streaming
+
+    def test_validation(self):
+        with pytest.raises(CompileError):
+            counter_design_resources(10, 11)
+        with pytest.raises(CompileError):
+            build_counter_design(_segments(GUIDE, reverse=False), -1, label="x")

@@ -1,0 +1,117 @@
+"""Unit tests for repro.automata.dfa."""
+
+import numpy as np
+import pytest
+
+from repro import alphabet
+from repro.automata.charclass import CharClass
+from repro.automata.dfa import Dfa, determinize, minimize
+from repro.automata.nfa import Nfa
+from repro.core.compiler import SearchBudget, compile_guide
+from repro.errors import AutomatonError
+from repro.grna.guide import Guide
+
+
+def _codes(text):
+    return alphabet.encode(text)
+
+
+def _search_nfa(pattern, label="hit"):
+    nfa = Nfa()
+    start = nfa.add_state("start")
+    nfa.mark_start(start)
+    current = start
+    for symbol in pattern:
+        nxt = nfa.add_state()
+        nfa.add_transition(current, CharClass.from_iupac(symbol), nxt)
+        current = nxt
+    nfa.mark_accept(current, label)
+    return nfa
+
+
+class TestDeterminize:
+    def test_equivalent_to_nfa(self):
+        nfa = _search_nfa("ANGA")
+        dfa = determinize(nfa)
+        text = "AAGGATTANGAACGA".replace("N", "T")
+        assert list(dfa.run(_codes(text))) == list(nfa.run(_codes(text)))
+
+    def test_on_compiled_guide(self):
+        guide = Guide("g", "ACGTACGTACGTACGTACGT")
+        compiled = compile_guide(guide, SearchBudget(mismatches=1))
+        nfa = compiled.combined
+        dfa = determinize(nfa.without_epsilon())
+        rng = np.random.default_rng(3)
+        codes = rng.integers(0, 4, 400).astype(np.uint8)
+        assert sorted(dfa.run(codes)) == sorted(nfa.run(codes))
+
+    def test_overlapping_occurrences(self):
+        nfa = _search_nfa("AA")
+        dfa = determinize(nfa)
+        assert [p for p, _ in dfa.run(_codes("AAAA"))] == [1, 2, 3]
+
+    def test_rejects_accepting_start(self):
+        nfa = Nfa()
+        start = nfa.add_state()
+        nfa.mark_start(start)
+        nfa.mark_accept(start, "bad")
+        with pytest.raises(AutomatonError):
+            determinize(nfa)
+
+
+class TestMinimize:
+    def test_reduces_states_preserves_language(self):
+        guide = Guide("g", "ACGTACGTACGTACGTACGT")
+        compiled = compile_guide(guide, SearchBudget(mismatches=1))
+        dfa = determinize(compiled.combined.without_epsilon())
+        small = minimize(dfa)
+        assert small.num_states <= dfa.num_states
+        rng = np.random.default_rng(4)
+        codes = rng.integers(0, 5, 500).astype(np.uint8)
+        assert sorted(small.run(codes)) == sorted(dfa.run(codes))
+
+    def test_collapses_redundant_states(self):
+        # Two literal branches accepting the same label minimise smaller.
+        nfa = Nfa()
+        start = nfa.add_state()
+        nfa.mark_start(start)
+        for _ in range(2):
+            current = start
+            for symbol in "ACG":
+                nxt = nfa.add_state()
+                nfa.add_transition(current, CharClass.of(symbol), nxt)
+                current = nxt
+            nfa.mark_accept(current, "same")
+        dfa = determinize(nfa)
+        assert minimize(dfa).num_states <= dfa.num_states
+
+    def test_distinct_labels_not_merged(self):
+        nfa = _search_nfa("AC", label="first")
+        other = _search_nfa("AG", label="second")
+        from repro.automata import ops
+
+        merged = ops.union([nfa, other])
+        dfa = minimize(determinize(merged))
+        text = "ACAG"
+        labels = [label for _, label in dfa.run(_codes(text))]
+        assert labels == ["first", "second"]
+
+
+class TestDfaValidation:
+    def test_rejects_bad_shape(self):
+        with pytest.raises(AutomatonError):
+            Dfa(np.zeros((2, 3), dtype=np.int64), 0)
+
+    def test_rejects_bad_start(self):
+        with pytest.raises(AutomatonError):
+            Dfa(np.zeros((2, 5), dtype=np.int64), 7)
+
+    def test_rejects_dangling_transition(self):
+        table = np.zeros((2, 5), dtype=np.int64)
+        table[1, 3] = 9
+        with pytest.raises(AutomatonError):
+            Dfa(table, 0)
+
+    def test_match_count(self):
+        dfa = determinize(_search_nfa("AC"))
+        assert dfa.match_count(_codes("ACAC")) == 2

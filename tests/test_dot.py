@@ -1,0 +1,40 @@
+"""Unit tests for Graphviz DOT export."""
+
+from repro import SearchBudget
+from repro.automata.dot import homogeneous_to_dot, nfa_to_dot
+from repro.core.compiler import compile_guide
+from repro.grna.guide import Guide
+
+GUIDE = Guide("g", "ACGTACGTACGTACGTACGT")
+
+
+def test_homogeneous_dot_structure():
+    compiled = compile_guide(GUIDE, SearchBudget(mismatches=1))
+    text = homogeneous_to_dot(compiled.homogeneous, name="net")
+    assert text.startswith('digraph "net"')
+    assert text.rstrip().endswith("}")
+    assert text.count("->") == compiled.homogeneous.num_edges
+    assert "doublecircle" in text  # reporting STEs
+    assert "house" in text  # start STEs
+
+
+def test_nfa_dot_structure():
+    compiled = compile_guide(GUIDE, SearchBudget(mismatches=1, rna_bulges=1))
+    text = nfa_to_dot(compiled.forward)
+    assert 'label="ε"' in text  # RNA-bulge epsilon edges rendered dashed
+    assert "doublecircle" in text
+
+
+def test_node_count_matches():
+    compiled = compile_guide(GUIDE, SearchBudget(mismatches=0))
+    text = homogeneous_to_dot(compiled.homogeneous)
+    node_lines = [l for l in text.splitlines() if l.strip().startswith("s") and "[" in l]
+    assert len(node_lines) == compiled.homogeneous.num_stes
+
+
+def test_quotes_escaped():
+    text = homogeneous_to_dot(
+        compile_guide(GUIDE, SearchBudget(mismatches=0)).homogeneous,
+        name='with "quotes"',
+    )
+    assert 'digraph "with \\"quotes\\""' in text

@@ -1,0 +1,161 @@
+"""Unit tests for the full ANML element model (STE + boolean + counter)."""
+
+import numpy as np
+import pytest
+
+from repro import alphabet
+from repro.automata.charclass import CharClass
+from repro.automata.elements import (
+    CounterMode,
+    ElementNetwork,
+    GateKind,
+)
+from repro.automata.homogeneous import StartMode
+from repro.errors import AutomatonError
+
+
+def _codes(text):
+    return alphabet.encode(text)
+
+
+class TestSteChains:
+    def test_literal_chain_reports(self):
+        network = ElementNetwork()
+        a = network.add_ste(CharClass.of("A"), start=StartMode.ALL_INPUT)
+        c = network.add_ste(CharClass.of("C"))
+        network.connect(a, c)
+        network.mark_report(c, "hit")
+        positions = [p for p, _ in network.run(_codes("ACACTAC"))]
+        assert positions == [1, 3, 6]
+
+    def test_start_of_data(self):
+        network = ElementNetwork()
+        a = network.add_ste(CharClass.of("A"), start=StartMode.START_OF_DATA)
+        network.mark_report(a, "hit")
+        assert [p for p, _ in network.run(_codes("AA"))] == [0]
+
+    def test_gate_cannot_drive_ste(self):
+        network = ElementNetwork()
+        gate = network.add_gate(GateKind.OR)
+        ste = network.add_ste(CharClass.of("A"))
+        with pytest.raises(AutomatonError, match="STE outputs"):
+            network.connect(gate, ste)
+
+    def test_empty_class_rejected(self):
+        with pytest.raises(AutomatonError):
+            ElementNetwork().add_ste(CharClass.empty())
+
+
+class TestGates:
+    def _pair(self, kind):
+        network = ElementNetwork()
+        a = network.add_ste(CharClass.of("A"), start=StartMode.ALL_INPUT)
+        c = network.add_ste(CharClass.of("AC"), start=StartMode.ALL_INPUT)
+        gate = network.add_gate(kind)
+        network.connect(a, gate)
+        network.connect(c, gate)
+        network.mark_report(gate, "hit")
+        return network
+
+    def test_and(self):
+        # Both STEs matched only when symbol was A.
+        network = self._pair(GateKind.AND)
+        assert [p for p, _ in network.run(_codes("ACGA"))] == [0, 3]
+
+    def test_or(self):
+        network = self._pair(GateKind.OR)
+        assert [p for p, _ in network.run(_codes("ACGA"))] == [0, 1, 3]
+
+    def test_not(self):
+        network = ElementNetwork()
+        a = network.add_ste(CharClass.of("A"), start=StartMode.ALL_INPUT)
+        inverter = network.add_gate(GateKind.NOT)
+        network.connect(a, inverter)
+        network.mark_report(inverter, "hit")
+        # NOT is asserted whenever the previous symbol was not A
+        # (including the drain cycle after the last symbol).
+        positions = [p for p, _ in network.run(_codes("AC"))]
+        assert positions == [1]
+
+    def test_not_requires_one_input(self):
+        network = ElementNetwork()
+        inverter = network.add_gate(GateKind.NOT)
+        network.mark_report(inverter, "x")
+        with pytest.raises(AutomatonError):
+            list(network.run(_codes("A")))
+
+    def test_gate_chains_evaluate_in_order(self):
+        network = ElementNetwork()
+        a = network.add_ste(CharClass.of("A"), start=StartMode.ALL_INPUT)
+        first = network.add_gate(GateKind.OR)
+        network.connect(a, first)
+        second = network.add_gate(GateKind.AND)
+        network.connect(first, second)
+        network.connect(a, second)
+        network.mark_report(second, "hit")
+        assert [p for p, _ in network.run(_codes("CA"))] == [1]
+
+
+class TestCounters:
+    def _counting_network(self, target, mode=CounterMode.LATCH):
+        network = ElementNetwork()
+        pulse = network.add_ste(CharClass.of("A"), start=StartMode.ALL_INPUT)
+        counter = network.add_counter(target, mode=mode)
+        network.connect_count(pulse, counter)
+        network.mark_report(counter, "reached")
+        return network, counter
+
+    def test_latch_mode_stays_asserted(self):
+        network, _ = self._counting_network(2, CounterMode.LATCH)
+        positions = [p for p, _ in network.run(_codes("AACCC"))]
+        assert positions == [1, 2, 3, 4]
+
+    def test_pulse_mode_fires_once(self):
+        network, _ = self._counting_network(2, CounterMode.PULSE)
+        positions = [p for p, _ in network.run(_codes("AACAA"))]
+        assert positions == [1]
+
+    def test_saturation(self):
+        network, _ = self._counting_network(1, CounterMode.PULSE)
+        # Saturated counter does not pulse again without reset.
+        assert [p for p, _ in network.run(_codes("AAAA"))] == [0]
+
+    def test_reset_precedes_count(self):
+        network = ElementNetwork()
+        pulse = network.add_ste(CharClass.of("A"), start=StartMode.ALL_INPUT)
+        reset = network.add_ste(CharClass.of("G"), start=StartMode.ALL_INPUT)
+        counter = network.add_counter(2, mode=CounterMode.LATCH)
+        network.connect_count(pulse, counter)
+        network.connect_reset(reset, counter)
+        network.mark_report(counter, "reached")
+        # A A -> reached at pos 1; G resets; one more A is not enough.
+        assert [p for p, _ in network.run(_codes("AAGA"))] == [1]
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(AutomatonError):
+            ElementNetwork().add_counter(0)
+
+    def test_count_port_type_checked(self):
+        network = ElementNetwork()
+        ste = network.add_ste(CharClass.of("A"))
+        with pytest.raises(AutomatonError):
+            network.connect_count(ste, ste)
+        with pytest.raises(AutomatonError):
+            network.connect(ste, network.add_counter(1))
+
+
+class TestIntrospection:
+    def test_counts(self):
+        network = ElementNetwork()
+        network.add_ste(CharClass.of("A"))
+        network.add_gate(GateKind.AND)
+        network.add_counter(3)
+        assert network.num_elements == 3
+        assert network.num_stes() == 1
+        assert network.num_gates() == 1
+        assert network.num_counters() == 1
+
+    def test_unknown_ids_rejected(self):
+        network = ElementNetwork()
+        with pytest.raises(AutomatonError):
+            network.mark_report(5, "x")

@@ -1,0 +1,236 @@
+"""Unit tests for the platform engines."""
+
+import numpy as np
+import pytest
+
+from repro import SearchBudget
+from repro.core import matcher
+from repro.core.compiler import compile_library
+from repro.engines import (
+    ApEngine,
+    CpuNfaEngine,
+    FpgaEngine,
+    HyperscanEngine,
+    Infant2Engine,
+)
+from repro.engines.base import available_engines, build_profile, get_engine
+from repro.engines.infant2 import TransitionLists
+from repro.errors import EngineError
+
+from helpers import hit_spans, report_spans
+
+ALL_ENGINES = [CpuNfaEngine, HyperscanEngine, Infant2Engine, FpgaEngine, ApEngine]
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert available_engines() == ["ap", "cpu-nfa", "fpga", "hyperscan", "infant2"]
+
+    def test_get_engine(self):
+        assert isinstance(get_engine("fpga"), FpgaEngine)
+
+    def test_unknown_engine(self):
+        with pytest.raises(EngineError):
+            get_engine("quantum")
+
+
+@pytest.mark.parametrize("engine_class", ALL_ENGINES, ids=lambda c: c.name)
+class TestSimulateAgreement:
+    def test_mismatch_only(self, engine_class, small_genome, library):
+        budget = SearchBudget(mismatches=2)
+        compiled = compile_library(library, budget)
+        codes = small_genome.codes[:2500]
+        from repro.genome.sequence import Sequence
+
+        piece = Sequence(small_genome.name, codes.copy())
+        expected = {
+            (h.guide_name, h.strand, h.start, h.end)
+            for h in matcher.find_hits(piece, library, budget)
+        }
+        got = report_spans(engine_class().simulate(codes, compiled))
+        assert got == expected
+
+    def test_bulged(self, engine_class, small_genome, library):
+        budget = SearchBudget(mismatches=1, rna_bulges=1, dna_bulges=1)
+        compiled = compile_library(library, budget)
+        codes = small_genome.codes[:1200]
+        from repro.genome.sequence import Sequence
+
+        piece = Sequence(small_genome.name, codes.copy())
+        expected = {
+            (h.guide_name, h.strand, h.start, h.end)
+            for h in matcher.find_hits(piece, library, budget)
+        }
+        got = report_spans(engine_class().simulate(codes, compiled))
+        assert got == expected
+
+
+@pytest.mark.parametrize("engine_class", ALL_ENGINES, ids=lambda c: c.name)
+def test_search_result_fields(engine_class, small_genome, compiled_library):
+    result = engine_class().search(small_genome, compiled_library)
+    assert result.engine == engine_class.name
+    assert result.measured_seconds > 0
+    assert result.modeled.total_seconds > 0
+    assert result.modeled.kernel_seconds > 0
+    assert result.num_hits == len(result.hits)
+
+
+def test_all_engines_same_hits(small_genome, compiled_library):
+    hit_sets = [
+        hit_spans(engine_class().search(small_genome, compiled_library).hits)
+        for engine_class in ALL_ENGINES
+    ]
+    assert all(h == hit_sets[0] for h in hit_sets)
+
+
+class TestBitParallel:
+    def test_matches_dfa(self, small_genome, compiled_library):
+        engine = HyperscanEngine()
+        codes = small_genome.codes[:2000]
+        for compiled_guide in compiled_library:
+            bitparallel = report_spans(engine.simulate_bitparallel(codes, compiled_guide))
+            dfa = report_spans(compiled_guide.dfa.run(codes))
+            assert bitparallel == dfa
+
+    def test_rejects_bulges(self, library):
+        compiled = compile_library(library, SearchBudget(mismatches=1, rna_bulges=1))
+        with pytest.raises(EngineError):
+            HyperscanEngine().simulate_bitparallel(np.zeros(10, dtype=np.uint8), compiled.guides[0])
+
+    def test_mismatch_counts_exact(self, small_genome, library):
+        compiled = compile_library(library, SearchBudget(mismatches=2))
+        engine = HyperscanEngine()
+        codes = small_genome.codes[:2000]
+        for compiled_guide in compiled:
+            for _, label in engine.simulate_bitparallel(codes, compiled_guide):
+                assert 0 <= label.mismatches <= 2
+
+
+class TestInfant2Internals:
+    def test_transition_lists_cover_edges(self, compiled_library):
+        automaton = compiled_library.homogeneous
+        lists = TransitionLists.compile(automaton)
+        # Each edge appears once per symbol its target consumes; plus
+        # virtual start entries.
+        expected = sum(
+            automaton.ste(t).char_class.cardinality()
+            for s in range(automaton.num_stes)
+            for t in automaton.successors(s)
+        ) + sum(
+            ste.char_class.cardinality()
+            for ste in automaton.start_stes()
+        )
+        assert lists.total_transitions == expected
+
+    def test_counters(self, small_genome, compiled_library):
+        engine = Infant2Engine()
+        codes = small_genome.codes[:500]
+        _, counters = engine.simulate_with_counters(codes, compiled_library)
+        assert counters["transitions_examined"] > 0
+        assert counters["transitions_fired"] <= counters["transitions_examined"]
+
+    def test_stats_flags_spill(self, small_genome, compiled_library):
+        from repro.platforms.spec import GpuNfaSpec
+
+        tiny = GpuNfaSpec(table_capacity_transitions=1)
+        engine = Infant2Engine(tiny)
+        result = engine.search(small_genome, compiled_library)
+        assert result.stats["spills_shared_memory"] is True
+
+
+class TestApInternals:
+    def test_stall_accounting(self, small_genome, compiled_library):
+        from repro.platforms.spec import ApSpec
+
+        spec = ApSpec(event_buffer_entries=1, event_drain_cycles=100)
+        engine = ApEngine(spec)
+        codes = small_genome.codes[:2000]
+        reports, stats = engine.simulate_with_stalls(codes, compiled_library)
+        assert stats["symbol_cycles"] == 2000
+        if reports:
+            assert stats["stall_cycles"] >= 100
+        assert stats["total_cycles"] == stats["symbol_cycles"] + stats["stall_cycles"]
+
+    def test_passes_for(self):
+        engine = ApEngine()
+        assert engine.passes_for(1) == 1
+        assert engine.passes_for(engine.spec.capacity_stes + 1) == 2
+
+    def test_coalescing_reduces_stalls(self, small_genome, library):
+        from repro.platforms.spec import ApSpec
+
+        budget = SearchBudget(mismatches=1, rna_bulges=1, dna_bulges=1)
+        compiled = compile_library(library, budget)
+        spec = ApSpec(event_buffer_entries=2, event_drain_cycles=1000)
+        codes = small_genome.codes[:1500]
+        _, plain = ApEngine(spec).simulate_with_stalls(codes, compiled)
+        _, coalesced = ApEngine(spec, coalesce_reports=True).simulate_with_stalls(
+            codes, compiled
+        )
+        assert coalesced["stall_cycles"] <= plain["stall_cycles"]
+
+
+class TestProfiles:
+    def test_build_profile_fields(self, small_genome, compiled_library):
+        hits = matcher.find_hits(
+            small_genome, compiled_library.library, compiled_library.budget
+        )
+        profile = build_profile(small_genome, compiled_library, hits)
+        assert profile.genome_length == len(small_genome)
+        assert profile.num_guides == len(compiled_library.library)
+        assert profile.total_stes == compiled_library.num_stes
+        assert profile.expected_active > 0
+        assert profile.report_traffic.events == len(hits)
+
+    def test_genome_length_override(self, small_genome, compiled_library):
+        profile = build_profile(
+            small_genome, compiled_library, [], genome_length_override=10**9
+        )
+        assert profile.genome_length == 10**9
+
+
+class TestStridedExecution:
+    def test_strided_equals_plain(self, small_genome, library):
+        compiled = compile_library(library, SearchBudget(mismatches=2))
+        engine = ApEngine()
+        codes = small_genome.codes[:3000]
+        plain = set(engine.simulate(codes, compiled))
+        strided, stats = engine.simulate_strided(codes, compiled)
+        assert set(strided) == plain
+        assert stats["symbol_cycles"] == 1500  # two symbols per cycle
+        assert 1.0 < stats["state_overhead_vs_1stride"] < 2.5
+
+    def test_strided_odd_length_stream(self, small_genome, library):
+        compiled = compile_library(library, SearchBudget(mismatches=1))
+        engine = ApEngine()
+        codes = small_genome.codes[:2501]
+        plain = set(engine.simulate(codes, compiled))
+        strided, _ = engine.simulate_strided(codes, compiled)
+        assert set(strided) == plain
+
+    def test_strided_rejects_bulges(self, library):
+        compiled = compile_library(library, SearchBudget(mismatches=1, rna_bulges=1))
+        with pytest.raises(EngineError, match="mismatch-only"):
+            ApEngine().simulate_strided(np.zeros(10, dtype=np.uint8), compiled)
+
+
+class TestCapacityValidation:
+    def test_ap_rejects_oversized_guide(self, small_genome, compiled_library):
+        from repro.errors import CapacityError
+        from repro.platforms.spec import ApSpec
+
+        tiny = ApSpec(stes_per_chip=8, chips_per_rank=1, ranks=1, routable_fraction=1.0)
+        with pytest.raises(CapacityError, match="STEs"):
+            ApEngine(tiny).search(small_genome, compiled_library)
+
+    def test_fpga_rejects_oversized_guide(self, small_genome, compiled_library):
+        from repro.errors import CapacityError
+        from repro.platforms.spec import FpgaSpec
+
+        tiny = FpgaSpec(luts=10)
+        with pytest.raises(CapacityError, match="LUTs"):
+            FpgaEngine(tiny).search(small_genome, compiled_library)
+
+    def test_normal_specs_pass(self, small_genome, compiled_library):
+        ApEngine().validate_capacity(compiled_library)
+        FpgaEngine().validate_capacity(compiled_library)

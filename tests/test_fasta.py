@@ -1,0 +1,107 @@
+"""Unit tests for repro.genome.fasta."""
+
+import io
+
+import pytest
+
+from repro.errors import FastaError
+from repro.genome.fasta import FastaRecord, parse_fasta, read_fasta, write_fasta
+from repro.genome.sequence import Sequence
+
+
+def test_single_record():
+    records = read_fasta(io.StringIO(">chr1 test chromosome\nACGT\nACGT\n"))
+    assert len(records) == 1
+    assert records[0].identifier == "chr1"
+    assert records[0].description == "test chromosome"
+    assert records[0].sequence.text == "ACGTACGT"
+
+
+def test_multi_record():
+    records = read_fasta(io.StringIO(">a\nAC\n>b\nGT\n>c\nNN\n"))
+    assert [record.identifier for record in records] == ["a", "b", "c"]
+    assert [record.sequence.text for record in records] == ["AC", "GT", "NN"]
+
+
+def test_blank_lines_and_comments_skipped():
+    records = read_fasta(io.StringIO(";comment\n>a\n\nAC\n;mid\nGT\n\n"))
+    assert records[0].sequence.text == "ACGT"
+
+
+def test_lowercase_normalised():
+    records = read_fasta(io.StringIO(">a\nacgt\n"))
+    assert records[0].sequence.text == "ACGT"
+
+
+def test_crlf_handled():
+    records = read_fasta(io.StringIO(">a\r\nACGT\r\n"))
+    assert records[0].sequence.text == "ACGT"
+
+
+def test_no_description():
+    records = read_fasta(io.StringIO(">a\nACGT\n"))
+    assert records[0].description == ""
+
+
+def test_empty_stream_rejected():
+    with pytest.raises(FastaError):
+        read_fasta(io.StringIO(""))
+
+
+def test_sequence_before_header_rejected():
+    with pytest.raises(FastaError):
+        read_fasta(io.StringIO("ACGT\n>a\nACGT\n"))
+
+
+def test_empty_record_rejected():
+    with pytest.raises(FastaError):
+        read_fasta(io.StringIO(">a\n>b\nACGT\n"))
+
+
+def test_empty_identifier_rejected():
+    with pytest.raises(FastaError):
+        read_fasta(io.StringIO("> \nACGT\n"))
+
+
+def test_bad_symbols_rejected():
+    with pytest.raises(Exception):
+        read_fasta(io.StringIO(">a\nACXT\n"))
+
+
+def test_parse_is_lazy():
+    stream = io.StringIO(">a\nAC\n>b\nGT\n")
+    iterator = parse_fasta(stream)
+    first = next(iterator)
+    assert first.identifier == "a"
+
+
+def test_write_read_roundtrip(tmp_path):
+    path = tmp_path / "out.fa"
+    records = [
+        FastaRecord("a", "desc one", Sequence.from_text("a", "ACGT" * 30)),
+        FastaRecord("b", "", Sequence.from_text("b", "NNNACGT")),
+    ]
+    write_fasta(records, path, width=50)
+    back = read_fasta(path)
+    assert [r.identifier for r in back] == ["a", "b"]
+    assert back[0].description == "desc one"
+    assert back[0].sequence.text == "ACGT" * 30
+    assert back[1].sequence.text == "NNNACGT"
+
+
+def test_write_bare_sequences():
+    buffer = io.StringIO()
+    write_fasta([Sequence.from_text("x", "ACGT")], buffer)
+    assert buffer.getvalue() == ">x\nACGT\n"
+
+
+def test_write_wraps_lines():
+    buffer = io.StringIO()
+    write_fasta([Sequence.from_text("x", "A" * 25)], buffer, width=10)
+    lines = buffer.getvalue().splitlines()
+    assert lines[1:] == ["A" * 10, "A" * 10, "A" * 5]
+
+
+def test_write_rejects_bad_width():
+    with pytest.raises(FastaError):
+        write_fasta([Sequence.from_text("x", "ACGT")], io.StringIO(), width=0)

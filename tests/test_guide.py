@@ -1,0 +1,102 @@
+"""Unit tests for repro.grna.guide."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GuideError
+from repro.grna.guide import Guide
+from repro.grna.pam import get_pam
+
+
+class TestConstruction:
+    def test_basic(self, guide):
+        assert guide.name == "EMX1"
+        assert len(guide) == 20
+        assert guide.pam.name == "NGG"
+
+    def test_pam_by_string(self):
+        guide = Guide("g", "ACGTACGTACGTACGTACGT", "NAG")
+        assert guide.pam.name == "NAG"
+
+    def test_rna_u_normalised(self):
+        guide = Guide("g", "ACGUACGUACGUACGUACGU")
+        assert guide.protospacer == "ACGTACGTACGTACGTACGT"
+
+    def test_lowercase_normalised(self):
+        assert Guide("g", "acgtacgtacgtacgtacgt").protospacer == "ACGTACGTACGTACGTACGT"
+
+    def test_rejects_ambiguous_protospacer(self):
+        with pytest.raises(GuideError):
+            Guide("g", "ACGTACGTACGTACGTACGN")
+
+    def test_rejects_length_out_of_range(self):
+        with pytest.raises(GuideError):
+            Guide("g", "ACGTACGTA")  # 9 < 10
+        with pytest.raises(GuideError):
+            Guide("g", "A" * 31)
+
+
+class TestPatterns:
+    def test_target_pattern_3prime(self, guide):
+        assert guide.target_pattern == guide.protospacer + "NGG"
+
+    def test_target_pattern_5prime(self):
+        guide = Guide("g", "ACGTACGTACGTACGTACGT", get_pam("TTTV"))
+        assert guide.target_pattern == "TTTV" + guide.protospacer
+
+    def test_site_length(self, guide):
+        assert guide.site_length == 23
+
+    def test_pam_positions_3prime(self, guide):
+        assert list(guide.pam_positions()) == [20, 21, 22]
+
+    def test_pam_positions_5prime(self):
+        guide = Guide("g", "ACGTACGTACGTACGTACGT", get_pam("TTTV"))
+        assert list(guide.pam_positions()) == [0, 1, 2, 3]
+
+    def test_protospacer_positions(self, guide):
+        assert list(guide.protospacer_positions()) == list(range(20))
+
+    def test_reverse_complement_pattern(self, guide):
+        pattern = guide.reverse_complement_pattern()
+        assert pattern.startswith("CCN")
+        assert len(pattern) == 23
+
+
+class TestConcreteTarget:
+    def test_deterministic_without_rng(self, guide):
+        target = guide.concrete_target()
+        assert target == guide.protospacer + "AGG"
+
+    def test_random_resolution_valid(self, guide):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            target = guide.concrete_target(rng)
+            assert guide.pam.matches(target[-3:])
+            assert target[:-3] == guide.protospacer
+
+
+class TestFromTarget:
+    def test_roundtrip(self, guide):
+        target = guide.concrete_target()
+        rebuilt = Guide.from_target("g2", target)
+        assert rebuilt.protospacer == guide.protospacer
+
+    def test_5prime(self):
+        guide = Guide.from_target("g", "TTTA" + "ACGTACGTACGTACGTACGT", get_pam("TTTV"))
+        assert guide.protospacer == "ACGTACGTACGTACGTACGT"
+
+    def test_rejects_invalid_pam(self):
+        with pytest.raises(GuideError):
+            Guide.from_target("g", "ACGTACGTACGTACGTACGT" + "ATT")
+
+    def test_rejects_too_short(self):
+        with pytest.raises(GuideError):
+            Guide.from_target("g", "AGG")
+
+
+def test_with_pam(guide):
+    relaxed = guide.with_pam("NRG")
+    assert relaxed.pam.name == "NRG"
+    assert relaxed.protospacer == guide.protospacer
+    assert guide.pam.name == "NGG"  # original untouched

@@ -1,0 +1,172 @@
+"""Unit tests for the mismatch-counting automaton compiler."""
+
+import pytest
+
+from repro import alphabet
+from repro.core.hamming import PatternSegment, build_hamming_nfa, hamming_state_count
+from repro.core.labels import MatchLabel
+from repro.errors import CompileError
+
+
+def _codes(text):
+    return alphabet.encode(text)
+
+
+def _nfa(protospacer, pam="NGG", k=2):
+    return build_hamming_nfa(
+        [PatternSegment(protospacer, budgeted=True), PatternSegment(pam, budgeted=False)],
+        k,
+        guide_name="g",
+        strand="+",
+    )
+
+
+PROTO = "ACGTACGTAC"
+TARGET = PROTO + "AGG"
+
+
+class TestAcceptance:
+    def test_exact_target_reported_with_zero_mismatches(self):
+        nfa = _nfa(PROTO, k=2)
+        reports = list(nfa.run(_codes(TARGET)))
+        assert len(reports) == 1
+        position, label = reports[0]
+        assert position == len(TARGET) - 1
+        assert label.mismatches == 0
+        assert label.consumed == len(TARGET)
+
+    def test_one_mismatch_counted(self):
+        nfa = _nfa(PROTO, k=2)
+        site = "A" + "GGTACGTAC"[0:].replace("", "")  # placeholder clarity below
+        site = "AGGTACGTAC" + "AGG"  # position 1: C->G mismatch... build explicitly
+        mutated = list(PROTO)
+        mutated[3] = "A"  # T -> A
+        site = "".join(mutated) + "AGG"
+        labels = [label for _, label in nfa.run(_codes(site))]
+        assert [l.mismatches for l in labels] == [1]
+
+    def test_mismatch_budget_enforced(self):
+        nfa = _nfa(PROTO, k=1)
+        mutated = list(PROTO)
+        mutated[2], mutated[5] = "T", "T"  # two substitutions (G->T, C->T)
+        site = "".join(mutated) + "AGG"
+        assert list(nfa.run(_codes(site))) == []
+
+    def test_exactly_at_budget_accepted(self):
+        nfa = _nfa(PROTO, k=2)
+        mutated = list(PROTO)
+        mutated[2], mutated[5] = "T", "T"
+        site = "".join(mutated) + "AGG"
+        labels = [label for _, label in nfa.run(_codes(site))]
+        assert [l.mismatches for l in labels] == [2]
+
+    def test_pam_is_exact_never_budgeted(self):
+        nfa = _nfa(PROTO, k=3)
+        bad_pam_site = PROTO + "ATT"
+        assert list(nfa.run(_codes(bad_pam_site))) == []
+
+    def test_pam_n_position_free(self):
+        nfa = _nfa(PROTO, k=0)
+        for pam_site in ("AGG", "CGG", "GGG", "TGG"):
+            assert len(list(nfa.run(_codes(PROTO + pam_site)))) == 1
+
+    def test_genome_n_counts_as_mismatch(self):
+        nfa = _nfa(PROTO, k=1)
+        site = "N" + PROTO[1:] + "AGG"
+        labels = [label for _, label in nfa.run(_codes(site))]
+        assert [l.mismatches for l in labels] == [1]
+
+    def test_genome_n_in_pam_g_rejected(self):
+        nfa = _nfa(PROTO, k=2)
+        site = PROTO + "ANG"
+        assert list(nfa.run(_codes(site))) == []
+
+    def test_unanchored_search(self):
+        nfa = _nfa(PROTO, k=0)
+        stream = "TTTT" + TARGET + "CCCC" + TARGET
+        positions = [p for p, _ in nfa.run(_codes(stream))]
+        assert positions == [4 + len(TARGET) - 1, 4 + 2 * len(TARGET) + 4 - 1]
+
+    def test_exact_segment_first(self):
+        # Reverse-strand layout: PAM (CCN) before the budgeted part.
+        nfa = build_hamming_nfa(
+            [PatternSegment("CCN", budgeted=False), PatternSegment(PROTO, budgeted=True)],
+            1,
+            guide_name="g",
+            strand="-",
+        )
+        site = "CCA" + PROTO
+        reports = list(nfa.run(_codes(site)))
+        assert len(reports) == 1
+        assert reports[0][1].strand == "-"
+
+
+class TestLabels:
+    def test_labels_carry_identity(self):
+        nfa = _nfa(PROTO, k=1)
+        _, label = next(iter(nfa.run(_codes(TARGET))))
+        assert isinstance(label, MatchLabel)
+        assert label.guide_name == "g"
+        assert label.strand == "+"
+        assert label.rna_bulges == 0 and label.dna_bulges == 0
+
+    def test_span_at(self):
+        label = MatchLabel("g", "+", 0, 0, 0, consumed=23)
+        assert label.span_at(22) == (0, 23)
+        assert label.span_at(100) == (78, 101)
+
+    def test_one_accept_state_per_row(self):
+        nfa = _nfa(PROTO, k=3)
+        accept_labels = [
+            label for state in nfa.states() for label in state.accept_labels
+        ]
+        assert sorted(l.mismatches for l in accept_labels) == [0, 1, 2, 3]
+
+
+class TestStateCount:
+    @pytest.mark.parametrize("k", [0, 1, 2, 3, 5])
+    def test_formula_matches_builder(self, k):
+        segments = [
+            PatternSegment(PROTO, budgeted=True),
+            PatternSegment("NGG", budgeted=False),
+        ]
+        nfa = build_hamming_nfa(segments, k, guide_name="g", strand="+")
+        assert nfa.num_states == hamming_state_count(segments, k)
+
+    def test_formula_matches_builder_pam_first(self):
+        segments = [
+            PatternSegment("CCN", budgeted=False),
+            PatternSegment(PROTO, budgeted=True),
+        ]
+        nfa = build_hamming_nfa(segments, 2, guide_name="g", strand="+")
+        assert nfa.num_states == hamming_state_count(segments, 2)
+
+    def test_canonical_closed_form(self):
+        # 1 + sum_{i=1..m}(min(i,k)+1) + (k+1)*g for the 3'-PAM layout.
+        m, g, k = 20, 3, 3
+        segments = [
+            PatternSegment("A" * m, budgeted=True),
+            PatternSegment("N" * g, budgeted=False),
+        ]
+        expected = 1 + sum(min(i, k) + 1 for i in range(1, m + 1)) + (k + 1) * g
+        assert hamming_state_count(segments, k) == expected
+
+
+class TestValidation:
+    def test_negative_budget_rejected(self):
+        with pytest.raises(CompileError):
+            _nfa(PROTO, k=-1)
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(CompileError):
+            build_hamming_nfa([], 1, guide_name="g", strand="+")
+
+    def test_empty_segment_rejected(self):
+        with pytest.raises(CompileError):
+            PatternSegment("", budgeted=True)
+
+    def test_bad_strand_rejected(self):
+        with pytest.raises(CompileError):
+            build_hamming_nfa(
+                [PatternSegment("ACGT", budgeted=True)], 1, guide_name="g", strand="x"
+            )

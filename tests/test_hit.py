@@ -1,0 +1,95 @@
+"""Unit tests for repro.grna.hit."""
+
+from repro.grna.guide import Guide
+from repro.grna.hit import OffTargetHit, dedupe_hits, render_alignment
+
+
+def _hit(**overrides):
+    fields = dict(
+        guide_name="g",
+        sequence_name="chr",
+        strand="+",
+        start=10,
+        end=33,
+        mismatches=1,
+        rna_bulges=0,
+        dna_bulges=0,
+        site="",
+    )
+    fields.update(overrides)
+    return OffTargetHit(**fields)
+
+
+class TestHit:
+    def test_edits(self):
+        assert _hit(mismatches=2, rna_bulges=1, dna_bulges=1).edits == 4
+
+    def test_key_identity(self):
+        assert _hit().key == _hit(mismatches=3).key
+        assert _hit().key != _hit(start=11).key
+
+    def test_ordering(self):
+        assert _hit(start=5) < _hit(start=6)
+
+    def test_bed_line(self):
+        line = _hit().to_bed_line()
+        assert line.split("\t") == ["chr", "10", "33", "g", "1", "+"]
+
+
+class TestDedupe:
+    def test_keeps_distinct_spans(self):
+        hits = [_hit(start=1, end=24), _hit(start=2, end=25)]
+        assert len(dedupe_hits(hits)) == 2
+
+    def test_collapses_same_span_keeps_fewest_edits(self):
+        better = _hit(mismatches=1)
+        worse = _hit(mismatches=0, rna_bulges=1, dna_bulges=1)
+        assert dedupe_hits([worse, better]) == [better]
+        assert dedupe_hits([better, worse]) == [better]
+
+    def test_tie_broken_by_fewer_bulges(self):
+        mismatchy = _hit(mismatches=2)
+        bulgy = _hit(mismatches=1, rna_bulges=1)
+        assert dedupe_hits([bulgy, mismatchy]) == [mismatchy]
+
+    def test_different_strands_not_merged(self):
+        hits = [_hit(strand="+"), _hit(strand="-")]
+        assert len(dedupe_hits(hits)) == 2
+
+    def test_different_guides_not_merged(self):
+        hits = [_hit(guide_name="a"), _hit(guide_name="b")]
+        assert len(dedupe_hits(hits)) == 2
+
+    def test_idempotent(self):
+        hits = [_hit(start=s) for s in (3, 1, 2)] + [_hit(start=1, mismatches=0)]
+        once = dedupe_hits(hits)
+        assert dedupe_hits(once) == once
+
+    def test_output_sorted(self):
+        hits = [_hit(start=9), _hit(start=1), _hit(start=5)]
+        assert [h.start for h in dedupe_hits(hits)] == [1, 5, 9]
+
+
+class TestRenderAlignment:
+    def test_perfect_match_rail(self):
+        guide = Guide("g", "ACGTACGTACGTACGTACGT")
+        site = guide.protospacer + "TGG"
+        hit = _hit(site=site, mismatches=0)
+        lines = render_alignment(guide, hit).splitlines()
+        assert lines[0] == guide.target_pattern
+        assert set(lines[1]) == {"|"}
+        assert lines[2] == site
+
+    def test_mismatches_marked(self):
+        guide = Guide("g", "ACGTACGTACGTACGTACGT")
+        site = "GCGTACGTACGTACGTACGT" + "AGG"
+        hit = _hit(site=site, mismatches=1)
+        lines = render_alignment(guide, hit).splitlines()
+        assert lines[1][0] == "*"
+        assert lines[2][0] == "g"  # mismatch lower-cased
+
+    def test_bulged_hit_renders_notice(self):
+        guide = Guide("g", "ACGTACGTACGTACGTACGT")
+        hit = _hit(site="A" * 22, rna_bulges=1)
+        text = render_alignment(guide, hit)
+        assert "bulged alignment" in text

@@ -1,0 +1,178 @@
+"""Unit tests for repro.automata.homogeneous."""
+
+import numpy as np
+import pytest
+
+from repro import alphabet
+from repro.automata.charclass import CharClass
+from repro.automata.homogeneous import (
+    HomogeneousAutomaton,
+    StartMode,
+    nfa_to_homogeneous,
+)
+from repro.automata.nfa import Nfa
+from repro.core.compiler import SearchBudget, compile_guide
+from repro.errors import AutomatonError
+from repro.grna.guide import Guide
+
+
+def _codes(text):
+    return alphabet.encode(text)
+
+
+def _literal_automaton(pattern, label="hit"):
+    automaton = HomogeneousAutomaton()
+    previous = None
+    for index, symbol in enumerate(pattern):
+        ste = automaton.add_ste(
+            CharClass.from_iupac(symbol),
+            start=StartMode.ALL_INPUT if index == 0 else StartMode.NONE,
+            reports=(label,) if index == len(pattern) - 1 else (),
+        )
+        if previous is not None:
+            automaton.connect(previous, ste)
+        previous = ste
+    return automaton
+
+
+class TestExecution:
+    def test_literal_search(self):
+        automaton = _literal_automaton("ACG")
+        assert [c for c, _ in automaton.run(_codes("ACGTACG"))] == [2, 6]
+
+    def test_overlaps(self):
+        automaton = _literal_automaton("AA")
+        assert [c for c, _ in automaton.run(_codes("AAAA"))] == [1, 2, 3]
+
+    def test_start_of_data(self):
+        automaton = HomogeneousAutomaton()
+        ste = automaton.add_ste(
+            CharClass.of("A"), start=StartMode.START_OF_DATA, reports=("hit",)
+        )
+        assert [c for c, _ in automaton.run(_codes("AA"))] == [0]
+
+    def test_single_all_input_reporting_ste(self):
+        automaton = HomogeneousAutomaton()
+        automaton.add_ste(CharClass.of("G"), start=StartMode.ALL_INPUT, reports=("g",))
+        assert [c for c, _ in automaton.run(_codes("AGGA"))] == [1, 2]
+
+    def test_empty_class_rejected(self):
+        automaton = HomogeneousAutomaton()
+        with pytest.raises(AutomatonError):
+            automaton.add_ste(CharClass.empty())
+
+    def test_connect_unknown_rejected(self):
+        automaton = HomogeneousAutomaton()
+        automaton.add_ste(CharClass.of("A"))
+        with pytest.raises(AutomatonError):
+            automaton.connect(0, 3)
+
+    def test_stats_collection(self):
+        automaton = _literal_automaton("ACG")
+        reports, stats = automaton.run_with_stats(_codes("ACGACG"))
+        assert stats.cycles == 6
+        assert stats.report_events == 2
+        assert stats.report_cycles == 2
+        assert stats.peak_active >= 1
+        assert stats.mean_active > 0
+        assert len(reports) == 2
+
+    def test_stats_on_empty_input(self):
+        automaton = _literal_automaton("AC")
+        _, stats = automaton.run_with_stats(_codes(""))
+        assert stats.cycles == 0
+        assert stats.report_events == 0
+
+
+class TestStructure:
+    def test_merge_disjoint_union(self):
+        a = _literal_automaton("AC", label="a")
+        b = _literal_automaton("GT", label="b")
+        mapping = a.merge(b)
+        assert a.num_stes == 4
+        assert mapping[0] == 2
+        labels = sorted(label for _, label in a.run(_codes("ACGT")))
+        assert labels == ["a", "b"]
+
+    def test_max_fanout(self):
+        automaton = HomogeneousAutomaton()
+        hub = automaton.add_ste(CharClass.of("A"))
+        for _ in range(3):
+            automaton.connect(hub, automaton.add_ste(CharClass.of("C")))
+        assert automaton.max_fanout() == 3
+
+    def test_duplicate_edges_collapsed(self):
+        automaton = HomogeneousAutomaton()
+        a = automaton.add_ste(CharClass.of("A"))
+        b = automaton.add_ste(CharClass.of("C"))
+        automaton.connect(a, b)
+        automaton.connect(a, b)
+        assert automaton.num_edges == 1
+
+    def test_report_and_start_listings(self):
+        automaton = _literal_automaton("ACG")
+        assert len(automaton.report_stes()) == 1
+        assert len(automaton.start_stes()) == 1
+
+
+class TestConversion:
+    def test_literal_nfa_converts(self):
+        nfa = Nfa()
+        start = nfa.add_state("start")
+        nfa.mark_start(start)
+        current = start
+        for symbol in "ACG":
+            nxt = nfa.add_state()
+            nfa.add_transition(current, CharClass.from_iupac(symbol), nxt)
+            current = nxt
+        nfa.mark_accept(current, "hit")
+        automaton = nfa_to_homogeneous(nfa)
+        text = "TACGACGA"
+        assert list(automaton.run(_codes(text))) == list(nfa.run(_codes(text)))
+
+    def test_compiled_guide_equivalence(self):
+        guide = Guide("g", "ACGTACGTACGTACGTACGT")
+        compiled = compile_guide(guide, SearchBudget(mismatches=2))
+        nfa = compiled.combined
+        automaton = compiled.homogeneous
+        rng = np.random.default_rng(7)
+        codes = rng.integers(0, 4, 600).astype(np.uint8)
+        assert sorted(automaton.run(codes)) == sorted(nfa.run(codes))
+
+    def test_bulged_guide_equivalence(self):
+        guide = Guide("g", "ACGTACGTACGTACGTACGT")
+        compiled = compile_guide(
+            guide, SearchBudget(mismatches=1, rna_bulges=1, dna_bulges=1)
+        )
+        rng = np.random.default_rng(8)
+        codes = rng.integers(0, 4, 400).astype(np.uint8)
+        assert sorted(compiled.homogeneous.run(codes)) == sorted(
+            compiled.combined.run(codes)
+        )
+
+    def test_grid_splits_match_and_mismatch_copies(self):
+        # Each interior grid state entered by both a match and a mismatch
+        # edge becomes two STEs (the paper's match/mismatch STE pairs).
+        guide = Guide("g", "ACGTACGTACGTACGTACGT")
+        compiled = compile_guide(guide, SearchBudget(mismatches=1))
+        classes = {ste.char_class.cardinality() for ste in compiled.homogeneous.stes()}
+        assert 1 in classes  # match copies (single base)
+        assert 4 in classes  # mismatch copies (3 bases + N)
+
+    def test_rejects_accepting_start(self):
+        nfa = Nfa()
+        start = nfa.add_state()
+        nfa.mark_start(start)
+        nfa.mark_accept(start, "x")
+        with pytest.raises(AutomatonError):
+            nfa_to_homogeneous(nfa)
+
+    def test_rejects_start_with_incoming(self):
+        nfa = Nfa()
+        start = nfa.add_state()
+        other = nfa.add_state()
+        nfa.mark_start(start)
+        nfa.add_transition(other, CharClass.of("A"), start)
+        nfa.add_transition(start, CharClass.of("C"), other)
+        with pytest.raises(AutomatonError):
+            nfa_to_homogeneous(nfa)

@@ -1,0 +1,97 @@
+"""Unit tests for repro.genome.index."""
+
+import pytest
+
+from repro.errors import AlphabetError
+from repro.genome.index import KmerIndex
+from repro.genome.sequence import Sequence
+from repro.genome.synthetic import random_genome
+
+
+def test_lookup_finds_all_occurrences():
+    seq = Sequence.from_text("s", "ACGTACGTACGT")
+    index = KmerIndex(seq, 4)
+    assert index.lookup("ACGT").tolist() == [0, 4, 8]
+    assert index.lookup("CGTA").tolist() == [1, 5]
+
+
+def test_lookup_missing_kmer_empty():
+    index = KmerIndex(Sequence.from_text("s", "AAAA"), 2)
+    assert index.lookup("GG").size == 0
+
+
+def test_lookup_wrong_length_rejected():
+    index = KmerIndex(Sequence.from_text("s", "ACGT"), 2)
+    with pytest.raises(AlphabetError):
+        index.lookup("ACG")
+
+
+def test_windows_with_n_skipped():
+    seq = Sequence.from_text("s", "ACGTNACGT")
+    index = KmerIndex(seq, 3)
+    # Windows overlapping position 4 (N) are not indexed.
+    assert index.lookup("ACG").tolist() == [0, 5]
+    assert index.lookup("GTA").size == 0
+
+
+def test_num_positions_counts_valid_windows():
+    seq = Sequence.from_text("s", "ACGTNACGT")
+    index = KmerIndex(seq, 3)
+    # 7 windows total, 3 contain the N.
+    assert index.num_positions() == 4
+
+
+def test_matches_bruteforce_on_random_genome():
+    genome = random_genome(3000, seed=21)
+    index = KmerIndex(genome, 6)
+    text = genome.text
+    for kmer in ("ACGTAC", "GGGGGG", "TTTAAA"):
+        expected = [
+            i for i in range(len(text) - 5) if text[i : i + 6] == kmer
+        ]
+        assert index.lookup(kmer).tolist() == expected
+
+
+def test_sequence_shorter_than_k():
+    index = KmerIndex(Sequence.from_text("s", "AC"), 5)
+    assert index.num_positions() == 0
+    assert index.lookup("ACGTA").size == 0
+
+
+def test_pack_rejects_n():
+    with pytest.raises(AlphabetError):
+        KmerIndex.pack("ACN")
+
+
+def test_pack_value():
+    assert KmerIndex.pack("AA") == 0
+    assert KmerIndex.pack("AC") == 1
+    assert KmerIndex.pack("CA") == 4
+    assert KmerIndex.pack("TT") == 15
+
+
+def test_k_bounds_rejected():
+    seq = Sequence.from_text("s", "ACGT")
+    with pytest.raises(AlphabetError):
+        KmerIndex(seq, 0)
+    with pytest.raises(AlphabetError):
+        KmerIndex(seq, 31)
+
+
+def test_lookup_ambiguous_expands():
+    seq = Sequence.from_text("s", "AGGAAGGACGG")
+    index = KmerIndex(seq, 3)
+    # NGG matches AGG (0, 4) and CGG (8).
+    assert index.lookup_ambiguous("NGG").tolist() == [0, 4, 8]
+
+
+def test_lookup_ambiguous_rejects_explosive_patterns():
+    seq = Sequence.from_text("s", "ACGTACGTACGT")
+    index = KmerIndex(seq, 10)
+    with pytest.raises(AlphabetError):
+        index.lookup_ambiguous("NNNNNNNNNN")
+
+
+def test_num_kmers():
+    index = KmerIndex(Sequence.from_text("s", "AAAAA"), 2)
+    assert index.num_kmers() == 1

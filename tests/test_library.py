@@ -1,0 +1,122 @@
+"""Unit tests for repro.grna.library."""
+
+import io
+
+import pytest
+
+from repro.errors import GuideError
+from repro.genome.synthetic import random_genome
+from repro.grna.guide import Guide
+from repro.grna.library import (
+    GuideLibrary,
+    parse_guide_table,
+    sample_guides_from_genome,
+)
+
+
+class TestGuideLibrary:
+    def _library(self):
+        return GuideLibrary.from_guides(
+            [Guide("a", "ACGTACGTACGTACGTACGT"), Guide("b", "TGCATGCATGCATGCATGCA")]
+        )
+
+    def test_len_iter_getitem(self):
+        library = self._library()
+        assert len(library) == 2
+        assert [g.name for g in library] == ["a", "b"]
+        assert library[1].name == "b"
+
+    def test_by_name(self):
+        assert self._library().by_name("b").name == "b"
+
+    def test_by_name_missing(self):
+        with pytest.raises(GuideError):
+            self._library().by_name("zzz")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(GuideError, match="duplicate"):
+            GuideLibrary.from_guides(
+                [Guide("a", "ACGTACGTACGTACGTACGT"), Guide("a", "TGCATGCATGCATGCATGCA")]
+            )
+
+    def test_subset(self):
+        subset = self._library().subset(1)
+        assert len(subset) == 1
+        assert subset[0].name == "a"
+
+    def test_subset_bounds(self):
+        with pytest.raises(GuideError):
+            self._library().subset(3)
+
+
+class TestParseGuideTable:
+    def test_two_column(self):
+        library = parse_guide_table(
+            io.StringIO("# comment\nEMX1 GAGTCCGAGCAGAAGAAGAA\n\nVEGFA GGGTGGGGGGAGTTTGCTCC\n")
+        )
+        assert [g.name for g in library] == ["EMX1", "VEGFA"]
+
+    def test_single_column_autonamed(self):
+        library = parse_guide_table(io.StringIO("GAGTCCGAGCAGAAGAAGAA\n"))
+        assert library[0].name == "guide1"
+
+    def test_custom_pam(self):
+        library = parse_guide_table(
+            io.StringIO("g GAGTCCGAGCAGAAGAAGAA\n"), pam="NAG"
+        )
+        assert library[0].pam.name == "NAG"
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(GuideError, match="line 2"):
+            parse_guide_table(io.StringIO("g GAGTCCGAGCAGAAGAAGAA\nbad NOTDNA!\n"))
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(GuideError):
+            parse_guide_table(io.StringIO("# nothing\n"))
+
+    def test_from_path(self, tmp_path):
+        path = tmp_path / "guides.txt"
+        path.write_text("g GAGTCCGAGCAGAAGAAGAA\n")
+        assert len(parse_guide_table(path)) == 1
+
+
+class TestSampling:
+    def test_samples_have_on_targets(self):
+        genome = random_genome(20000, seed=31)
+        library = sample_guides_from_genome(genome, 5, seed=32)
+        assert len(library) == 5
+        text = genome.text
+        for guide in library:
+            position = text.find(guide.protospacer)
+            assert position >= 0
+            assert guide.pam.matches(text[position + 20 : position + 23])
+
+    def test_deterministic(self):
+        genome = random_genome(20000, seed=31)
+        first = [g.protospacer for g in sample_guides_from_genome(genome, 3, seed=5)]
+        second = [g.protospacer for g in sample_guides_from_genome(genome, 3, seed=5)]
+        assert first == second
+
+    def test_unique_protospacers(self):
+        genome = random_genome(20000, seed=31)
+        library = sample_guides_from_genome(genome, 8, seed=6)
+        protospacers = [g.protospacer for g in library]
+        assert len(set(protospacers)) == 8
+
+    def test_custom_pam_sampling(self):
+        genome = random_genome(50000, seed=31)
+        library = sample_guides_from_genome(genome, 2, pam="TTTV", seed=7)
+        for guide in library:
+            assert guide.pam.name == "TTTV"
+
+    def test_too_small_genome_rejected(self):
+        with pytest.raises(GuideError):
+            sample_guides_from_genome(random_genome(10, seed=1), 1)
+
+    def test_impossible_request_fails_cleanly(self):
+        # An all-A genome has no GG PAMs.
+        from repro.genome.sequence import Sequence
+
+        genome = Sequence.from_text("s", "A" * 500)
+        with pytest.raises(GuideError):
+            sample_guides_from_genome(genome, 1, seed=1)

@@ -1,0 +1,151 @@
+"""Unit tests for the vectorised matching kernel."""
+
+import pytest
+
+from repro import SearchBudget, random_genome
+from repro.core import matcher
+from repro.core.reference import NaiveSearcher
+from repro.genome.sequence import Sequence
+from repro.genome.synthetic import plant_sites
+from repro.grna.guide import Guide
+from repro.grna.library import sample_guides_from_genome
+
+from helpers import hit_spans
+
+
+BUDGETS = [
+    SearchBudget(mismatches=0),
+    SearchBudget(mismatches=2),
+    SearchBudget(mismatches=4),
+    SearchBudget(mismatches=0, rna_bulges=1),
+    SearchBudget(mismatches=0, dna_bulges=1),
+    SearchBudget(mismatches=1, rna_bulges=1, dna_bulges=1),
+]
+
+
+@pytest.mark.parametrize("budget", BUDGETS, ids=lambda b: f"{b.mismatches}mm{b.rna_bulges}rb{b.dna_bulges}db")
+def test_matcher_equals_oracle(tiny_genome, budget):
+    guides = sample_guides_from_genome(tiny_genome, 2, seed=41)
+    fast = matcher.find_hits(tiny_genome, guides, budget)
+    slow = NaiveSearcher(budget).search(tiny_genome, guides)
+    assert hit_spans(fast) == hit_spans(slow)
+
+
+def test_planted_mismatch_sites_found():
+    genome = random_genome(30000, seed=50)
+    guides = [Guide("g1", "GAGTCCGAGCAGAAGAAGAA"), Guide("g2", "ACCTTGGACGTTAACGGCAT")]
+    edited, planted = plant_sites(genome, guides, per_guide=3, mismatches=2, seed=51)
+    hits = matcher.find_hits(edited, guides, SearchBudget(mismatches=2))
+    starts = {(h.guide_name, h.start) for h in hits}
+    for site in planted:
+        assert (guides[site.guide_index].name, site.position) in starts
+
+
+def test_planted_bulge_sites_found():
+    genome = random_genome(30000, seed=52)
+    guides = [Guide("g1", "GAGTCCGAGCAGAAGAAGAA")]
+    edited, planted = plant_sites(
+        genome, guides, per_guide=3, rna_bulges=1, dna_bulges=1, seed=53
+    )
+    hits = matcher.find_hits(
+        edited, guides, SearchBudget(mismatches=0, rna_bulges=1, dna_bulges=1)
+    )
+    starts = {h.start for h in hits}
+    for site in planted:
+        assert site.position in starts
+
+
+def test_strandedness():
+    guide = Guide("g", "ACGTACGTCAACGTACGTCA")
+    target = guide.protospacer + "TGG"
+    from repro import alphabet
+
+    text = "A" * 10 + target + "T" * 10 + alphabet.reverse_complement(target) + "A" * 10
+    genome = Sequence.from_text("chr", text)
+    hits = matcher.find_hits(genome, [guide], SearchBudget(mismatches=0))
+    assert {h.strand for h in hits} == {"+", "-"}
+    minus = next(h for h in hits if h.strand == "-")
+    assert minus.site == target
+
+
+def test_no_hits_on_empty_genome():
+    genome = Sequence.from_text("chr", "")
+    guide = Guide("g", "ACGTACGTCAACGTACGTCA")
+    assert matcher.find_hits(genome, [guide], SearchBudget(mismatches=3)) == []
+
+
+def test_genome_shorter_than_site():
+    genome = Sequence.from_text("chr", "ACGT")
+    guide = Guide("g", "ACGTACGTCAACGTACGTCA")
+    for budget in (SearchBudget(mismatches=2), SearchBudget(mismatches=1, dna_bulges=1)):
+        assert matcher.find_hits(genome, [guide], budget) == []
+
+
+def test_site_at_genome_end():
+    guide = Guide("g", "ACGTACGTCAACGTACGTCA")
+    target = guide.protospacer + "AGG"
+    genome = Sequence.from_text("chr", "TTTT" + target)
+    hits = matcher.find_hits(genome, [guide], SearchBudget(mismatches=0))
+    assert [h.end for h in hits] == [len(genome.text)]
+
+
+def test_site_at_genome_start():
+    guide = Guide("g", "ACGTACGTCAACGTACGTCA")
+    target = guide.protospacer + "AGG"
+    genome = Sequence.from_text("chr", target + "TTTT")
+    hits = matcher.find_hits(genome, [guide], SearchBudget(mismatches=0))
+    assert [h.start for h in hits] == [0]
+
+
+def test_count_report_rows_at_least_hits(tiny_genome):
+    guides = sample_guides_from_genome(tiny_genome, 2, seed=42)
+    budget = SearchBudget(mismatches=1, rna_bulges=1, dna_bulges=1)
+    hits = matcher.find_hits(tiny_genome, guides, budget)
+    rows = matcher.count_report_rows(tiny_genome, guides, budget)
+    assert rows >= len(hits)
+
+
+def test_count_report_rows_equals_hits_for_mismatch_only(tiny_genome):
+    guides = sample_guides_from_genome(tiny_genome, 2, seed=43)
+    budget = SearchBudget(mismatches=2)
+    hits = matcher.find_hits(tiny_genome, guides, budget)
+    assert matcher.count_report_rows(tiny_genome, guides, budget) == len(hits)
+
+
+def test_n_run_blocks_hits():
+    guide = Guide("g", "ACGTACGTCAACGTACGTCA")
+    target = guide.protospacer + "AGG"
+    masked = "N" * len(target)
+    genome = Sequence.from_text("chr", masked + target)
+    hits = matcher.find_hits(genome, [guide], SearchBudget(mismatches=1))
+    assert all(h.start >= len(target) for h in hits)
+
+
+@pytest.mark.parametrize(
+    "budget",
+    [
+        SearchBudget(mismatches=2),
+        SearchBudget(mismatches=1, rna_bulges=1),
+        SearchBudget(mismatches=1, dna_bulges=1),
+        SearchBudget(mismatches=1, rna_bulges=1, dna_bulges=1),
+    ],
+    ids=lambda b: f"{b.mismatches}mm{b.rna_bulges}rb{b.dna_bulges}db",
+)
+def test_matcher_equals_oracle_5prime_pam(tiny_genome, budget):
+    # Cas12a-style guides: the exact PAM segment precedes the budgeted
+    # protospacer on the forward strand and follows it on the reverse —
+    # the layout that exercises the post-budgeted shift logic.
+    guides = sample_guides_from_genome(tiny_genome, 2, pam="TTTV", seed=44)
+    fast = matcher.find_hits(tiny_genome, guides, budget)
+    slow = NaiveSearcher(budget).search(tiny_genome, guides)
+    assert hit_spans(fast) == hit_spans(slow)
+
+
+def test_casot_5prime_pam_bulged(tiny_genome):
+    from repro.baselines import CasotBaseline
+
+    guides = sample_guides_from_genome(tiny_genome, 1, pam="TTTV", seed=45)
+    budget = SearchBudget(mismatches=1, rna_bulges=1, dna_bulges=1)
+    result = CasotBaseline().search(tiny_genome, guides, budget)
+    expected = matcher.find_hits(tiny_genome, guides, budget)
+    assert hit_spans(result.hits) == hit_spans(expected)

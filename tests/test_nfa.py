@@ -1,0 +1,142 @@
+"""Unit tests for repro.automata.nfa."""
+
+import pytest
+
+from repro import alphabet
+from repro.automata.charclass import CharClass
+from repro.automata.nfa import Nfa
+from repro.errors import AutomatonError
+
+
+def _codes(text):
+    return alphabet.encode(text)
+
+
+def _literal_nfa(pattern, *, all_input=True, label="hit"):
+    """Search NFA accepting the literal *pattern*."""
+    nfa = Nfa()
+    start = nfa.add_state("start")
+    nfa.mark_start(start, all_input=all_input)
+    current = start
+    for symbol in pattern:
+        nxt = nfa.add_state()
+        nfa.add_transition(current, CharClass.from_iupac(symbol), nxt)
+        current = nxt
+    nfa.mark_accept(current, label)
+    return nfa
+
+
+class TestConstruction:
+    def test_counts(self):
+        nfa = _literal_nfa("ACG")
+        assert nfa.num_states == 4
+        assert nfa.num_transitions == 3
+        assert nfa.num_epsilon == 0
+
+    def test_unknown_state_rejected(self):
+        nfa = Nfa()
+        nfa.add_state()
+        with pytest.raises(AutomatonError):
+            nfa.add_transition(0, CharClass.of("A"), 5)
+        with pytest.raises(AutomatonError):
+            nfa.mark_start(3)
+        with pytest.raises(AutomatonError):
+            nfa.mark_accept(3, "x")
+
+    def test_empty_class_edge_rejected(self):
+        nfa = Nfa()
+        a, b = nfa.add_state(), nfa.add_state()
+        with pytest.raises(AutomatonError):
+            nfa.add_transition(a, CharClass.empty(), b)
+
+    def test_states_view(self):
+        nfa = _literal_nfa("AC")
+        states = list(nfa.states())
+        assert states[0].is_start and states[0].all_input
+        assert states[-1].accept_labels == ("hit",)
+
+
+class TestRun:
+    def test_finds_all_occurrences(self):
+        nfa = _literal_nfa("ACG")
+        positions = [pos for pos, _ in nfa.run(_codes("ACGACGTACG"))]
+        # Reports at the last consumed symbol of each occurrence.
+        assert positions == [2, 5, 9]
+
+    def test_overlapping_matches(self):
+        nfa = _literal_nfa("AA")
+        positions = [pos for pos, _ in nfa.run(_codes("AAAA"))]
+        assert positions == [1, 2, 3]
+
+    def test_anchored_start(self):
+        nfa = _literal_nfa("AC", all_input=False)
+        assert [p for p, _ in nfa.run(_codes("ACAC"))] == [1]
+        assert [p for p, _ in nfa.run(_codes("TACAC"))] == []
+
+    def test_iupac_class_edges(self):
+        nfa = _literal_nfa("NGG")
+        positions = [pos for pos, _ in nfa.run(_codes("AGGTGGCCG"))]
+        assert positions == [2, 5]
+
+    def test_match_count(self):
+        assert _literal_nfa("AC").match_count(_codes("ACACAC")) == 3
+
+    def test_labels_reported(self):
+        nfa = _literal_nfa("AC", label=("g", 0))
+        assert list(nfa.run(_codes("AC"))) == [(1, ("g", 0))]
+
+    def test_multiple_labels_per_state(self):
+        nfa = _literal_nfa("A")
+        nfa.mark_accept(1, "second")
+        labels = [label for _, label in nfa.run(_codes("A"))]
+        assert sorted(labels) == ["hit", "second"]
+
+
+class TestEpsilon:
+    def _eps_nfa(self):
+        # start --A--> s1 --eps--> s2 --C--> s3(accept)
+        nfa = Nfa()
+        start = nfa.add_state("start")
+        s1, s2, s3 = (nfa.add_state() for _ in range(3))
+        nfa.mark_start(start)
+        nfa.add_transition(start, CharClass.of("A"), s1)
+        nfa.add_epsilon(s1, s2)
+        nfa.add_transition(s2, CharClass.of("C"), s3)
+        nfa.mark_accept(s3, "hit")
+        return nfa
+
+    def test_epsilon_closure(self):
+        nfa = self._eps_nfa()
+        assert nfa.epsilon_closure([1]) == frozenset({1, 2})
+
+    def test_run_through_epsilon(self):
+        nfa = self._eps_nfa()
+        assert [p for p, _ in nfa.run(_codes("AC"))] == [1]
+
+    def test_epsilon_accept_fires_on_entry(self):
+        # start --A--> s1 --eps--> s2(accept): accept fires at the A.
+        nfa = Nfa()
+        start, s1, s2 = (nfa.add_state() for _ in range(3))
+        nfa.mark_start(start)
+        nfa.add_transition(start, CharClass.of("A"), s1)
+        nfa.add_epsilon(s1, s2)
+        nfa.mark_accept(s2, "hit")
+        assert [p for p, _ in nfa.run(_codes("A"))] == [0]
+
+    def test_without_epsilon_equivalent(self):
+        nfa = self._eps_nfa()
+        flat = nfa.without_epsilon()
+        assert flat.num_epsilon == 0
+        text = "ACACTACAAC"
+        assert list(flat.run(_codes(text))) == list(nfa.run(_codes(text)))
+
+    def test_without_epsilon_chain(self):
+        nfa = Nfa()
+        states = [nfa.add_state() for _ in range(4)]
+        nfa.mark_start(states[0])
+        nfa.add_transition(states[0], CharClass.of("A"), states[1])
+        nfa.add_epsilon(states[1], states[2])
+        nfa.add_epsilon(states[2], states[3])
+        nfa.mark_accept(states[3], "hit")
+        flat = nfa.without_epsilon()
+        assert list(flat.run(_codes("A"))) == [(0, "hit")]

@@ -1,0 +1,82 @@
+"""Unit tests for repro.automata.ops."""
+
+import pytest
+
+from repro import alphabet
+from repro.automata import ops
+from repro.automata.charclass import CharClass
+from repro.automata.nfa import Nfa
+from repro.core.compiler import SearchBudget, compile_guide
+from repro.errors import AutomatonError
+from repro.grna.guide import Guide
+
+
+def _literal(pattern, label):
+    nfa = Nfa()
+    start = nfa.add_state("start")
+    nfa.mark_start(start)
+    current = start
+    for symbol in pattern:
+        nxt = nfa.add_state()
+        nfa.add_transition(current, CharClass.from_iupac(symbol), nxt)
+        current = nxt
+    nfa.mark_accept(current, label)
+    return nfa
+
+
+def test_union_runs_both():
+    merged = ops.union([_literal("AC", "a"), _literal("GT", "b")])
+    labels = [label for _, label in merged.run(alphabet.encode("ACGT"))]
+    assert labels == ["a", "b"]
+
+
+def test_union_state_count_additive():
+    a, b = _literal("AC", "a"), _literal("GTA", "b")
+    merged = ops.union([a, b])
+    assert merged.num_states == a.num_states + b.num_states
+
+
+def test_union_homogeneous():
+    guide = Guide("g", "ACGTACGTACGTACGTACGT")
+    compiled = compile_guide(guide, SearchBudget(mismatches=0))
+    merged = ops.union_homogeneous([compiled.homogeneous, compiled.homogeneous])
+    assert merged.num_stes == 2 * compiled.homogeneous.num_stes
+
+
+def test_reachable_states():
+    nfa = _literal("AC", "a")
+    orphan = nfa.add_state("orphan")
+    reachable = ops.reachable_states(nfa)
+    assert orphan not in reachable
+    assert len(reachable) == nfa.num_states - 1
+
+
+def test_prune_unreachable_preserves_behaviour():
+    nfa = _literal("ACG", "a")
+    nfa.add_state("orphan1")
+    orphan2 = nfa.add_state("orphan2")
+    nfa.mark_accept(orphan2, "never")
+    pruned = ops.prune_unreachable(nfa)
+    assert pruned.num_states == nfa.num_states - 2
+    text = alphabet.encode("ACGACG")
+    assert list(pruned.run(text)) == list(nfa.run(text))
+
+
+def test_stats():
+    guide = Guide("g", "ACGTACGTACGTACGTACGT")
+    compiled = compile_guide(guide, SearchBudget(mismatches=2))
+    stats = ops.stats(compiled.homogeneous)
+    assert stats.num_stes == compiled.homogeneous.num_stes
+    assert stats.num_edges == compiled.homogeneous.num_edges
+    assert stats.num_reports == len(compiled.homogeneous.report_stes())
+    assert stats.num_starts >= 1
+    assert stats.max_fanout >= stats.mean_fanout > 0
+    assert 0 < stats.transition_density < 10
+    assert stats.distinct_classes >= 2
+
+
+def test_stats_empty_rejected():
+    from repro.automata.homogeneous import HomogeneousAutomaton
+
+    with pytest.raises(AutomatonError):
+        ops.stats(HomogeneousAutomaton())

@@ -1,0 +1,105 @@
+"""Unit tests for repro.grna.pam."""
+
+import pytest
+
+from repro.errors import PamError
+from repro.grna.pam import PAM_CATALOG, Pam, get_pam
+
+
+class TestCatalog:
+    def test_catalog_contains_spcas9(self):
+        assert "NGG" in PAM_CATALOG
+        assert PAM_CATALOG["NGG"].nuclease == "SpCas9"
+
+    def test_catalog_names_match_keys(self):
+        for name, pam in PAM_CATALOG.items():
+            assert pam.name == name
+
+    def test_cas12a_is_5prime(self):
+        assert PAM_CATALOG["TTTV"].side == "5prime"
+
+    def test_get_pam_by_name(self):
+        assert get_pam("ngg") is PAM_CATALOG["NGG"]
+
+    def test_get_pam_custom_pattern(self):
+        pam = get_pam("NGRRT")
+        assert pam.pattern == "NGRRT"
+        assert pam.side == "3prime"
+        assert pam.nuclease == "custom"
+
+    def test_get_pam_rejects_garbage(self):
+        with pytest.raises(PamError):
+            get_pam("XYZ!")
+
+
+class TestMatching:
+    def test_ngg_matches(self):
+        pam = get_pam("NGG")
+        assert pam.matches("AGG")
+        assert pam.matches("TGG")
+        assert not pam.matches("AGA")
+        assert not pam.matches("ACG")
+
+    def test_length_mismatch(self):
+        assert not get_pam("NGG").matches("AG")
+        assert not get_pam("NGG").matches("AGGT")
+
+    def test_nrg_matches_both_relaxed(self):
+        pam = get_pam("NRG")
+        assert pam.matches("AGG")
+        assert pam.matches("AAG")
+        assert not pam.matches("ACG")
+
+    def test_nngrrt(self):
+        pam = get_pam("NNGRRT")
+        assert pam.matches("ACGAGT")
+        assert pam.matches("TTGGAT")
+        assert not pam.matches("ACGACT")
+
+    def test_case_insensitive_site(self):
+        assert get_pam("NGG").matches("agg")
+
+    def test_n_in_genome_matches_only_pattern_n(self):
+        pam = get_pam("NGG")
+        assert not pam.matches("ANG")
+        assert pam.matches("NGG")  # N position accepts genome N
+
+
+class TestProperties:
+    def test_expected_hit_rate_ngg(self):
+        rate = get_pam("NGG").expected_hit_rate(gc_content=0.5)
+        assert rate == pytest.approx(1.0 * 0.25 * 0.25)
+
+    def test_hit_rate_monotone_in_gc(self):
+        pam = get_pam("NGG")
+        assert pam.expected_hit_rate(0.6) > pam.expected_hit_rate(0.3)
+
+    def test_nrg_rate_double_of_ngg_at_even_gc(self):
+        assert get_pam("NRG").expected_hit_rate(0.5) == pytest.approx(
+            2 * get_pam("NGG").expected_hit_rate(0.5)
+        )
+
+    def test_reverse_complement_pattern(self):
+        assert get_pam("NGG").reverse_complement_pattern() == "CCN"
+        assert get_pam("TTTV").reverse_complement_pattern() == "BAAA"
+
+    def test_len(self):
+        assert len(get_pam("NGG")) == 3
+        assert len(get_pam("NNGRRT")) == 6
+
+
+class TestValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(PamError):
+            Pam("X", "", "3prime", "x")
+
+    def test_rejects_bad_side(self):
+        with pytest.raises(PamError):
+            Pam("X", "NGG", "middle", "x")
+
+    def test_rejects_bad_symbols(self):
+        with pytest.raises(Exception):
+            Pam("X", "NG!", "3prime", "x")
+
+    def test_u_normalised(self):
+        assert Pam("X", "UGG", "3prime", "x").pattern == "TGG"

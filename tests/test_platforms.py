@@ -1,0 +1,267 @@
+"""Unit tests for the platform models (spec, timing, resources, reporting)."""
+
+import pytest
+
+from repro import SearchBudget
+from repro.core.compiler import compile_guide
+from repro.errors import PlatformError
+from repro.grna.guide import Guide
+from repro.platforms.reporting import ReportCostModel, ReportTraffic
+from repro.platforms.resources import (
+    estimate_nfa_states,
+    estimate_stes,
+    expected_activity,
+    fpga_luts_for,
+    guides_per_pass,
+)
+from repro.platforms.spec import (
+    DEVICES,
+    ApSpec,
+    CasotSpec,
+    CpuSpec,
+    FpgaSpec,
+    GpuNfaSpec,
+    device,
+)
+from repro.platforms.timing import (
+    TimingBreakdown,
+    WorkloadProfile,
+    ap_time,
+    cas_offinder_time,
+    casot_time,
+    expected_casot_candidates,
+    fpga_time,
+    hyperscan_time,
+    infant2_time,
+)
+
+
+def _profile(**overrides):
+    fields = dict(
+        genome_length=1_000_000,
+        num_guides=10,
+        site_length=23,
+        total_stes=3000,
+        total_transitions=5000,
+        expected_active=50.0,
+        report_traffic=ReportTraffic(events=100, cycles_with_reports=90),
+        seed_candidates=10000,
+    )
+    fields.update(overrides)
+    return WorkloadProfile(**fields)
+
+
+class TestSpecs:
+    def test_catalog_complete(self):
+        assert len(DEVICES) == 6
+
+    def test_device_lookup(self):
+        assert isinstance(device("ap-d480-board"), ApSpec)
+
+    def test_device_unknown(self):
+        with pytest.raises(PlatformError):
+            device("abacus")
+
+    def test_ap_capacity(self):
+        spec = ApSpec()
+        assert spec.capacity_stes == int(49152 * 8 * 4 * 0.5)
+
+
+class TestTimingModels:
+    def test_ap_single_pass(self):
+        breakdown = ap_time(_profile(), ApSpec())
+        assert breakdown.passes == 1
+        assert breakdown.kernel_seconds == pytest.approx(1_000_000 / 133e6)
+
+    def test_ap_multi_pass(self):
+        spec = ApSpec()
+        breakdown = ap_time(_profile(total_stes=spec.capacity_stes * 2 + 1), spec)
+        assert breakdown.passes == 3
+        assert breakdown.kernel_seconds == pytest.approx(3 * 1_000_000 / 133e6)
+        assert breakdown.setup_seconds == pytest.approx(3 * spec.config_seconds_per_pass)
+
+    def test_fpga_kernel_slower_than_ap(self):
+        profile = _profile()
+        assert (
+            fpga_time(profile, FpgaSpec()).kernel_seconds
+            > ap_time(profile, ApSpec()).kernel_seconds
+        )
+
+    def test_ap_fpga_kernel_ratio_near_1p5(self):
+        profile = _profile()
+        ratio = (
+            fpga_time(profile, FpgaSpec()).kernel_seconds
+            / ap_time(profile, ApSpec()).kernel_seconds
+        )
+        assert 1.4 < ratio < 1.6
+
+    def test_spatial_times_flat_in_activity(self):
+        # Spatial platforms do not care how many states are active.
+        low = ap_time(_profile(expected_active=1.0), ApSpec())
+        high = ap_time(_profile(expected_active=1000.0), ApSpec())
+        assert low.kernel_seconds == high.kernel_seconds
+
+    def test_hyperscan_scales_with_activity(self):
+        low = hyperscan_time(_profile(expected_active=10.0), CpuSpec())
+        high = hyperscan_time(_profile(expected_active=100.0), CpuSpec())
+        assert high.kernel_seconds == pytest.approx(10 * low.kernel_seconds)
+
+    def test_hyperscan_floor_rate(self):
+        spec = CpuSpec()
+        breakdown = hyperscan_time(_profile(expected_active=0.001), spec)
+        assert breakdown.kernel_seconds == pytest.approx(1_000_000 / spec.max_scan_rate)
+
+    def test_infant2_sync_floor(self):
+        spec = GpuNfaSpec()
+        breakdown = infant2_time(_profile(expected_active=0.0), spec)
+        assert breakdown.kernel_seconds >= 1_000_000 * spec.sync_seconds_per_symbol
+
+    def test_infant2_spill_penalty(self):
+        spec = GpuNfaSpec()
+        resident = infant2_time(_profile(), spec)
+        spilled = infant2_time(
+            _profile(total_transitions=spec.table_capacity_transitions + 1), spec
+        )
+        assert spilled.kernel_seconds > resident.kernel_seconds
+
+    def test_infant2_requires_network(self):
+        with pytest.raises(PlatformError):
+            infant2_time(_profile(total_stes=0), GpuNfaSpec())
+
+    def test_cas_offinder_near_flat_in_small_batches(self):
+        # Streaming dominates: 10 guides cost barely more than 1.
+        one = cas_offinder_time(_profile(num_guides=1), DEVICES["gpu-cas-offinder"])
+        ten = cas_offinder_time(_profile(num_guides=10), DEVICES["gpu-cas-offinder"])
+        assert one.kernel_seconds < ten.kernel_seconds < 1.1 * one.kernel_seconds
+
+    def test_cas_offinder_compare_term_emerges_at_scale(self):
+        small = cas_offinder_time(_profile(num_guides=10), DEVICES["gpu-cas-offinder"])
+        huge = cas_offinder_time(_profile(num_guides=100_000), DEVICES["gpu-cas-offinder"])
+        assert huge.kernel_seconds > 2 * small.kernel_seconds
+
+    def test_casot_scales_with_candidates(self):
+        few = casot_time(_profile(seed_candidates=10), CasotSpec())
+        many = casot_time(_profile(seed_candidates=10**6), CasotSpec())
+        assert many.kernel_seconds > few.kernel_seconds
+
+    def test_breakdown_totals(self):
+        breakdown = TimingBreakdown("x", setup_seconds=1.0, kernel_seconds=2.0, report_seconds=0.5)
+        assert breakdown.total_seconds == 3.5
+        assert breakdown.kernel_with_reports_seconds == 2.5
+
+    def test_expected_casot_candidates_explodes_with_k(self):
+        counts = [
+            expected_casot_candidates(3_100_000_000, 10, 20, k) for k in range(6)
+        ]
+        assert all(b > a for a, b in zip(counts, counts[1:]))
+        assert counts[5] > 100 * counts[1]
+
+
+class TestReporting:
+    def test_no_stalls_under_buffer(self):
+        model = ReportCostModel(buffer_entries=100, drain_cycles=50)
+        assert model.stall_cycles(ReportTraffic(events=99, cycles_with_reports=99)) == 0
+
+    def test_stalls_per_fill(self):
+        model = ReportCostModel(buffer_entries=10, drain_cycles=50)
+        assert model.stall_cycles(ReportTraffic(events=35, cycles_with_reports=35)) == 150
+
+    def test_coalescing_uses_cycles(self):
+        model = ReportCostModel(buffer_entries=10, drain_cycles=50, coalesce=True)
+        traffic = ReportTraffic(events=100, cycles_with_reports=10)
+        assert model.recorded_entries(traffic) == 10
+        assert model.stall_cycles(traffic) == 50
+
+    def test_with_coalescing(self):
+        model = ReportCostModel(buffer_entries=10, drain_cycles=50)
+        assert model.with_coalescing().coalesce is True
+
+    def test_traffic_validation(self):
+        with pytest.raises(PlatformError):
+            ReportTraffic(events=-1, cycles_with_reports=0)
+        with pytest.raises(PlatformError):
+            ReportTraffic(events=1, cycles_with_reports=2)
+
+    def test_model_validation(self):
+        with pytest.raises(PlatformError):
+            ReportCostModel(buffer_entries=0, drain_cycles=1)
+
+
+class TestResources:
+    def test_nfa_estimate_matches_compiled_mismatch_only(self):
+        guide = Guide("g", "ACGTACGTACGTACGTACGT")
+        for k in (0, 1, 3, 5):
+            compiled = compile_guide(guide, SearchBudget(mismatches=k))
+            predicted = estimate_nfa_states(20, 3, k)
+            assert compiled.forward.num_states == predicted
+
+    def test_nfa_estimate_matches_compiled_bulged(self):
+        guide = Guide("g", "ACGTACGTACGTACGTACGT")
+        for rna, dna in ((1, 0), (0, 1), (1, 1), (2, 1)):
+            compiled = compile_guide(
+                guide, SearchBudget(mismatches=1, rna_bulges=rna, dna_bulges=dna)
+            )
+            predicted = estimate_nfa_states(20, 3, 1, rna, dna)
+            assert compiled.forward.num_states == predicted
+
+    def test_ste_estimate_matches_conversion_mismatch_only(self):
+        guide = Guide("g", "ACGTACGTACGTACGTACGT")
+        for k in (0, 1, 2, 4):
+            compiled = compile_guide(guide, SearchBudget(mismatches=k))
+            assert compiled.num_stes == estimate_stes(20, 3, k)
+
+    def test_ste_estimate_bulged_is_upper_bound(self):
+        guide = Guide("g", "ACGTACGTACGTACGTACGT")
+        compiled = compile_guide(
+            guide, SearchBudget(mismatches=1, rna_bulges=1, dna_bulges=1)
+        )
+        assert compiled.num_stes <= estimate_stes(20, 3, 1, 1, 1)
+
+    def test_estimates_grow_with_budget(self):
+        sizes = [estimate_stes(20, 3, k) for k in range(6)]
+        assert all(b > a for a, b in zip(sizes, sizes[1:]))
+
+    def test_fpga_luts(self):
+        spec = FpgaSpec()
+        assert fpga_luts_for(1000, spec) == int(1000 * spec.luts_per_ste)
+
+    def test_guides_per_pass(self):
+        assert guides_per_pass(300, ApSpec()) == ApSpec().capacity_stes // 300
+        assert guides_per_pass(10**9, ApSpec()) == 1
+
+    def test_guides_per_pass_validation(self):
+        with pytest.raises(PlatformError):
+            guides_per_pass(0, ApSpec())
+        with pytest.raises(PlatformError):
+            guides_per_pass(10, CpuSpec())
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(PlatformError):
+            estimate_nfa_states(-1, 3, 1)
+
+
+class TestExpectedActivity:
+    def test_positive_and_bounded(self, compiled_library):
+        activity = expected_activity(compiled_library.homogeneous)
+        assert 0 < activity < compiled_library.num_stes
+
+    def test_grows_with_budget(self):
+        guide = Guide("g", "ACGTACGTACGTACGTACGT")
+        low = expected_activity(
+            compile_guide(guide, SearchBudget(mismatches=1)).homogeneous
+        )
+        high = expected_activity(
+            compile_guide(guide, SearchBudget(mismatches=4)).homogeneous
+        )
+        assert high > low
+
+    def test_matches_simulation(self, small_genome):
+        # The analytic activity should approximate measured mean active
+        # STEs on random input.
+        guide = Guide("g", "ACGTACGTACGTACGTACGT")
+        compiled = compile_guide(guide, SearchBudget(mismatches=2))
+        predicted = expected_activity(
+            compiled.homogeneous, gc_content=small_genome.gc_fraction()
+        )
+        _, stats = compiled.homogeneous.run_with_stats(small_genome.codes[:3000])
+        assert stats.mean_active == pytest.approx(predicted, rel=0.25)

@@ -1,0 +1,115 @@
+"""Repository-wide quality gates: docstrings, error hierarchy, registries."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+from repro import errors
+
+
+def _iter_modules():
+    yield repro
+    for module_info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(module_info.name)
+
+
+ALL_MODULES = list(_iter_modules())
+
+
+@pytest.mark.parametrize("module", ALL_MODULES, ids=lambda m: m.__name__)
+def test_every_module_has_a_docstring(module):
+    assert module.__doc__ and module.__doc__.strip(), f"{module.__name__} lacks a docstring"
+
+
+@pytest.mark.parametrize("module", ALL_MODULES, ids=lambda m: m.__name__)
+def test_public_api_documented(module):
+    """Every public class and function defined in the package has a docstring."""
+    undocumented = []
+    for name, member in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(member) or inspect.isfunction(member)):
+            continue
+        if getattr(member, "__module__", "") != module.__name__:
+            continue  # re-exports are documented at their definition site
+        if not (member.__doc__ and member.__doc__.strip()):
+            undocumented.append(name)
+    assert not undocumented, f"{module.__name__}: undocumented public items {undocumented}"
+
+
+class TestErrorHierarchy:
+    def test_all_errors_subclass_repro_error(self):
+        for name, member in vars(errors).items():
+            if inspect.isclass(member) and issubclass(member, Exception):
+                assert issubclass(member, errors.ReproError) or member is errors.ReproError
+
+    def test_capacity_is_engine_error(self):
+        assert issubclass(errors.CapacityError, errors.EngineError)
+
+    def test_catchable_at_the_top(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.PamError("x")
+
+
+class TestRegistries:
+    def test_duplicate_engine_rejected(self):
+        from repro.engines.base import Engine, register_engine
+        from repro.errors import EngineError
+
+        class Duplicate(Engine):
+            """Test double."""
+
+            name = "fpga"
+
+            def model_time(self, profile):
+                """Unused."""
+
+            def simulate(self, codes, compiled):
+                """Unused."""
+
+        with pytest.raises(EngineError, match="duplicate"):
+            register_engine(Duplicate)
+
+    def test_unnamed_engine_rejected(self):
+        from repro.engines.base import Engine, register_engine
+        from repro.errors import EngineError
+
+        class Nameless(Engine):
+            """Test double."""
+
+            def model_time(self, profile):
+                """Unused."""
+
+            def simulate(self, codes, compiled):
+                """Unused."""
+
+        with pytest.raises(EngineError, match="name"):
+            register_engine(Nameless)
+
+    def test_duplicate_baseline_rejected(self):
+        from repro.baselines.base import Baseline, register_baseline
+        from repro.errors import EngineError
+
+        class Duplicate(Baseline):
+            """Test double."""
+
+            name = "casot"
+
+            def search(self, genome, library, budget):
+                """Unused."""
+
+        with pytest.raises(EngineError, match="duplicate"):
+            register_baseline(Duplicate)
+
+
+def test_version_exposed():
+    assert repro.__version__
+    assert all(part.isdigit() for part in repro.__version__.split("."))
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.__all__ lists missing name {name}"

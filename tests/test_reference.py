@@ -1,0 +1,107 @@
+"""Unit tests for the naive reference oracle."""
+
+from repro import SearchBudget
+from repro.core.reference import NaiveSearcher
+from repro.genome.sequence import Sequence
+from repro.grna.guide import Guide
+
+PROTO = "ACGTACGTCA"
+GUIDE = Guide("g", PROTO)
+TARGET = PROTO + "TGG"
+
+
+def _search(text, budget):
+    genome = Sequence.from_text("chr", text)
+    return NaiveSearcher(budget).search(genome, [GUIDE])
+
+
+class TestForwardStrand:
+    def test_exact_site(self):
+        hits = _search("TTT" + TARGET + "TTT", SearchBudget(mismatches=0))
+        assert len(hits) == 1
+        hit = hits[0]
+        assert (hit.start, hit.end, hit.strand, hit.mismatches) == (3, 3 + 13, "+", 0)
+        assert hit.site == TARGET
+
+    def test_mismatch_counted(self):
+        mutated = "T" + TARGET[1:]
+        hits = _search(mutated, SearchBudget(mismatches=1))
+        assert [h.mismatches for h in hits] == [1]
+
+    def test_over_budget_rejected(self):
+        mutated = "TT" + TARGET[2:]
+        assert _search(mutated, SearchBudget(mismatches=1)) == []
+
+    def test_bad_pam_rejected(self):
+        assert _search(PROTO + "TTT", SearchBudget(mismatches=3)) == []
+
+
+class TestReverseStrand:
+    def test_reverse_complement_site(self):
+        from repro import alphabet
+
+        rc_site = alphabet.reverse_complement(TARGET)
+        hits = _search("AA" + rc_site + "AA", SearchBudget(mismatches=0))
+        assert len(hits) == 1
+        hit = hits[0]
+        assert hit.strand == "-"
+        assert hit.start == 2
+        assert hit.site == TARGET  # reported in guide orientation
+
+
+class TestBulges:
+    def test_rna_bulge_site(self):
+        site = PROTO[:4] + PROTO[5:] + "TGG"  # interior deletion
+        hits = _search(site, SearchBudget(mismatches=0, rna_bulges=1))
+        assert len(hits) == 1
+        assert hits[0].rna_bulges == 1
+        assert hits[0].end - hits[0].start == 12
+
+    def test_dna_bulge_site(self):
+        site = PROTO[:5] + "G" + PROTO[5:] + "TGG"  # interior insertion
+        hits = _search(site, SearchBudget(mismatches=0, dna_bulges=1))
+        assert len(hits) == 1
+        assert hits[0].dna_bulges == 1
+        assert hits[0].end - hits[0].start == 14
+
+    def test_best_profile_reported(self):
+        # An exact site is also reachable with wasteful bulge pairs when
+        # budgets allow; the oracle must report the 0-edit profile.
+        hits = _search(TARGET, SearchBudget(mismatches=2, rna_bulges=1, dna_bulges=1))
+        exact = [h for h in hits if (h.start, h.end) == (0, 13)]
+        assert exact and exact[0].edits == 0
+
+    def test_bulge_outside_budget_rejected(self):
+        site = PROTO[:4] + PROTO[5:] + "TGG"
+        assert _search(site, SearchBudget(mismatches=0)) == []
+
+
+class TestGenomeN:
+    def test_n_is_mismatch(self):
+        site = "N" + TARGET[1:]
+        assert _search(site, SearchBudget(mismatches=0)) == []
+        hits = _search(site, SearchBudget(mismatches=1))
+        assert [h.mismatches for h in hits] == [1]
+
+    def test_n_in_pam_concrete_position_rejected(self):
+        site = PROTO + "TNG"
+        assert _search(site, SearchBudget(mismatches=3)) == []
+
+    def test_n_at_pam_n_position_accepted(self):
+        site = PROTO + "NGG"
+        hits = _search(site, SearchBudget(mismatches=0))
+        assert len(hits) == 1
+
+
+class TestMultipleSites:
+    def test_two_sites_both_found(self):
+        text = TARGET + "AAAA" + TARGET
+        hits = _search(text, SearchBudget(mismatches=0))
+        assert [h.start for h in hits] == [0, 17]
+
+    def test_hits_sorted_and_deduped(self):
+        text = TARGET + TARGET
+        hits = _search(text, SearchBudget(mismatches=2))
+        keys = [h.key for h in hits]
+        assert keys == sorted(keys)
+        assert len(keys) == len(set(keys))

@@ -1,0 +1,75 @@
+"""Unit tests for hit-report serialisation."""
+
+import io
+
+import pytest
+
+from repro.analysis.report_io import read_tsv, write_bed, write_tsv
+from repro.errors import ReproError
+from repro.grna.hit import OffTargetHit
+
+
+def _hits():
+    return [
+        OffTargetHit("g1", "chr1", "+", 100, 123, 2, 0, 0, "A" * 23),
+        OffTargetHit("g2", "chr2", "-", 5, 27, 1, 1, 0, "C" * 22),
+    ]
+
+
+class TestBed:
+    def test_write_rows(self):
+        buffer = io.StringIO()
+        count = write_bed(_hits(), buffer)
+        lines = buffer.getvalue().splitlines()
+        assert count == 2
+        assert lines[0] == "chr1\t100\t123\tg1\t2\t+"
+        assert lines[1] == "chr2\t5\t27\tg2\t1\t-"
+
+    def test_write_to_path(self, tmp_path):
+        path = tmp_path / "hits.bed"
+        write_bed(_hits(), path)
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_empty(self):
+        buffer = io.StringIO()
+        assert write_bed([], buffer) == 0
+        assert buffer.getvalue() == ""
+
+
+class TestTsv:
+    def test_roundtrip(self):
+        buffer = io.StringIO()
+        write_tsv(_hits(), buffer)
+        buffer.seek(0)
+        back = read_tsv(buffer)
+        assert back == _hits()
+
+    def test_roundtrip_via_path(self, tmp_path):
+        path = tmp_path / "hits.tsv"
+        write_tsv(_hits(), path)
+        assert read_tsv(path) == _hits()
+
+    def test_header_written(self):
+        buffer = io.StringIO()
+        write_tsv(_hits(), buffer)
+        assert buffer.getvalue().startswith("#guide\t")
+
+    def test_empty_site_dot(self):
+        hit = OffTargetHit("g", "c", "+", 0, 23, 0)
+        buffer = io.StringIO()
+        write_tsv([hit], buffer)
+        assert "\t.\t" in buffer.getvalue()
+        buffer.seek(0)
+        assert read_tsv(buffer)[0].site == ""
+
+    def test_read_skips_blank_and_comments(self):
+        text = "#c\n\n" + "g\tAAA\tchr\t1\t24\t+\t0\t0\t0\n"
+        assert len(read_tsv(io.StringIO(text))) == 1
+
+    def test_read_rejects_bad_field_count(self):
+        with pytest.raises(ReproError, match="9 fields"):
+            read_tsv(io.StringIO("a\tb\tc\n"))
+
+    def test_read_rejects_bad_integers(self):
+        with pytest.raises(ReproError, match="line 1"):
+            read_tsv(io.StringIO("g\tA\tchr\tx\t24\t+\t0\t0\t0\n"))

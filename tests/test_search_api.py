@@ -1,0 +1,136 @@
+"""Integration tests for the public OffTargetSearch API."""
+
+import pytest
+
+from repro import (
+    Guide,
+    OffTargetSearch,
+    SearchBudget,
+    random_genome,
+    sample_guides_from_genome,
+)
+from repro.errors import EngineError
+
+from helpers import hit_spans
+
+ALL_TOOLS = ["cpu-nfa", "hyperscan", "infant2", "fpga", "ap", "cas-offinder", "casot"]
+
+
+@pytest.fixture(scope="module")
+def genome():
+    return random_genome(40_000, seed=61, name="chrApi")
+
+
+@pytest.fixture(scope="module")
+def guides(genome):
+    return sample_guides_from_genome(genome, 3, seed=62)
+
+
+@pytest.mark.parametrize("tool", ALL_TOOLS)
+def test_every_tool_through_api(genome, guides, tool):
+    search = OffTargetSearch(guides, SearchBudget(mismatches=2))
+    report = search.run(genome, engine=tool)
+    assert report.engine == tool
+    assert report.num_hits >= len(guides)  # at least the on-targets
+    assert report.modeled_seconds > 0
+    assert report.genome_length == len(genome)
+
+
+def test_all_tools_agree(genome, guides):
+    search = OffTargetSearch(guides, SearchBudget(mismatches=2))
+    spans = [
+        hit_spans(search.run(genome, engine=tool).hits) for tool in ALL_TOOLS
+    ]
+    assert all(s == spans[0] for s in spans)
+
+
+def test_bulged_tools_agree(genome, guides):
+    search = OffTargetSearch(guides, SearchBudget(mismatches=1, rna_bulges=1, dna_bulges=1))
+    tools = [t for t in ALL_TOOLS if t != "cas-offinder"]
+    spans = [hit_spans(search.run(genome, engine=tool).hits) for tool in tools]
+    assert all(s == spans[0] for s in spans)
+
+
+def test_guides_accepts_iterable():
+    search = OffTargetSearch([Guide("g", "ACGTACGTACGTACGTACGT")])
+    assert len(search.library) == 1
+
+
+def test_multiple_sequences(guides):
+    chr1 = random_genome(20_000, seed=63, name="chr1")
+    chr2 = random_genome(20_000, seed=64, name="chr2")
+    search = OffTargetSearch(guides, SearchBudget(mismatches=3))
+    report = search.run([chr1, chr2])
+    assert report.genome_length == 40_000
+    names = {h.sequence_name for h in report.hits}
+    assert names <= {"chr1", "chr2"}
+
+
+def test_empty_sequence_list_rejected(guides):
+    search = OffTargetSearch(guides)
+    with pytest.raises(EngineError):
+        search.run([])
+
+
+def test_unknown_engine_rejected(genome, guides):
+    search = OffTargetSearch(guides)
+    with pytest.raises(EngineError, match="unknown engine"):
+        search.run(genome, engine="abacus")
+
+
+def test_compiled_cached(guides):
+    search = OffTargetSearch(guides)
+    assert search.compiled is search.compiled
+
+
+def test_report_helpers(genome, guides):
+    search = OffTargetSearch(guides, SearchBudget(mismatches=2))
+    report = search.run(genome)
+    name = guides[0].name
+    for hit in report.hits_for(name):
+        assert hit.guide_name == name
+    for hit in report.hits_within(0):
+        assert hit.edits == 0
+    assert "candidate off-target sites" in report.summary()
+
+
+def test_on_targets_always_reported(genome, guides):
+    search = OffTargetSearch(guides, SearchBudget(mismatches=0))
+    report = search.run(genome)
+    found = {h.guide_name for h in report.hits if h.mismatches == 0}
+    assert found == {g.name for g in guides}
+
+
+def test_mixed_pam_library(genome):
+    # One pass may search guides with different PAMs simultaneously.
+    guides = [
+        Guide("strict", "GAGTCCGAGCAGAAGAAGAA", "NGG"),
+        Guide("relaxed", "GAGTCCGAGCAGAAGAAGAA", "NRG"),
+    ]
+    report = OffTargetSearch(guides, SearchBudget(mismatches=3)).run(genome)
+    strict = {h.key for h in report.hits_for("strict")}
+    relaxed = {
+        (h.guide_name.replace("relaxed", "strict"), *h.key[1:])
+        for h in report.hits_for("relaxed")
+    }
+    # NRG is a strict superset of NGG sites.
+    assert strict <= relaxed
+
+
+def test_cas_offinder_rejects_mixed_pams(genome):
+    guides = [
+        Guide("a", "GAGTCCGAGCAGAAGAAGAA", "NGG"),
+        Guide("b", "ACCTTGGACGTTAACGGCAT", "NAG"),
+    ]
+    with pytest.raises(EngineError, match="one PAM"):
+        OffTargetSearch(guides, SearchBudget(mismatches=1)).run(
+            genome, engine="cas-offinder"
+        )
+
+
+def test_cas12a_five_prime_pam(genome):
+    from repro import sample_guides_from_genome as sample
+
+    guides = sample(genome, 2, pam="TTTV", seed=77)
+    report = OffTargetSearch(guides, SearchBudget(mismatches=1)).run(genome)
+    assert {h.guide_name for h in report.hits} >= {g.name for g in guides}

@@ -1,0 +1,152 @@
+"""Unit tests for the 2-symbol strided automata."""
+
+import numpy as np
+import pytest
+
+from repro import alphabet
+from repro.automata.charclass import CharClass
+from repro.automata.striding import (
+    PAIR_CODES,
+    PairClass,
+    StridedAutomaton,
+    build_strided_hamming,
+    pack_pairs,
+    strided_search,
+    strided_state_count,
+)
+from repro.core.compiler import SearchBudget, _segments, compile_guide
+from repro.core.labels import MatchLabel
+from repro.errors import AutomatonError, CompileError
+from repro.grna.guide import Guide
+
+GUIDE = Guide("g", "ACGTACGTACGTACGTACGT")
+
+
+def _strided_for(guide, strand, k):
+    segments = _segments(guide, reverse=strand == "-")
+    total = sum(len(segment.text) for segment in segments)
+
+    def label_factory(mismatches):
+        return MatchLabel(guide.name, strand, mismatches, 0, 0, total)
+
+    return build_strided_hamming(segments, k, label_factory=label_factory)
+
+
+class TestPairClass:
+    def test_from_classes_product(self):
+        pair = PairClass.from_classes(CharClass.of("A"), CharClass.of("CG"))
+        assert pair.cardinality() == 2
+        assert (0 * 5 + 1) in pair  # (A, C)
+        assert (0 * 5 + 2) in pair  # (A, G)
+        assert (1 * 5 + 0) not in pair
+
+    def test_or(self):
+        a = PairClass.from_classes(CharClass.of("A"), CharClass.of("A"))
+        b = PairClass.from_classes(CharClass.of("C"), CharClass.of("C"))
+        assert (a | b).cardinality() == 2
+
+    def test_empty_falsy(self):
+        assert not PairClass(0)
+        assert PairClass.from_classes(CharClass.any(), CharClass.any()).cardinality() == 25
+
+    def test_mask_bounds(self):
+        with pytest.raises(AutomatonError):
+            PairClass(1 << PAIR_CODES)
+
+
+class TestPackPairs:
+    def test_even_length(self):
+        pairs = pack_pairs(alphabet.encode("ACGT"))
+        assert pairs.tolist() == [0 * 5 + 1, 2 * 5 + 3]
+
+    def test_odd_length_padded_with_n(self):
+        pairs = pack_pairs(alphabet.encode("ACG"))
+        assert pairs.tolist() == [0 * 5 + 1, 2 * 5 + alphabet.CODE_N]
+
+    def test_empty(self):
+        assert pack_pairs(np.array([], dtype=np.uint8)).size == 0
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("k", [0, 1, 2, 3])
+    @pytest.mark.parametrize("strand", ["+", "-"])
+    def test_matches_one_stride_nfa(self, k, strand):
+        compiled = compile_guide(GUIDE, SearchBudget(mismatches=k))
+        strided = _strided_for(GUIDE, strand, k)
+        nfa = compiled.forward if strand == "+" else compiled.reverse
+        rng = np.random.default_rng(17)
+        for length in (230, 301):
+            codes = rng.integers(0, 4, length).astype(np.uint8)
+            assert set(strided_search(codes, strided)) == set(nfa.run(codes))
+
+    def test_both_parities_found(self):
+        target = GUIDE.concrete_target()
+        strided = _strided_for(GUIDE, "+", 0)
+        for prefix in ("", "T"):  # even and odd site starts
+            codes = alphabet.encode(prefix + target + "AAAA")
+            reports = strided_search(codes, strided)
+            assert [p for p, _ in reports] == [len(prefix) + len(target) - 1]
+
+    def test_no_phantom_hits_beyond_stream_end(self):
+        # A site whose final base is the N pad must not report.
+        target = GUIDE.concrete_target()
+        truncated = alphabet.encode("G" + target[:-1])  # odd length, site incomplete
+        strided = _strided_for(GUIDE, "+", 0)
+        assert strided_search(truncated, strided) == []
+
+    def test_mismatch_rows_labelled(self):
+        target = list(GUIDE.concrete_target())
+        target[4] = "A" if target[4] != "A" else "C"
+        codes = alphabet.encode("".join(target))
+        strided = _strided_for(GUIDE, "+", 2)
+        labels = [label for _, label in strided_search(codes, strided)]
+        assert [l.mismatches for l in labels] == [1]
+
+    def test_genome_n_counts_as_mismatch(self):
+        target = "N" + GUIDE.concrete_target()[1:]
+        strided = _strided_for(GUIDE, "+", 1)
+        labels = [label for _, label in strided_search(alphabet.encode(target), strided)]
+        assert [l.mismatches for l in labels] == [1]
+
+
+class TestStructure:
+    def test_state_count_predictor_exact(self):
+        for k in (0, 1, 2, 4):
+            segments = _segments(GUIDE, reverse=False)
+            strided = build_strided_hamming(
+                segments, k, label_factory=lambda j: ("g", j)
+            )
+            assert strided.num_states == strided_state_count(segments, k)
+
+    def test_state_overhead_factor(self):
+        # The real stride-2 cost over the 1-stride STE count, which the
+        # F7 resource model uses: between 1x and 2.5x for these budgets.
+        from repro.platforms.resources import estimate_stes
+
+        segments = _segments(GUIDE, reverse=False)
+        for k in (1, 2, 3):
+            strided_states = strided_state_count(segments, k)
+            one_stride = estimate_stes(20, 3, k, both_strands=False)
+            assert 1.0 < strided_states / one_stride < 2.5
+
+    def test_merge_offsets_edges(self):
+        a = StridedAutomaton()
+        s0 = a.add_state(PairClass.from_classes(CharClass.of("A"), CharClass.of("A")))
+        s1 = a.add_state(PairClass.from_classes(CharClass.of("C"), CharClass.of("C")))
+        a.connect(s0, s1)
+        b = StridedAutomaton()
+        b.add_state(PairClass.from_classes(CharClass.of("G"), CharClass.of("G")))
+        a.merge(b)
+        assert a.num_states == 3
+        assert a.num_edges == 1
+
+    def test_empty_class_rejected(self):
+        automaton = StridedAutomaton()
+        with pytest.raises(AutomatonError):
+            automaton.add_state(PairClass(0))
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(CompileError):
+            build_strided_hamming(
+                _segments(GUIDE, reverse=False), -1, label_factory=lambda j: j
+            )

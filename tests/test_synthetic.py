@@ -1,0 +1,135 @@
+"""Unit tests for repro.genome.synthetic."""
+
+import pytest
+
+from repro import Guide, SearchBudget
+from repro.core.reference import NaiveSearcher
+from repro.errors import AlphabetError
+from repro.genome.synthetic import (
+    SyntheticGenomeBuilder,
+    plant_sites,
+    random_genome,
+)
+
+
+class TestRandomGenome:
+    def test_deterministic(self):
+        assert random_genome(500, seed=3).text == random_genome(500, seed=3).text
+
+    def test_seed_changes_output(self):
+        assert random_genome(500, seed=3).text != random_genome(500, seed=4).text
+
+    def test_length(self):
+        assert len(random_genome(1234, seed=0)) == 1234
+
+    def test_gc_content_respected(self):
+        low = random_genome(50000, seed=1, gc_content=0.2)
+        high = random_genome(50000, seed=1, gc_content=0.8)
+        assert abs(low.gc_fraction() - 0.2) < 0.02
+        assert abs(high.gc_fraction() - 0.8) < 0.02
+
+    def test_no_ns(self):
+        assert random_genome(2000, seed=5).count_n() == 0
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(AlphabetError):
+            random_genome(-1)
+        with pytest.raises(AlphabetError):
+            random_genome(10, gc_content=1.5)
+
+
+class TestBuilder:
+    def test_background_and_gap(self):
+        genome = (
+            SyntheticGenomeBuilder(seed=1)
+            .add_background(100)
+            .add_gap(20)
+            .add_background(30)
+            .build("chr")
+        )
+        assert len(genome) == 150
+        assert genome.count_n() == 20
+        assert genome.text[100:120] == "N" * 20
+
+    def test_repeats_create_similar_copies(self):
+        genome = (
+            SyntheticGenomeBuilder(seed=2)
+            .add_repeats(count=1, unit_length=100, copies=3, divergence=0.0)
+            .build()
+        )
+        # With zero divergence the unit occurs verbatim 3 times.
+        unit = genome.text[:100]
+        assert genome.text.count(unit) == 3
+
+    def test_add_text(self):
+        genome = SyntheticGenomeBuilder().add_text("ACGTACGT").build()
+        assert genome.text == "ACGTACGT"
+
+    def test_empty_build(self):
+        assert len(SyntheticGenomeBuilder().build()) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(AlphabetError):
+            SyntheticGenomeBuilder().add_background(-5)
+        with pytest.raises(AlphabetError):
+            SyntheticGenomeBuilder().add_gap(-5)
+
+    def test_deterministic(self):
+        first = SyntheticGenomeBuilder(seed=9).add_background(200).build().text
+        second = SyntheticGenomeBuilder(seed=9).add_background(200).build().text
+        assert first == second
+
+
+class TestPlantSites:
+    def _guides(self):
+        return [Guide("g1", "GAGTCCGAGCAGAAGAAGAA")]
+
+    def test_exact_plants_found_by_oracle(self):
+        genome = random_genome(4000, seed=7)
+        edited, planted = plant_sites(genome, self._guides(), per_guide=2, seed=8)
+        assert len(planted) == 2
+        hits = NaiveSearcher(SearchBudget(mismatches=0)).search(edited, self._guides())
+        found = {(h.start, h.strand) for h in hits}
+        for site in planted:
+            assert (site.position, site.strand) in found
+
+    def test_mismatch_plants_have_exact_count(self):
+        genome = random_genome(4000, seed=9)
+        edited, planted = plant_sites(
+            genome, self._guides(), per_guide=3, mismatches=2, seed=10
+        )
+        hits = NaiveSearcher(SearchBudget(mismatches=2)).search(edited, self._guides())
+        by_start = {h.start: h for h in hits}
+        for site in planted:
+            assert site.position in by_start
+            assert by_start[site.position].mismatches == 2
+
+    def test_bulge_plants_found(self):
+        genome = random_genome(4000, seed=11)
+        edited, planted = plant_sites(
+            genome, self._guides(), per_guide=2, rna_bulges=1, seed=12
+        )
+        hits = NaiveSearcher(SearchBudget(mismatches=0, rna_bulges=1)).search(
+            edited, self._guides()
+        )
+        starts = {h.start for h in hits}
+        for site in planted:
+            assert site.position in starts
+
+    def test_pam_positions_protected(self):
+        genome = random_genome(4000, seed=13)
+        _, planted = plant_sites(
+            genome, self._guides(), per_guide=5, mismatches=3, seed=14
+        )
+        for site in planted:
+            assert site.site_text[-2:] == "GG"  # NGG PAM intact
+
+    def test_genome_length_unchanged_without_bulges(self):
+        genome = random_genome(2000, seed=15)
+        edited, _ = plant_sites(genome, self._guides(), per_guide=1, seed=16)
+        assert len(edited) == len(genome)
+
+    def test_too_small_genome_rejected(self):
+        genome = random_genome(60, seed=17)
+        with pytest.raises(AlphabetError):
+            plant_sites(genome, self._guides(), per_guide=10, seed=18)
