@@ -21,6 +21,7 @@ Quickstart::
 
 from .core.search import OffTargetSearch, SearchBudget, SearchReport
 from .core.compiler import compile_guide, compile_library, CompiledGuide, CompiledLibrary
+from .core.parallel import ParallelSearch
 from .core.reference import NaiveSearcher
 from .core.streaming import StreamingSearch
 from .genome.sequence import Sequence
@@ -43,6 +44,7 @@ __all__ = [
     "CompiledGuide",
     "CompiledLibrary",
     "NaiveSearcher",
+    "ParallelSearch",
     "StreamingSearch",
     "Sequence",
     "read_fasta",

@@ -1,0 +1,8 @@
+"""``python -m repro`` — the same CLI as the ``repro-offtarget`` script."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,6 +49,10 @@ class StandardWorkload:
     budget: SearchBudget = SearchBudget(mismatches=3)
     seed: int = 20180224  # HPCA'18 dates, for determinism with a wink
     gc_content: float = 0.41
+    #: process count for the functional hit enumeration; 1 = the
+    #: single-threaded kernel, anything else shards across a pool
+    #: (results are identical either way — the differential suite pins it).
+    functional_workers: int = 1
 
     @cached_property
     def genome(self) -> Sequence:
@@ -82,6 +86,10 @@ class StandardWorkload:
     def with_guides(self, num_guides: int) -> "StandardWorkload":
         return replace(self, name=f"{self.name}_g{num_guides}", num_guides=num_guides)
 
+    def with_workers(self, workers: int) -> "StandardWorkload":
+        """Same workload, functional path sharded across *workers* processes."""
+        return replace(self, functional_workers=workers)
+
     def modeled_profile(self) -> WorkloadProfile:
         """The workload profile at modeled (gigabase) scale."""
         hits = self.functional_hits
@@ -111,6 +119,12 @@ class StandardWorkload:
     @cached_property
     def functional_hits(self):
         """The deduplicated hit list on the functional reference."""
+        if self.functional_workers != 1:
+            from ..core.parallel import ParallelSearch
+
+            return ParallelSearch(
+                self.library, self.budget, workers=self.functional_workers
+            ).search(self.genome)
         return matcher.find_hits(self.genome, self.library, self.budget)
 
 

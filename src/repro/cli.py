@@ -27,6 +27,19 @@ from .genome.synthetic import random_genome
 from .grna.library import parse_guide_table
 
 
+def _positive_int(value: str) -> int:
+    """Argparse type for flags that must be a positive integer."""
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {value!r}")
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {parsed}"
+        )
+    return parsed
+
+
 def _add_budget_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--mismatches", type=int, default=3, help="mismatch budget")
     parser.add_argument("--rna-bulges", type=int, default=0, help="RNA bulge budget")
@@ -68,7 +81,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream each sequence in bounded-memory chunks",
     )
     search.add_argument(
-        "--chunk-length", type=int, default=1 << 20, help="chunk size for --chunked"
+        "--chunk-length",
+        type=int,
+        default=1 << 20,
+        help="chunk size for --chunked / --workers",
+    )
+    search.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help=(
+            "shard the search across N processes (1 = sharded but serial, "
+            "in-process); results are identical to the serial path"
+        ),
     )
     _add_budget_arguments(search)
 
@@ -96,13 +121,25 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _command_search(args: argparse.Namespace) -> int:
     from .analysis.report_io import write_bed, write_tsv
+    from .core.parallel import ParallelSearch
     from .core.streaming import StreamingSearch
 
     records = read_fasta(args.reference)
     library = parse_guide_table(args.guides, pam=args.pam)
     budget = _budget_from(args)
     hits = []
-    if args.chunked:
+    if args.workers is not None:
+        executor = ParallelSearch(
+            library, budget, workers=args.workers, chunk_length=args.chunk_length
+        )
+        hits = executor.search_many(record.sequence for record in records)
+        mode = "pooled" if args.workers > 1 else "serial"
+        print(
+            f"# sharded search ({args.workers} worker(s), {mode}) over "
+            f"{len(records)} sequence(s), {len(hits)} hits",
+            file=sys.stderr,
+        )
+    elif args.chunked:
         streaming = StreamingSearch(library, budget, chunk_length=args.chunk_length)
         hits = streaming.search_many(record.sequence for record in records)
         print(f"# streamed {len(records)} sequence(s), {len(hits)} hits", file=sys.stderr)

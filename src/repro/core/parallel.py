@@ -1,0 +1,311 @@
+"""Parallel sharded off-target search across a host process pool.
+
+The paper's platforms get their throughput from spatial parallelism:
+every guide automaton consumes the symbol stream simultaneously. The
+functional Python path is a single-threaded loop, so this module
+recovers host-side parallelism the way multi-core DNA-scanning systems
+do: shard the work, fan the shards across processes, merge.
+
+Work is sharded along two axes:
+
+* **genome chunks** — the overlap-correct windows of
+  :func:`repro.core.streaming.iter_chunks`, so a site straddling a
+  chunk boundary is still found exactly once (hits wholly inside a
+  chunk's overlapped prefix were already reported by the previous
+  chunk and are dropped, the same rule :class:`StreamingSearch` pins);
+* **guide batches** — disjoint slices of the guide library, so large
+  libraries scale past the chunk count.
+
+Workers receive cheap-to-pickle payloads only: 2-bit packed chunk
+codes (:class:`~repro.genome.sequence.TwoBitSequence` bytes), plain
+guide records, and the :class:`SearchBudget` — never automaton
+objects. Each worker runs the shared vectorised kernel
+(:mod:`repro.core.matcher`) on its shard; the parent merges shard
+results in shard order and canonically dedupes, so the final hit list
+is **bit-identical** to :class:`StreamingSearch` and to the
+whole-genome kernel regardless of worker count, chunk size, or
+scheduling order — the property the differential test suite pins
+against the :class:`~repro.core.reference.NaiveSearcher` oracle.
+
+``workers=1`` runs the shards serially in-process (no pool); a pool
+that fails to spawn degrades to the same serial path, recorded in the
+returned stats rather than raised.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Iterable, Sequence as SequenceType
+
+import numpy as np
+
+from ..errors import EngineError
+from ..genome.sequence import Sequence, TwoBitSequence
+from ..grna.guide import Guide
+from ..grna.hit import OffTargetHit, dedupe_hits
+from . import matcher
+from .compiler import SearchBudget
+from .streaming import iter_chunks
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One unit of worker work: a packed genome chunk × a guide batch.
+
+    Every field pickles cheaply: the chunk travels as 2-bit packed
+    bytes plus its ``N`` bitmap, guides as small frozen records, the
+    budget as three ints. The worker rebuilds the chunk
+    :class:`Sequence` and runs the vectorised kernel on it.
+    """
+
+    shard_id: int
+    sequence_name: str
+    chunk_start: int
+    chunk_overlap: int
+    chunk_length: int
+    packed: bytes
+    n_mask: bytes
+    guides: tuple[Guide, ...]
+    budget: SearchBudget
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """What one shard reports back: absolute-coordinate hits + timing."""
+
+    shard_id: int
+    hits: tuple[OffTargetHit, ...]
+    seconds: float
+    chunk_start: int
+    chunk_length: int
+
+    @property
+    def num_hits(self) -> int:
+        return len(self.hits)
+
+
+def _search_shard(task: ShardTask) -> ShardResult:
+    """Worker entry point (top-level so it pickles under any start method)."""
+    started = time.perf_counter()
+    packed = np.frombuffer(task.packed, dtype=np.uint8)
+    n_mask = np.frombuffer(task.n_mask, dtype=np.uint8)
+    chunk = TwoBitSequence(packed, n_mask, task.chunk_length).unpack(
+        name=task.sequence_name
+    )
+    hits: list[OffTargetHit] = []
+    for hit in matcher.find_hits(chunk, task.guides, task.budget):
+        # A hit wholly inside the overlapped prefix was already
+        # reported by the previous chunk's shard (streaming.py rule).
+        if task.chunk_overlap and hit.end <= task.chunk_overlap:
+            continue
+        hits.append(
+            replace(
+                hit,
+                start=hit.start + task.chunk_start,
+                end=hit.end + task.chunk_start,
+            )
+        )
+    return ShardResult(
+        shard_id=task.shard_id,
+        hits=tuple(hits),
+        seconds=time.perf_counter() - started,
+        chunk_start=task.chunk_start,
+        chunk_length=task.chunk_length,
+    )
+
+
+def merge_shards(results: Iterable[ShardResult]) -> list[OffTargetHit]:
+    """Deterministic merge: shard order, then canonical dedupe + sort.
+
+    Sorting by ``shard_id`` before deduplication makes the merge
+    independent of pool scheduling/completion order; the canonical
+    dedupe then yields the same sorted list the serial paths produce.
+    """
+    ordered = sorted(results, key=lambda result: result.shard_id)
+    hits: list[OffTargetHit] = []
+    for result in ordered:
+        hits.extend(result.hits)
+    return dedupe_hits(hits)
+
+
+class ParallelSearch:
+    """Sharded multi-process off-target search.
+
+    Results are guaranteed identical to :class:`StreamingSearch` (and
+    therefore to a whole-genome :func:`~repro.core.matcher.find_hits`)
+    for every worker count and chunk size: the chunk axis reuses the
+    streaming overlap semantics, the guide axis partitions disjoint
+    hit keys, and the merge is order-canonical.
+
+    Parameters
+    ----------
+    guides:
+        The guide set (any iterable of :class:`Guide`).
+    budget:
+        Shared :class:`SearchBudget`.
+    workers:
+        Process count; ``None`` means ``os.cpu_count()``. ``1`` runs
+        the shards serially in-process.
+    chunk_length:
+        Genome chunk size; must exceed the derived overlap.
+    guide_batch_size:
+        Guides per batch; ``None`` splits the library into at most
+        ``workers`` equal batches.
+    """
+
+    def __init__(
+        self,
+        guides,
+        budget: SearchBudget,
+        *,
+        workers: int | None = None,
+        chunk_length: int = 1 << 20,
+        guide_batch_size: int | None = None,
+    ) -> None:
+        guide_list = list(guides)
+        if not guide_list:
+            raise EngineError("parallel search needs at least one guide")
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if not isinstance(workers, int) or workers < 1:
+            raise EngineError(f"workers must be a positive integer, got {workers!r}")
+        self._guides = guide_list
+        self._budget = budget
+        self._workers = workers
+        max_site = max(g.site_length for g in guide_list) + budget.dna_bulges
+        self._overlap = max_site - 1
+        if chunk_length <= self._overlap:
+            raise EngineError(
+                f"chunk_length {chunk_length} must exceed the overlap {self._overlap}"
+            )
+        self._chunk_length = chunk_length
+        if guide_batch_size is None:
+            guide_batch_size = -(-len(guide_list) // workers)  # ceil division
+        if guide_batch_size < 1:
+            raise EngineError("guide_batch_size must be positive")
+        self._guide_batch_size = guide_batch_size
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    @property
+    def overlap(self) -> int:
+        return self._overlap
+
+    @property
+    def chunk_length(self) -> int:
+        return self._chunk_length
+
+    @property
+    def guide_batches(self) -> list[tuple[Guide, ...]]:
+        """The disjoint guide batches, in library order."""
+        size = self._guide_batch_size
+        return [
+            tuple(self._guides[index : index + size])
+            for index in range(0, len(self._guides), size)
+        ]
+
+    # -- sharding ----------------------------------------------------------
+
+    def shard_tasks(self, genome: Sequence) -> list[ShardTask]:
+        """All (chunk × guide-batch) shards for *genome*, in canonical order."""
+        batches = self.guide_batches
+        tasks: list[ShardTask] = []
+        for chunk in iter_chunks(
+            genome, chunk_length=self._chunk_length, overlap=self._overlap
+        ):
+            two_bit = TwoBitSequence.pack(chunk.sequence)
+            packed = two_bit.packed_bytes
+            n_mask = two_bit.n_mask_bytes
+            for batch in batches:
+                tasks.append(
+                    ShardTask(
+                        shard_id=len(tasks),
+                        sequence_name=genome.name,
+                        chunk_start=chunk.start,
+                        chunk_overlap=chunk.overlap,
+                        chunk_length=len(chunk),
+                        packed=packed,
+                        n_mask=n_mask,
+                        guides=batch,
+                        budget=self._budget,
+                    )
+                )
+        return tasks
+
+    # -- execution ---------------------------------------------------------
+
+    def _execute(self, tasks: SequenceType[ShardTask]) -> tuple[list[ShardResult], bool, bool]:
+        """Run *tasks*; returns (results, pooled, serial_fallback)."""
+        if self._workers == 1 or len(tasks) <= 1:
+            return [_search_shard(task) for task in tasks], False, False
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(self._workers, len(tasks))
+            ) as pool:
+                results = list(pool.map(_search_shard, tasks))
+            return results, True, False
+        except (OSError, BrokenExecutor, RuntimeError):
+            # Pool failed to spawn (or died): degrade to the serial
+            # path — same shards, same merge, identical results.
+            return [_search_shard(task) for task in tasks], False, True
+
+    def search(self, genome: Sequence) -> list[OffTargetHit]:
+        """Search one sequence; identical to the serial/streaming paths."""
+        hits, _ = self.search_with_stats(genome)
+        return hits
+
+    def search_with_stats(
+        self, genome: Sequence
+    ) -> tuple[list[OffTargetHit], dict]:
+        """Search plus per-shard timing/hit-count stats.
+
+        The stats dict is what :class:`~repro.engines.base.EngineResult`
+        carries under ``stats["parallel"]`` and what the scaling
+        benchmarks report: requested workers, shard counts along both
+        axes, whether a pool actually ran (or fell back to serial),
+        per-shard wall seconds and hit counts, and the merge time.
+        """
+        started = time.perf_counter()
+        tasks = self.shard_tasks(genome)
+        results, pooled, serial_fallback = self._execute(tasks)
+        merge_started = time.perf_counter()
+        hits = merge_shards(results)
+        finished = time.perf_counter()
+        num_batches = len(self.guide_batches)
+        stats = {
+            "workers": self._workers,
+            "pooled": pooled,
+            "serial_fallback": serial_fallback,
+            "num_shards": len(tasks),
+            "num_chunks": len(tasks) // num_batches if num_batches else 0,
+            "num_guide_batches": num_batches,
+            "chunk_length": self._chunk_length,
+            "overlap": self._overlap,
+            "shards": [
+                {
+                    "shard": result.shard_id,
+                    "chunk_start": result.chunk_start,
+                    "seconds": result.seconds,
+                    "hits": result.num_hits,
+                }
+                for result in sorted(results, key=lambda r: r.shard_id)
+            ],
+            "total_shard_seconds": sum(result.seconds for result in results),
+            "merge_seconds": finished - merge_started,
+            "wall_seconds": finished - started,
+        }
+        return hits, stats
+
+    def search_many(self, genomes: Iterable[Sequence]) -> list[OffTargetHit]:
+        """Search several sequences (chromosomes), merged canonically."""
+        hits: list[OffTargetHit] = []
+        for genome in genomes:
+            hits.extend(self.search(genome))
+        return dedupe_hits(hits)

@@ -71,17 +71,32 @@ class SearchReport:
 
 
 class OffTargetSearch:
-    """Compile a guide library once, search any number of references."""
+    """Compile a guide library once, search any number of references.
+
+    ``workers`` selects the functional execution path for engine runs:
+    ``1`` (the default) enumerates hits with the single-threaded
+    vectorised kernel; any other value shards the genome and guide set
+    across a process pool (:class:`repro.core.parallel.ParallelSearch`)
+    with results guaranteed identical to the serial path. Baselines
+    model competing tools' own algorithms and always run serially.
+    """
 
     def __init__(
         self,
         guides: Union[GuideLibrary, Iterable[Guide]],
         budget: SearchBudget | None = None,
+        *,
+        workers: int = 1,
+        chunk_length: int = 1 << 20,
     ) -> None:
         if not isinstance(guides, GuideLibrary):
             guides = GuideLibrary.from_guides(list(guides))
         self._library = guides
         self._budget = budget or SearchBudget()
+        if not isinstance(workers, int) or workers < 1:
+            raise EngineError(f"workers must be a positive integer, got {workers!r}")
+        self._workers = workers
+        self._chunk_length = chunk_length
 
     @property
     def library(self) -> GuideLibrary:
@@ -91,10 +106,26 @@ class OffTargetSearch:
     def budget(self) -> SearchBudget:
         return self._budget
 
+    @property
+    def workers(self) -> int:
+        return self._workers
+
     @cached_property
     def compiled(self) -> CompiledLibrary:
         """The compiled automata network (built lazily, cached)."""
         return compile_library(self._library, self._budget)
+
+    @cached_property
+    def parallel(self):
+        """The sharded executor behind ``workers != 1`` runs (lazy)."""
+        from .parallel import ParallelSearch
+
+        return ParallelSearch(
+            self._library,
+            self._budget,
+            workers=self._workers,
+            chunk_length=self._chunk_length,
+        )
 
     def run(
         self,
@@ -112,7 +143,7 @@ class OffTargetSearch:
         sequences = [genome] if isinstance(genome, Sequence) else list(genome)
         if not sequences:
             raise EngineError("no sequences to search")
-        runner = _resolve(engine)
+        runner = _resolve(engine, parallel=self._workers != 1)
         hits: list[OffTargetHit] = []
         modeled_total = 0.0
         modeled_kernel = 0.0
@@ -140,17 +171,43 @@ class OffTargetSearch:
         )
 
 
-def _resolve(name: str):
+def _resolve(name: str, *, parallel: bool = False):
     """Resolve an engine or baseline name to a uniform callable.
 
     Imported lazily to keep :mod:`repro.core` free of import cycles
-    with :mod:`repro.engines`.
+    with :mod:`repro.engines`. With ``parallel=True`` an engine's hit
+    enumeration runs through the sharded process-pool executor (the
+    engine still contributes its modeled timing and platform stats,
+    which do not depend on how the functional hits were enumerated).
     """
     from ..baselines.base import available_baselines, get_baseline
-    from ..engines.base import available_engines, get_engine
+    from ..engines.base import available_engines, build_profile, get_engine
 
     if name in available_engines():
         engine = get_engine(name)
+
+        if parallel:
+            import time
+
+            from ..engines.base import EngineResult
+
+            def run_engine(sequence: Sequence, search: OffTargetSearch):
+                started = time.perf_counter()
+                hits, shard_stats = search.parallel.search_with_stats(sequence)
+                measured = time.perf_counter() - started
+                profile = build_profile(sequence, search.compiled, hits)
+                return EngineResult(
+                    engine=engine.name,
+                    hits=tuple(hits),
+                    modeled=engine.model_time(profile),
+                    measured_seconds=measured,
+                    stats={
+                        **engine.platform_stats(profile, search.compiled),
+                        "parallel": shard_stats,
+                    },
+                )
+
+            return run_engine
 
         def run_engine(sequence: Sequence, search: OffTargetSearch):
             return engine.search(sequence, search.compiled)

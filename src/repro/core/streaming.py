@@ -68,8 +68,20 @@ def iter_chunks(
             overlap=overlap if start else 0,
         )
         if end >= total:
+            # The genome is fully covered; any further chunk would lie
+            # wholly inside this one's span and re-report its hits.
             break
         start += step
+        if total - start <= overlap:
+            # A tail of at most `overlap` symbols repeats bases the
+            # previous chunk already streamed, and every site inside it
+            # would be span-filtered as a duplicate. With
+            # 0 <= overlap < chunk_length this cannot trigger (the
+            # final chunk is always at least overlap + 1 long because
+            # the loop only continues while end < total), but the guard
+            # keeps the no-duplicated-tail invariant explicit and makes
+            # any future change to the stepping arithmetic fail safe.
+            break
 
 
 class StreamingSearch:

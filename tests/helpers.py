@@ -1,5 +1,7 @@
 """Shared helper functions for the test suite."""
 
+from collections import Counter
+
 
 def hit_spans(hits):
     """Canonical span set for comparing hit collections."""
@@ -7,6 +9,27 @@ def hit_spans(hits):
         (h.guide_name, h.strand, h.start, h.end, h.mismatches, h.rna_bulges, h.dna_bulges)
         for h in hits
     }
+
+
+def hit_multiset(hits):
+    """Canonical span *multiset* — counts duplicates a set would hide.
+
+    The differential suite compares executors with this so that a path
+    that reports the same site twice (e.g. a broken chunk-boundary
+    dedupe) cannot pass by colliding into one set element.
+    """
+    return Counter(
+        (h.guide_name, h.sequence_name, h.strand, h.start, h.end,
+         h.mismatches, h.rna_bulges, h.dna_bulges)
+        for h in hits
+    )
+
+
+def assert_equivalent_hits(*hit_lists):
+    """Assert every hit collection carries the identical hit multiset."""
+    reference = hit_multiset(hit_lists[0])
+    for other in hit_lists[1:]:
+        assert hit_multiset(other) == reference
 
 
 def report_spans(reports):

@@ -37,6 +37,17 @@ class TestParser:
         )
         assert (args.mismatches, args.rna_bulges, args.dna_bulges) == (2, 1, 0)
 
+    def test_workers_default_is_serial_kernel(self):
+        args = build_parser().parse_args(["search", "r.fa", "g.txt"])
+        assert args.workers is None
+
+    @pytest.mark.parametrize("bad", ["0", "-2", "two"])
+    def test_workers_rejects_invalid_values(self, bad, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["search", "r.fa", "g.txt", "--workers", bad])
+        assert excinfo.value.code == 2
+        assert "--workers" in capsys.readouterr().err
+
 
 class TestSearch:
     def test_search_outputs_bed(self, reference, guide_table, capsys):
@@ -58,6 +69,47 @@ class TestSearch:
         code = main(["search", str(reference), str(guide_table), "--engine", "nope"])
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestSearchWorkers:
+    def _hit_lines(self, capsys):
+        return sorted(capsys.readouterr().out.splitlines())
+
+    def test_workers_matches_serial_output(self, reference, guide_table, capsys):
+        assert main(["search", str(reference), str(guide_table)]) == 0
+        serial = self._hit_lines(capsys)
+        assert (
+            main(["search", str(reference), str(guide_table), "--workers", "2"]) == 0
+        )
+        assert self._hit_lines(capsys) == serial
+
+    def test_workers_one_takes_serial_sharded_path(self, reference, guide_table, capsys):
+        code = main(["search", str(reference), str(guide_table), "--workers", "1"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "sharded search (1 worker(s), serial)" in captured.err
+        for line in captured.out.splitlines():
+            assert len(line.split("\t")) == 6
+
+    def test_workers_with_chunk_length(self, reference, guide_table, capsys):
+        code = main(
+            [
+                "search",
+                str(reference),
+                str(guide_table),
+                "--workers",
+                "2",
+                "--chunk-length",
+                "8192",
+            ]
+        )
+        assert code == 0
+        assert "pooled" in capsys.readouterr().err
+
+    def test_invalid_workers_exits_with_usage_error(self, reference, guide_table, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["search", str(reference), str(guide_table), "--workers", "0"])
+        assert excinfo.value.code == 2
 
 
 class TestEvaluate:

@@ -49,6 +49,39 @@ class TestIterChunks:
         with pytest.raises(EngineError):
             list(iter_chunks(genome, chunk_length=10, overlap=10))
 
+    @pytest.mark.parametrize("delta", [-2, -1, 0, 1, 2])
+    def test_chunk_length_near_total(self, delta):
+        # The regression this pins: with chunk_length within a couple of
+        # symbols of the genome length, the final chunk must never be a
+        # fully-duplicated tail — it is always at least overlap+1 long
+        # (or the genome fits in a single chunk), and coverage stays
+        # exact with no position streamed as new content twice.
+        total = 100
+        overlap = 22
+        genome = random_genome(total, seed=95)
+        chunks = list(iter_chunks(genome, chunk_length=total + delta, overlap=overlap))
+        rebuilt = chunks[0].sequence.text
+        for chunk in chunks[1:]:
+            assert len(chunk) > chunk.overlap  # tail carries new content
+            rebuilt += chunk.sequence.text[chunk.overlap :]
+        assert rebuilt == genome.text
+        if delta >= 0:
+            assert len(chunks) == 1
+
+    @pytest.mark.parametrize("total", [23, 24, 40, 99, 100, 101])
+    def test_no_tail_chunk_shorter_than_overlap(self, total):
+        overlap = 22
+        genome = random_genome(total, seed=96)
+        for chunk_length in range(overlap + 1, total + 2):
+            chunks = list(
+                iter_chunks(genome, chunk_length=chunk_length, overlap=overlap)
+            )
+            for chunk in chunks[1:]:
+                assert len(chunk) >= overlap + 1
+            # Chunks cover the genome exactly, in order.
+            assert chunks[0].start == 0
+            assert chunks[-1].start + len(chunks[-1]) == total
+
 
 class TestStreamingSearch:
     @pytest.fixture(scope="class")
@@ -105,6 +138,15 @@ class TestStreamingSearch:
             chr2, guides, budget
         )
         assert hit_spans(streamed) == hit_spans(whole)
+
+    def test_chunk_length_near_genome_length(self, genome, guides):
+        budget = SearchBudget(mismatches=2)
+        whole = matcher.find_hits(genome, guides, budget)
+        for delta in (-1, 0, 1):
+            chunked = StreamingSearch(
+                guides, budget, chunk_length=len(genome) + delta
+            ).search(genome)
+            assert hit_spans(chunked) == hit_spans(whole)
 
     def test_no_duplicate_hits(self, genome, guides):
         budget = SearchBudget(mismatches=3)
