@@ -1,0 +1,102 @@
+"""F9 — cost of fault tolerance and observability on the F8 workload.
+
+The supervised executor added to `repro.core.parallel` wraps every
+shard in retry/timeout accounting and threads a metrics collector
+through the pipeline. This experiment prices that machinery on the
+same 2 Mbp calibration workload F8 scales: the bare vectorised kernel
+versus the instrumented sharded path (workers=1 — pure bookkeeping,
+no pool), a clean pooled run, and a pooled run that loses a worker
+mid-flight and recovers (one injected kill, one pool rebuild).
+
+Correctness is asserted unconditionally: every configuration —
+including the faulted one — must produce the identical hit list. The
+overhead assertion is deliberately loose (bookkeeping must not double
+the serial kernel time); the recorded table carries the exact ratios.
+"""
+
+import time
+
+from repro.core import matcher
+from repro.core.parallel import FaultPlan, ParallelSearch
+from repro.analysis.tables import render_table
+
+from _harness import save_experiment
+
+CHUNK_LENGTH = 1 << 19  # match F8: 4+ chunks on the 2 Mbp workload
+
+
+def _timed(callable_, *args):
+    started = time.perf_counter()
+    result = callable_(*args)
+    return result, time.perf_counter() - started
+
+
+def test_f9_fault_overhead(benchmark, default_workload):
+    genome = default_workload.genome
+    guides = default_workload.library
+    budget = default_workload.budget
+
+    baseline_hits, baseline_wall = _timed(
+        matcher.find_hits, genome, guides, budget
+    )
+
+    def configuration(label, **kwargs):
+        executor = ParallelSearch(
+            guides, budget, chunk_length=CHUNK_LENGTH, backoff_seconds=0.0, **kwargs
+        )
+        (hits, stats), wall = _timed(executor.search_with_stats, genome)
+        assert hits == baseline_hits, label
+        ft = stats["fault_tolerance"]
+        return {
+            "label": label,
+            "wall": wall,
+            "retries": ft["retries"],
+            "rebuilds": ft["pool_rebuilds"],
+            "recovered": sum(ft["failures"].values()),
+        }
+
+    runs = [
+        {"label": "bare kernel", "wall": baseline_wall, "retries": 0,
+         "rebuilds": 0, "recovered": 0},
+        configuration("sharded, workers=1 (instrumented)", workers=1),
+        configuration("pooled, workers=2, clean", workers=2),
+        configuration(
+            "pooled, workers=2, one worker killed",
+            workers=2,
+            fault_plan=FaultPlan.kill(1),
+        ),
+    ]
+
+    rows = [
+        [
+            run["label"],
+            f"{run['wall']:.2f}",
+            f"{run['wall'] / baseline_wall:.2f}x",
+            run["recovered"],
+            run["retries"],
+            run["rebuilds"],
+        ]
+        for run in runs
+    ]
+    table = render_table(
+        ["configuration", "wall s", "vs kernel", "faults", "retries", "rebuilds"],
+        rows,
+        title=(
+            "F9: fault-tolerance/observability overhead, 2 Mbp functional "
+            "workload (10 guides, 3 mismatches)"
+        ),
+    )
+    save_experiment("f9_fault_overhead", table)
+
+    # Instrumentation alone (workers=1: same kernel, plus sharding,
+    # validation, and metrics) must stay within 2x of the bare kernel.
+    instrumented = runs[1]["wall"]
+    assert instrumented / baseline_wall < 2.0
+    # The faulted run really did recover something.
+    assert runs[3]["recovered"] >= 1
+
+    executor = ParallelSearch(
+        guides, budget, workers=1, chunk_length=CHUNK_LENGTH
+    )
+    hits = benchmark.pedantic(executor.search, args=(genome,), rounds=1, iterations=1)
+    assert hits == baseline_hits

@@ -21,8 +21,9 @@ Quickstart::
 
 from .core.search import OffTargetSearch, SearchBudget, SearchReport
 from .core.compiler import compile_guide, compile_library, CompiledGuide, CompiledLibrary
-from .core.parallel import ParallelSearch
+from .core.parallel import FaultPlan, FaultSpec, ParallelSearch
 from .core.reference import NaiveSearcher
+from .obs import Metrics
 from .core.streaming import StreamingSearch
 from .genome.sequence import Sequence
 from .genome.fasta import read_fasta, write_fasta
@@ -43,6 +44,9 @@ __all__ = [
     "compile_library",
     "CompiledGuide",
     "CompiledLibrary",
+    "FaultPlan",
+    "FaultSpec",
+    "Metrics",
     "NaiveSearcher",
     "ParallelSearch",
     "StreamingSearch",

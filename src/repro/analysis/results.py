@@ -4,12 +4,19 @@ A :class:`RunRecord` captures one (tool, workload) measurement —
 modeled breakdown, functional hit count, measured host seconds — in a
 form the speedup and table modules consume. :class:`ResultSet` indexes
 records and supports the groupings the experiment harness prints.
+
+The CLI's ``--stats-json`` output loads back into this form through
+:func:`record_from_stats_json` / :func:`load_stats_json`, so per-shard
+timings, retry counts, and report-rate metrics from production runs
+feed the same analysis pipeline as the modeled experiments.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Iterator
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Union
 
 from ..errors import ReproError
 from ..platforms.timing import TimingBreakdown
@@ -42,6 +49,61 @@ class RunRecord:
     @property
     def budget_label(self) -> str:
         return f"{self.mismatches}mm/{self.rna_bulges}rb/{self.dna_bulges}db"
+
+
+def record_from_stats_json(payload: dict, *, workload: str = "cli") -> RunRecord:
+    """Build a :class:`RunRecord` from a CLI ``--stats-json`` payload.
+
+    The payload's search mode decides the measured time: sharded runs
+    sum their per-sequence wall seconds (and surface retry/timeout
+    totals in ``extra``), streaming runs sum chunk walls, and engine
+    runs carry their measured kernel seconds plus modeled totals.
+    """
+    if not isinstance(payload, dict) or "num_hits" not in payload:
+        raise ReproError("stats payload is not a --stats-json dict")
+    mode = payload.get("mode", "engine")
+    measured = 0.0
+    extra: dict[str, Any] = {"mode": mode, "stats": payload}
+    if mode.startswith("sharded"):
+        runs = payload.get("parallel", [])
+        measured = sum(run.get("wall_seconds", 0.0) for run in runs)
+        extra["retries"] = sum(
+            run.get("fault_tolerance", {}).get("retries", 0) for run in runs
+        )
+        extra["timeouts"] = sum(
+            run.get("fault_tolerance", {}).get("timeouts", 0) for run in runs
+        )
+    elif mode == "streaming":
+        runs = payload.get("streaming", [])
+        measured = sum(run.get("wall_seconds", 0.0) for run in runs)
+    else:
+        measured = payload.get("measured_seconds", 0.0)
+    extra["report_events_per_mbp"] = payload.get("report_events_per_mbp", 0.0)
+    budget = payload.get("budget", {})
+    modeled = TimingBreakdown(
+        platform=payload.get("engine", "host"),
+        setup_seconds=0.0,
+        kernel_seconds=payload.get("modeled_seconds", 0.0),
+    )
+    return RunRecord(
+        tool=payload.get("engine", "host"),
+        workload=workload,
+        genome_length=payload.get("genome_length", 0),
+        num_guides=payload.get("num_guides", 1),
+        mismatches=budget.get("mismatches", 0),
+        rna_bulges=budget.get("rna_bulges", 0),
+        dna_bulges=budget.get("dna_bulges", 0),
+        modeled=modeled,
+        num_hits=payload["num_hits"],
+        measured_seconds=measured,
+        extra=extra,
+    )
+
+
+def load_stats_json(path: Union[str, Path], *, workload: str = "cli") -> RunRecord:
+    """Read one CLI ``--stats-json`` file into a :class:`RunRecord`."""
+    with open(path, "r", encoding="ascii") as handle:
+        return record_from_stats_json(json.load(handle), workload=workload)
 
 
 class ResultSet:

@@ -117,15 +117,44 @@ class StandardWorkload:
         )
 
     @cached_property
-    def functional_hits(self):
-        """The deduplicated hit list on the functional reference."""
+    def functional_run(self) -> tuple[list, dict]:
+        """The functional hit enumeration plus its observability stats.
+
+        Sharded runs carry the full :class:`~repro.core.parallel`
+        stats (per-shard timings, retries, recovery paths); the serial
+        kernel reports its wall time and report rate in the same shape
+        the CLI's ``--stats-json`` uses.
+        """
         if self.functional_workers != 1:
             from ..core.parallel import ParallelSearch
 
-            return ParallelSearch(
+            hits, stats = ParallelSearch(
                 self.library, self.budget, workers=self.functional_workers
-            ).search(self.genome)
-        return matcher.find_hits(self.genome, self.library, self.budget)
+            ).search_with_stats(self.genome)
+            return hits, stats
+        import time
+
+        started = time.perf_counter()
+        hits = matcher.find_hits(self.genome, self.library, self.budget)
+        wall = time.perf_counter() - started
+        stats = {
+            "workers": 1,
+            "pooled": False,
+            "wall_seconds": wall,
+            "kernel_positions": len(self.genome),
+            "report_events": len(hits),
+        }
+        return hits, stats
+
+    @property
+    def functional_hits(self):
+        """The deduplicated hit list on the functional reference."""
+        return self.functional_run[0]
+
+    @property
+    def functional_stats(self) -> dict:
+        """Observability stats of the functional enumeration."""
+        return self.functional_run[1]
 
 
 ENGINE_TOOLS = ("hyperscan", "infant2", "fpga", "ap")
@@ -169,6 +198,13 @@ def evaluate_platforms(
             )
         )
 
+    functional_summary = {
+        "workers": workload.functional_workers,
+        "wall_seconds": workload.functional_stats.get("wall_seconds", 0.0),
+        "retries": workload.functional_stats.get("fault_tolerance", {}).get(
+            "retries", 0
+        ),
+    }
     for tool in tools:
         if tool in available_engines():
             engine = get_engine(tool)
@@ -177,7 +213,10 @@ def evaluate_platforms(
                 engine.model_time(profile),
                 len(hits),
                 functional=True,
-                extra=engine.platform_stats(profile, workload.compiled),
+                extra={
+                    **engine.platform_stats(profile, workload.compiled),
+                    "functional_run": functional_summary,
+                },
             )
         elif tool == "cas-offinder":
             if run_functional_baselines and not workload.budget.has_bulges:

@@ -8,6 +8,7 @@ the cross-platform evaluation harness on a synthetic workload.
 Examples::
 
     repro-offtarget search ref.fa guides.txt --mismatches 3 --engine fpga
+    repro-offtarget search ref.fa guides.txt --workers 4 --stats-json run.json
     repro-offtarget evaluate --guides 10 --mismatches 3
     repro-offtarget synthesize --length 2000000 --out ref.fa
 """
@@ -15,6 +16,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from .analysis.speedup import speedup_matrix
@@ -95,6 +97,26 @@ def build_parser() -> argparse.ArgumentParser:
             "in-process); results are identical to the serial path"
         ),
     )
+    search.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        help="per-shard attempt deadline in seconds (with --workers)",
+    )
+    search.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="extra attempts per failed shard (with --workers)",
+    )
+    search.add_argument(
+        "--stats-json",
+        metavar="PATH",
+        help=(
+            "write run statistics (per-shard timings, retry counts, "
+            "report-rate metrics) as JSON to PATH ('-' for stdout)"
+        ),
+    )
     _add_budget_arguments(search)
 
     evaluate = commands.add_parser(
@@ -128,33 +150,97 @@ def _command_search(args: argparse.Namespace) -> int:
     library = parse_guide_table(args.guides, pam=args.pam)
     budget = _budget_from(args)
     hits = []
+    total_length = sum(len(record.sequence) for record in records)
+    stats_payload = {
+        "command": "search",
+        "reference": args.reference,
+        "engine": args.engine,
+        "workers": args.workers,
+        "num_sequences": len(records),
+        "genome_length": total_length,
+        "num_guides": len(library),
+        "budget": {
+            "mismatches": budget.mismatches,
+            "rna_bulges": budget.rna_bulges,
+            "dna_bulges": budget.dna_bulges,
+        },
+    }
     if args.workers is not None:
         executor = ParallelSearch(
-            library, budget, workers=args.workers, chunk_length=args.chunk_length
+            library,
+            budget,
+            workers=args.workers,
+            chunk_length=args.chunk_length,
+            shard_timeout=args.shard_timeout,
+            max_retries=args.max_retries,
         )
-        hits = executor.search_many(record.sequence for record in records)
+        hits, per_sequence = executor.search_many_with_stats(
+            record.sequence for record in records
+        )
         mode = "pooled" if args.workers > 1 else "serial"
+        stats_payload["mode"] = f"sharded-{mode}"
+        stats_payload["parallel"] = per_sequence
+        retries = sum(s["fault_tolerance"]["retries"] for s in per_sequence)
         print(
             f"# sharded search ({args.workers} worker(s), {mode}) over "
-            f"{len(records)} sequence(s), {len(hits)} hits",
+            f"{len(records)} sequence(s), {len(hits)} hits, {retries} retries",
             file=sys.stderr,
         )
     elif args.chunked:
         streaming = StreamingSearch(library, budget, chunk_length=args.chunk_length)
-        hits = streaming.search_many(record.sequence for record in records)
+        per_sequence = []
+        for record in records:
+            sequence_hits, sequence_stats = streaming.search_with_stats(
+                record.sequence
+            )
+            hits.extend(sequence_hits)
+            per_sequence.append({"sequence": record.sequence.name, **sequence_stats})
+        stats_payload["mode"] = "streaming"
+        stats_payload["streaming"] = per_sequence
         print(f"# streamed {len(records)} sequence(s), {len(hits)} hits", file=sys.stderr)
     else:
         search = OffTargetSearch(library, budget)
+        stats_payload["mode"] = "engine"
+        engine_runs = []
+        modeled_total = 0.0
+        measured_total = 0.0
         for record in records:
             report = search.run(record.sequence, engine=args.engine)
             hits.extend(report.hits)
+            modeled_total += report.modeled_seconds
+            measured_total += report.measured_seconds
+            engine_runs.append(
+                {
+                    "sequence": record.sequence.name,
+                    "modeled_seconds": report.modeled_seconds,
+                    "modeled_kernel_seconds": report.modeled_kernel_seconds,
+                    "measured_seconds": report.measured_seconds,
+                    "hits": report.num_hits,
+                    "stats": report.stats,
+                }
+            )
             print(f"# {report.summary()}", file=sys.stderr)
+        stats_payload["modeled_seconds"] = modeled_total
+        stats_payload["measured_seconds"] = measured_total
+        stats_payload["engine_runs"] = engine_runs
+    stats_payload["num_hits"] = len(hits)
+    stats_payload["report_events_per_mbp"] = (
+        1e6 * len(hits) / total_length if total_length else 0.0
+    )
     writer = write_bed if args.format == "bed" else write_tsv
     if args.out:
         count = writer(hits, args.out)
         print(f"# wrote {count} hits to {args.out}", file=sys.stderr)
     else:
         writer(hits, sys.stdout)
+    if args.stats_json:
+        if args.stats_json == "-":
+            json.dump(stats_payload, sys.stdout, indent=2, default=repr)
+            sys.stdout.write("\n")
+        else:
+            with open(args.stats_json, "w", encoding="ascii") as handle:
+                json.dump(stats_payload, handle, indent=2, default=repr)
+            print(f"# wrote run stats to {args.stats_json}", file=sys.stderr)
     print(f"# total hits: {len(hits)}", file=sys.stderr)
     return 0
 
@@ -211,6 +297,12 @@ def main(argv: list[str] | None = None) -> int:
     try:
         return handlers[args.command](args)
     except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        # Unreadable reference/guide paths or unwritable outputs reach
+        # here; report them the same way as library errors instead of
+        # dumping a traceback.
         print(f"error: {error}", file=sys.stderr)
         return 2
 

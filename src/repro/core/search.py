@@ -77,8 +77,17 @@ class OffTargetSearch:
     ``1`` (the default) enumerates hits with the single-threaded
     vectorised kernel; any other value shards the genome and guide set
     across a process pool (:class:`repro.core.parallel.ParallelSearch`)
-    with results guaranteed identical to the serial path. Baselines
+    with results guaranteed identical to the serial path — including
+    across worker death, shard timeouts, and corrupt results, which the
+    executor retries with backoff and, as a last resort, re-runs
+    in-process (``shard_timeout`` / ``max_retries`` /
+    ``backoff_seconds`` tune the recovery policy; ``fault_plan``
+    injects deterministic faults for tests and drills). Baselines
     model competing tools' own algorithms and always run serially.
+
+    Every :meth:`run` report carries the pipeline's observability
+    snapshot under ``stats["pipeline"]`` (compile/search/sort spans)
+    next to the engine's own ``stats["obs"]``.
     """
 
     def __init__(
@@ -88,6 +97,10 @@ class OffTargetSearch:
         *,
         workers: int = 1,
         chunk_length: int = 1 << 20,
+        shard_timeout: float | None = None,
+        max_retries: int = 2,
+        backoff_seconds: float = 0.05,
+        fault_plan=None,
     ) -> None:
         if not isinstance(guides, GuideLibrary):
             guides = GuideLibrary.from_guides(list(guides))
@@ -97,6 +110,10 @@ class OffTargetSearch:
             raise EngineError(f"workers must be a positive integer, got {workers!r}")
         self._workers = workers
         self._chunk_length = chunk_length
+        self._shard_timeout = shard_timeout
+        self._max_retries = max_retries
+        self._backoff_seconds = backoff_seconds
+        self._fault_plan = fault_plan
 
     @property
     def library(self) -> GuideLibrary:
@@ -125,6 +142,10 @@ class OffTargetSearch:
             self._budget,
             workers=self._workers,
             chunk_length=self._chunk_length,
+            shard_timeout=self._shard_timeout,
+            max_retries=self._max_retries,
+            backoff_seconds=self._backoff_seconds,
+            fault_plan=self._fault_plan,
         )
 
     def run(
@@ -140,10 +161,14 @@ class OffTargetSearch:
         ``casot``) are accepted too, so the whole evaluation runs
         through one entry point.
         """
+        from ..obs import Metrics
+
         sequences = [genome] if isinstance(genome, Sequence) else list(genome)
         if not sequences:
             raise EngineError("no sequences to search")
-        runner = _resolve(engine, parallel=self._workers != 1)
+        metrics = Metrics()
+        with metrics.span("resolve", engine=engine):
+            runner = _resolve(engine, parallel=self._workers != 1)
         hits: list[OffTargetHit] = []
         modeled_total = 0.0
         modeled_kernel = 0.0
@@ -151,23 +176,29 @@ class OffTargetSearch:
         stats: dict = {}
         total_length = 0
         for sequence in sequences:
-            result = runner(sequence, self)
+            with metrics.span("search", sequence=sequence.name):
+                result = runner(sequence, self)
             hits.extend(result.hits)
             modeled_total += result.modeled.total_seconds
             modeled_kernel += result.modeled.kernel_with_reports_seconds
             measured += result.measured_seconds
             stats = result.stats
             total_length += len(sequence)
+            metrics.incr("search.sequences")
+            metrics.incr("search.positions", len(sequence))
+            metrics.incr("search.hits", len(result.hits))
+        with metrics.span("sort"):
+            ordered = tuple(sorted(hits))
         return SearchReport(
             engine=engine,
             budget=self._budget,
-            hits=tuple(sorted(hits)),
+            hits=ordered,
             modeled_seconds=modeled_total,
             modeled_kernel_seconds=modeled_kernel,
             measured_seconds=measured,
             genome_length=total_length,
             num_guides=len(self._library),
-            stats=stats,
+            stats={**stats, "pipeline": metrics.snapshot()},
         )
 
 

@@ -14,6 +14,7 @@ stream multi-record FASTA files without materialising chromosomes.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
@@ -93,6 +94,11 @@ class StreamingSearch:
     a chunk are duplicates of the previous chunk's and are dropped by
     span filtering; remaining duplicates (none expected) are collapsed
     by the canonical dedupe.
+
+    :meth:`search_with_stats` additionally reports per-chunk kernel
+    timings, positions scanned, and report-event rates through
+    :class:`repro.obs.Metrics` — the same observability surface the
+    parallel executor exposes.
     """
 
     def __init__(
@@ -127,27 +133,82 @@ class StreamingSearch:
         """Search one sequence chunk-by-chunk; identical to whole-genome."""
         return dedupe_hits(self.iter_hits(genome))
 
+    def search_with_stats(self, genome: Sequence) -> tuple[list[OffTargetHit], dict]:
+        """Search plus per-chunk timing and report-rate stats.
+
+        The hit list is identical to :meth:`search`; the stats dict
+        carries one row per chunk (kernel seconds, positions, kept
+        hits), the scan totals, and a :class:`repro.obs.Metrics`
+        snapshot under ``"obs"``.
+        """
+        from ..obs import Metrics
+
+        metrics = Metrics()
+        started = time.perf_counter()
+        hits: list[OffTargetHit] = []
+        chunk_rows: list[dict] = []
+        for chunk in iter_chunks(
+            genome, chunk_length=self._chunk_length, overlap=self._overlap
+        ):
+            chunk_started = time.perf_counter()
+            kept = list(self._chunk_hits(chunk, genome.name))
+            chunk_seconds = time.perf_counter() - chunk_started
+            hits.extend(kept)
+            metrics.incr("streaming.chunks")
+            metrics.incr("streaming.kernel_positions", len(chunk))
+            metrics.incr("streaming.report_events", len(kept))
+            metrics.observe("streaming.chunk_seconds", chunk_seconds)
+            chunk_rows.append(
+                {
+                    "chunk_start": chunk.start,
+                    "length": len(chunk),
+                    "seconds": chunk_seconds,
+                    "hits": len(kept),
+                }
+            )
+        deduped = dedupe_hits(hits)
+        wall = time.perf_counter() - started
+        positions = int(metrics.counter("streaming.kernel_positions"))
+        stats = {
+            "chunk_length": self._chunk_length,
+            "overlap": self._overlap,
+            "num_chunks": len(chunk_rows),
+            "chunks": chunk_rows,
+            "kernel_positions": positions,
+            "report_events": len(deduped),
+            "report_events_per_mbp": (
+                1e6 * len(deduped) / positions if positions else 0.0
+            ),
+            "wall_seconds": wall,
+            "obs": metrics.snapshot(),
+        }
+        return deduped, stats
+
     def iter_hits(self, genome: Sequence) -> Iterator[OffTargetHit]:
         """Yield hits incrementally as chunks are processed."""
         for chunk in iter_chunks(
             genome, chunk_length=self._chunk_length, overlap=self._overlap
         ):
-            for hit in matcher.find_hits(chunk.sequence, self._guides, self._budget):
-                # A hit wholly inside the overlapped prefix was already
-                # reported by the previous chunk.
-                if chunk.overlap and hit.end <= chunk.overlap:
-                    continue
-                yield OffTargetHit(
-                    guide_name=hit.guide_name,
-                    sequence_name=genome.name,
-                    strand=hit.strand,
-                    start=hit.start + chunk.start,
-                    end=hit.end + chunk.start,
-                    mismatches=hit.mismatches,
-                    rna_bulges=hit.rna_bulges,
-                    dna_bulges=hit.dna_bulges,
-                    site=hit.site,
-                )
+            yield from self._chunk_hits(chunk, genome.name)
+
+    def _chunk_hits(self, chunk: Chunk, genome_name: str) -> Iterator[OffTargetHit]:
+        """One chunk's hits in absolute coordinates, boundary-deduped."""
+        for hit in matcher.find_hits(chunk.sequence, self._guides, self._budget):
+            # A hit wholly inside the overlapped prefix was already
+            # reported by the previous chunk.
+            if chunk.overlap and hit.end <= chunk.overlap:
+                continue
+            yield OffTargetHit(
+                guide_name=hit.guide_name,
+                sequence_name=genome_name,
+                strand=hit.strand,
+                start=hit.start + chunk.start,
+                end=hit.end + chunk.start,
+                mismatches=hit.mismatches,
+                rna_bulges=hit.rna_bulges,
+                dna_bulges=hit.dna_bulges,
+                site=hit.site,
+            )
 
     def search_many(self, genomes: Iterable[Sequence]) -> list[OffTargetHit]:
         """Search several sequences (chromosomes) in one pass each."""

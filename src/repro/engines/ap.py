@@ -60,10 +60,10 @@ class ApEngine(Engine):
                     f"{self._spec.capacity_stes}"
                 )
 
-    def search(self, genome, compiled: CompiledLibrary):
+    def search(self, genome, compiled: CompiledLibrary, *, metrics=None):
         """Functional search with a capacity pre-check."""
         self.validate_capacity(compiled)
-        return super().search(genome, compiled)
+        return super().search(genome, compiled, metrics=metrics)
 
     def platform_stats(self, profile: WorkloadProfile, compiled: CompiledLibrary) -> dict[str, Any]:
         breakdown = self.model_time(profile)

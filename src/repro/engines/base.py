@@ -33,6 +33,7 @@ from ..core.compiler import CompiledLibrary
 from ..errors import EngineError
 from ..genome.sequence import Sequence
 from ..grna.hit import OffTargetHit
+from ..obs import Metrics
 from ..platforms.reporting import ReportTraffic
 from ..platforms.resources import expected_activity
 from ..platforms.timing import TimingBreakdown, WorkloadProfile
@@ -73,18 +74,42 @@ class Engine(abc.ABC):
     ) -> list[tuple[int, Hashable]]:
         """Faithful execution-model run; returns ``(position, label)`` reports."""
 
-    def search(self, genome: Sequence, compiled: CompiledLibrary) -> EngineResult:
-        """Functional search plus this platform's modeled timing."""
+    def search(
+        self,
+        genome: Sequence,
+        compiled: CompiledLibrary,
+        *,
+        metrics: Metrics | None = None,
+    ) -> EngineResult:
+        """Functional search plus this platform's modeled timing.
+
+        Pass a :class:`~repro.obs.Metrics` to aggregate this run into a
+        caller-owned collector; otherwise the engine keeps its own. The
+        result's ``stats["obs"]`` always carries the run's snapshot —
+        kernel span, positions scanned, report events and their rate —
+        alongside the platform statistics.
+        """
+        metrics = metrics if metrics is not None else Metrics()
         started = time.perf_counter()
-        hits = matcher.find_hits(genome, compiled.library, compiled.budget)
+        with metrics.span("kernel", engine=self.name, genome=genome.name):
+            hits = matcher.find_hits(genome, compiled.library, compiled.budget)
         measured = time.perf_counter() - started
+        metrics.incr("kernel.positions_scanned", len(genome))
+        metrics.incr("report.events", len(hits))
+        metrics.observe("kernel.seconds", measured)
         profile = build_profile(genome, compiled, hits)
         return EngineResult(
             engine=self.name,
             hits=tuple(hits),
             modeled=self.model_time(profile),
             measured_seconds=measured,
-            stats=self.platform_stats(profile, compiled),
+            stats={
+                **self.platform_stats(profile, compiled),
+                "report_events_per_mbp": metrics.rate(
+                    "report.events", "kernel.positions_scanned", per=1e6
+                ),
+                "obs": metrics.snapshot(),
+            },
         )
 
 

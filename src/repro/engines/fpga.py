@@ -54,10 +54,10 @@ class FpgaEngine(Engine):
                     f"device has {self._spec.luts}"
                 )
 
-    def search(self, genome, compiled: CompiledLibrary):
+    def search(self, genome, compiled: CompiledLibrary, *, metrics=None):
         """Functional search with a capacity pre-check."""
         self.validate_capacity(compiled)
-        return super().search(genome, compiled)
+        return super().search(genome, compiled, metrics=metrics)
 
     def platform_stats(self, profile: WorkloadProfile, compiled: CompiledLibrary) -> dict[str, Any]:
         luts = fpga_luts_for(profile.total_stes, self._spec)

@@ -1,0 +1,195 @@
+"""Lightweight observability: counters, timers, and span-style traces.
+
+Automata-processing systems live or die by their report handling and
+per-stage cost visibility (the paper's F4 kernel-breakdown and F6
+report-rate axes), so the search pipeline is threaded with one small
+instrumentation primitive instead of ad-hoc ``time.perf_counter``
+pairs. A :class:`Metrics` instance collects three kinds of signal:
+
+* **counters** — monotonically increasing tallies (positions scanned,
+  report events, shard retries);
+* **timers** — duration distributions (count / total / min / max) for
+  repeated operations (per-chunk kernel calls, merge passes);
+* **spans** — one-shot stage traces with nesting depth, recording when
+  each pipeline stage started relative to the run and how long it
+  took — the host-side analogue of the paper's kernel-vs-end-to-end
+  decomposition.
+
+Everything serialises to plain JSON via :meth:`Metrics.snapshot`,
+which is what ``SearchReport.stats``, the CLI ``--stats-json`` flag,
+and :mod:`repro.analysis.results` consume. Instances are cheap (two
+dicts and a list) and thread-safe; cross-process aggregation goes
+through :meth:`Metrics.merge` on snapshots shipped back from workers.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+__all__ = ["Metrics", "TimerStat", "merge_snapshots"]
+
+
+class TimerStat:
+    """Running duration statistics for one named timer."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        self.min = min(self.min, seconds)
+        self.max = max(self.max, seconds)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max,
+        }
+
+
+class Metrics:
+    """One run's counters, timers, and stage spans.
+
+    The zero point for span start offsets is the instance's creation
+    time, so a snapshot reads as a timeline of the run it instrumented.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._epoch = time.perf_counter()
+        self._counters: dict[str, float] = {}
+        self._timers: dict[str, TimerStat] = {}
+        self._spans: list[dict[str, Any]] = []
+        self._span_depth = 0
+
+    # -- counters ----------------------------------------------------------
+
+    def incr(self, name: str, value: float = 1) -> None:
+        """Add *value* to counter *name* (created at zero on first use)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def counter(self, name: str) -> float:
+        """Current value of counter *name* (zero if never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def rate(self, numerator: str, denominator: str, *, per: float = 1.0) -> float:
+        """``per * counters[numerator] / counters[denominator]`` (0 if empty)."""
+        with self._lock:
+            bottom = self._counters.get(denominator, 0)
+            if not bottom:
+                return 0.0
+            return per * self._counters.get(numerator, 0) / bottom
+
+    # -- timers ------------------------------------------------------------
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one duration under timer *name*."""
+        with self._lock:
+            stat = self._timers.get(name)
+            if stat is None:
+                stat = self._timers[name] = TimerStat()
+            stat.observe(seconds)
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Time the enclosed block into timer *name*."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(name, time.perf_counter() - started)
+
+    # -- spans -------------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[None]:
+        """Trace the enclosed block as one pipeline stage.
+
+        Spans nest: a span opened inside another records ``depth + 1``,
+        so the snapshot reconstructs the stage tree without the cost of
+        explicit parent links.
+        """
+        started = time.perf_counter()
+        with self._lock:
+            depth = self._span_depth
+            self._span_depth += 1
+        try:
+            yield
+        finally:
+            finished = time.perf_counter()
+            with self._lock:
+                self._span_depth -= 1
+                self._spans.append(
+                    {
+                        "name": name,
+                        "start": started - self._epoch,
+                        "seconds": finished - started,
+                        "depth": depth,
+                        **attrs,
+                    }
+                )
+
+    # -- export ------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Everything collected so far, as a JSON-serialisable dict.
+
+        Spans are reported in start order (they complete in LIFO order,
+        so the raw list would read inside-out).
+        """
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "timers": {
+                    name: stat.as_dict() for name, stat in self._timers.items()
+                },
+                "spans": sorted(self._spans, key=lambda span: span["start"]),
+            }
+
+    def merge(self, snapshot: dict[str, Any]) -> None:
+        """Fold a :meth:`snapshot` (e.g. from a worker) into this instance.
+
+        Counters add, timers combine their distributions, and spans are
+        appended verbatim (their offsets stay relative to the worker's
+        epoch, which is what a per-shard trace should show).
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.incr(name, value)
+        for name, stat in snapshot.get("timers", {}).items():
+            with self._lock:
+                mine = self._timers.get(name)
+                if mine is None:
+                    mine = self._timers[name] = TimerStat()
+                mine.count += stat["count"]
+                mine.total += stat["total"]
+                if stat["count"]:
+                    mine.min = min(mine.min, stat["min"])
+                    mine.max = max(mine.max, stat["max"])
+        with self._lock:
+            self._spans.extend(snapshot.get("spans", ()))
+
+
+def merge_snapshots(*snapshots: dict[str, Any]) -> dict[str, Any]:
+    """Combine several :meth:`Metrics.snapshot` dicts into one."""
+    combined = Metrics()
+    for snapshot in snapshots:
+        combined.merge(snapshot)
+    return combined.snapshot()

@@ -1,7 +1,10 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
+from repro.analysis.results import load_stats_json
 from repro.cli import build_parser, main
 from repro.genome.fasta import write_fasta
 from repro.genome.synthetic import random_genome
@@ -110,6 +113,129 @@ class TestSearchWorkers:
         with pytest.raises(SystemExit) as excinfo:
             main(["search", str(reference), str(guide_table), "--workers", "0"])
         assert excinfo.value.code == 2
+
+
+class TestBadInputs:
+    """Exit codes and stderr for malformed invocations, pinned."""
+
+    def test_missing_reference_exits_2(self, guide_table, tmp_path, capsys):
+        code = main(["search", str(tmp_path / "absent.fa"), str(guide_table)])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert captured.out == ""
+
+    def test_malformed_fasta_exits_2(self, guide_table, tmp_path, capsys):
+        bad = tmp_path / "garbage.fa"
+        bad.write_text("this is not\na fasta file\n")
+        code = main(["search", str(bad), str(guide_table)])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_guide_table_exits_2(self, reference, tmp_path, capsys):
+        code = main(["search", str(reference), str(tmp_path / "absent.txt")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unwritable_stats_json_exits_2(self, reference, guide_table, tmp_path, capsys):
+        target = tmp_path / "no" / "such" / "dir" / "stats.json"
+        code = main(
+            ["search", str(reference), str(guide_table), "--stats-json", str(target)]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestStatsJson:
+    def _run(self, reference, guide_table, tmp_path, *extra):
+        path = tmp_path / "stats.json"
+        argv = [
+            "search",
+            str(reference),
+            str(guide_table),
+            "--stats-json",
+            str(path),
+            *extra,
+        ]
+        assert main(argv) == 0
+        return json.loads(path.read_text()), path
+
+    def test_engine_mode_payload(self, reference, guide_table, tmp_path, capsys):
+        payload, _ = self._run(reference, guide_table, tmp_path)
+        hit_lines = capsys.readouterr().out.splitlines()
+        assert payload["mode"] == "engine"
+        assert payload["engine"] == "hyperscan"
+        assert payload["num_hits"] == len(hit_lines)
+        assert payload["num_guides"] == 2
+        assert payload["budget"] == {"mismatches": 3, "rna_bulges": 0, "dna_bulges": 0}
+        run = payload["engine_runs"][0]
+        assert run["sequence"] == "chrCli"
+        assert run["stats"]["obs"]["counters"]["kernel.positions_scanned"] == 30_000
+        assert payload["report_events_per_mbp"] >= 0.0
+
+    def test_sharded_mode_payload(self, reference, guide_table, tmp_path, capsys):
+        payload, _ = self._run(
+            reference, guide_table, tmp_path,
+            "--workers", "2", "--chunk-length", "8192", "--max-retries", "1",
+        )
+        capsys.readouterr()
+        assert payload["mode"] == "sharded-pooled"
+        per_sequence = payload["parallel"]
+        assert len(per_sequence) == 1
+        run = per_sequence[0]
+        assert run["sequence"] == "chrCli"
+        assert run["shards"], "per-shard rows must be present"
+        for shard in run["shards"]:
+            assert shard["seconds"] >= 0.0
+            assert shard["attempts"] >= 1
+        ft = run["fault_tolerance"]
+        assert ft["max_retries"] == 1
+        assert ft["retries"] == 0
+        assert ft["timeouts"] == 0
+
+    def test_streaming_mode_payload(self, reference, guide_table, tmp_path, capsys):
+        payload, _ = self._run(
+            reference, guide_table, tmp_path, "--chunked", "--chunk-length", "8192"
+        )
+        capsys.readouterr()
+        assert payload["mode"] == "streaming"
+        run = payload["streaming"][0]
+        assert run["num_chunks"] == len(run["chunks"])
+        assert run["wall_seconds"] >= 0.0
+
+    def test_stats_json_to_stdout(self, reference, guide_table, tmp_path, capsys):
+        out_path = tmp_path / "hits.bed"
+        code = main(
+            [
+                "search",
+                str(reference),
+                str(guide_table),
+                "--out",
+                str(out_path),
+                "--stats-json",
+                "-",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "search"
+        assert payload["num_hits"] == len(out_path.read_text().splitlines())
+
+    def test_payload_loads_into_analysis_record(
+        self, reference, guide_table, tmp_path, capsys
+    ):
+        payload, path = self._run(
+            reference, guide_table, tmp_path, "--workers", "1"
+        )
+        capsys.readouterr()
+        record = load_stats_json(path)
+        assert record.tool == "hyperscan"
+        assert record.num_hits == payload["num_hits"]
+        assert record.genome_length == 30_000
+        assert record.mismatches == 3
+        assert record.extra["mode"] == "sharded-serial"
+        assert record.extra["retries"] == 0
+        assert record.measured_seconds > 0.0
 
 
 class TestEvaluate:

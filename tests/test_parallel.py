@@ -149,6 +149,59 @@ def test_merge_is_scheduling_order_independent(
     assert merged == matcher.find_hits(genome, guides, budget)
 
 
+@settings(max_examples=12, deadline=None)
+@given(
+    text=st.text(alphabet="ACGTN", min_size=0, max_size=120),
+    proto=protospacer,
+    workers=st.integers(min_value=2, max_value=12),
+)
+def test_workers_exceeding_shard_count_is_invariant(text, proto, workers):
+    # One guide and a chunk longer than the genome: at most one shard,
+    # always fewer than the configured workers. The executor must run
+    # it in-process and still match the oracle — including the empty
+    # genome, where there are zero shards.
+    genome = Sequence.from_text("chr", text)
+    guides = [Guide("g", proto)]
+    budget = SearchBudget(mismatches=1)
+    overlap = guides[0].site_length + budget.dna_bulges - 1
+    chunk_length = max(len(text), overlap + 1) + 5
+    executor = ParallelSearch(
+        guides, budget, workers=workers, chunk_length=chunk_length
+    )
+    hits, stats = executor.search_with_stats(genome)
+    assert stats["num_shards"] <= 1
+    assert stats["num_shards"] < workers
+    if not text:
+        assert stats["num_shards"] == 0
+        assert hits == []
+    assert_equivalent_hits(NaiveSearcher(budget).search(genome, guides), hits)
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    workers=st.integers(min_value=4, max_value=10),
+)
+def test_pool_sized_to_shards_when_workers_exceed_them(seed, workers):
+    # Three single-guide batches over one chunk: exactly three shards,
+    # pooled with more workers configured than shards to fill. The
+    # result must be identical to the serial kernel regardless.
+    genome = random_genome(1200, seed=seed, name="chrWide")
+    guides = sample_guides_from_genome(genome, 3, seed=seed + 1)
+    budget = SearchBudget(mismatches=1)
+    executor = ParallelSearch(
+        guides,
+        budget,
+        workers=workers,
+        chunk_length=4096,
+        guide_batch_size=1,
+    )
+    hits, stats = executor.search_with_stats(genome)
+    assert stats["num_shards"] == 3
+    assert stats["num_shards"] < stats["workers"]
+    assert_equivalent_hits(matcher.find_hits(genome, guides, budget), hits)
+
+
 # -- chunk-boundary regressions (the `hit.end <= chunk.overlap` rule) ---------
 
 

@@ -3,6 +3,7 @@
 import io
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.analysis.report_io import read_tsv, write_bed, write_tsv
 from repro.errors import ReproError
@@ -73,3 +74,66 @@ class TestTsv:
     def test_read_rejects_bad_integers(self):
         with pytest.raises(ReproError, match="line 1"):
             read_tsv(io.StringIO("g\tA\tchr\tx\t24\t+\t0\t0\t0\n"))
+
+
+# -- round-trip properties -----------------------------------------------------
+
+# TSV fields are tab-separated, one row per line, '#' starts a comment:
+# names may be any printable ASCII that avoids those three collisions.
+_name = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+    min_size=1,
+    max_size=12,
+).filter(lambda s: not s.startswith("#"))
+# 'ACGT-' covers real sites (bulges render as '-') and can never
+# collide with the '.' that stands for an empty site on disk.
+_site = st.text(alphabet="ACGT-", min_size=0, max_size=30)
+_count = st.integers(min_value=0, max_value=9)
+
+_hit = st.builds(
+    OffTargetHit,
+    guide_name=_name,
+    sequence_name=_name,
+    strand=st.sampled_from("+-"),
+    start=st.integers(min_value=0, max_value=2**31),
+    end=st.integers(min_value=0, max_value=2**31),
+    mismatches=_count,
+    rna_bulges=_count,
+    dna_bulges=_count,
+    site=_site,
+)
+
+
+class TestRoundTripProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(hits=st.lists(_hit, max_size=20))
+    def test_tsv_write_read_is_identity(self, hits):
+        buffer = io.StringIO()
+        assert write_tsv(hits, buffer) == len(hits)
+        buffer.seek(0)
+        assert read_tsv(buffer) == hits
+
+    @settings(max_examples=30, deadline=None)
+    @given(hits=st.lists(_hit, max_size=20))
+    def test_tsv_roundtrip_via_path(self, hits, tmp_path_factory):
+        path = tmp_path_factory.mktemp("tsv") / "hits.tsv"
+        write_tsv(hits, path)
+        assert read_tsv(path) == hits
+
+    @settings(max_examples=60, deadline=None)
+    @given(hits=st.lists(_hit, max_size=20))
+    def test_bed_line_structure(self, hits):
+        buffer = io.StringIO()
+        assert write_bed(hits, buffer) == len(hits)
+        lines = buffer.getvalue().splitlines()
+        assert len(lines) == len(hits)
+        for line, hit in zip(lines, hits):
+            fields = line.split("\t")
+            assert fields == [
+                hit.sequence_name,
+                str(hit.start),
+                str(hit.end),
+                hit.guide_name,
+                str(hit.mismatches),
+                hit.strand,
+            ]
