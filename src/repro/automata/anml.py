@@ -62,8 +62,16 @@ def to_anml(automaton: HomogeneousAutomaton, network_id: str = "offtarget") -> s
     return ElementTree.tostring(root, encoding="unicode")
 
 
-def from_anml(source: Union[str, Path, IO[str]]) -> HomogeneousAutomaton:
-    """Parse an ANML string/path back into a homogeneous automaton."""
+def from_anml(source: Union[str, Path, IO[str]], *, strict: bool = True) -> HomogeneousAutomaton:
+    """Parse an ANML string/path back into a homogeneous automaton.
+
+    ``strict=True`` (the default) rejects structurally unusable
+    elements — an STE with an empty symbol set — at load time.
+    ``strict=False`` admits them so the automaton can be handed to
+    :mod:`repro.check.automata` for a *complete* diagnosis (the
+    load-then-verify flow the ``repro-offtarget check --anml``
+    subcommand uses on automata produced by external toolchains).
+    """
     if isinstance(source, Path) or (
         isinstance(source, str) and "\n" not in source and source.endswith(".anml")
     ):
@@ -99,7 +107,11 @@ def from_anml(source: Union[str, Path, IO[str]]) -> HomogeneousAutomaton:
         except Exception as exc:
             raise AutomatonError(f"bad symbol-set {symbols!r} on {anml_id}") from exc
         ste_id = automaton.add_ste(
-            char_class, start=_START_OF_ATTR[start], reports=reports, name=anml_id
+            char_class,
+            start=_START_OF_ATTR[start],
+            reports=reports,
+            name=anml_id,
+            allow_empty=not strict,
         )
         id_of[anml_id] = ste_id
         for edge in element.findall("activate-on-match"):

@@ -80,7 +80,7 @@ class CharClass:
 
     # -- set algebra -------------------------------------------------------
 
-    def __contains__(self, symbol) -> bool:
+    def __contains__(self, symbol: str | int) -> bool:
         if isinstance(symbol, str):
             symbol = alphabet.code_of(symbol)
         return bool((self.mask >> int(symbol)) & 1)

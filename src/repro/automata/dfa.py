@@ -14,7 +14,7 @@ a CPU.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable
+from typing import Hashable, Iterator
 
 import numpy as np
 
@@ -53,7 +53,7 @@ class Dfa:
     def num_states(self) -> int:
         return int(self.transitions.shape[0])
 
-    def run(self, codes: np.ndarray):
+    def run(self, codes: np.ndarray) -> Iterator[tuple[int, Hashable]]:
         """Yield ``(position, label)`` for every accept activation."""
         state = self.start_state
         table = self.transitions

@@ -53,6 +53,29 @@ class CounterMode(enum.Enum):
     PULSE = "pulse"  #: assert only in the cycle the target is reached
 
 
+@dataclass(frozen=True)
+class ElementView:
+    """Introspection view of one network element (for checkers/tools).
+
+    ``kind`` is ``"ste"``, ``"gate"`` or ``"counter"``; the remaining
+    fields are populated according to the kind (``None``/empty
+    otherwise). ``inputs`` are enable/data inputs; counters expose
+    their count and reset inputs separately, matching the wiring API.
+    """
+
+    element_id: int
+    kind: str
+    reports: tuple[Hashable, ...]
+    char_class: CharClass | None = None
+    start: StartMode | None = None
+    gate_kind: GateKind | None = None
+    counter_target: int | None = None
+    counter_mode: CounterMode | None = None
+    inputs: tuple[int, ...] = ()
+    count_inputs: tuple[int, ...] = ()
+    reset_inputs: tuple[int, ...] = ()
+
+
 @dataclass
 class _Ste:
     char_class: CharClass
@@ -172,6 +195,43 @@ class ElementNetwork:
     def num_gates(self) -> int:
         """Number of boolean gates."""
         return sum(1 for e in self._elements if isinstance(e, _Gate))
+
+    def reports_of(self, element: int) -> tuple[Hashable, ...]:
+        """Report labels attached to *element*."""
+        self._check(element)
+        return self._reports[element]
+
+    def elements(self) -> Iterator[ElementView]:
+        """Iterate introspection views of every element (checker surface)."""
+        for index, element in enumerate(self._elements):
+            if isinstance(element, _Ste):
+                yield ElementView(
+                    element_id=index,
+                    kind="ste",
+                    reports=self._reports[index],
+                    char_class=element.char_class,
+                    start=element.start,
+                    inputs=tuple(element.inputs),
+                )
+            elif isinstance(element, _Gate):
+                yield ElementView(
+                    element_id=index,
+                    kind="gate",
+                    reports=self._reports[index],
+                    gate_kind=element.kind,
+                    inputs=tuple(element.inputs),
+                )
+            else:
+                assert isinstance(element, _Counter)
+                yield ElementView(
+                    element_id=index,
+                    kind="counter",
+                    reports=self._reports[index],
+                    counter_target=element.target,
+                    counter_mode=element.mode,
+                    count_inputs=tuple(element.count_inputs),
+                    reset_inputs=tuple(element.reset_inputs),
+                )
 
     # -- execution ---------------------------------------------------------
 

@@ -81,9 +81,17 @@ class HomogeneousAutomaton:
         start: StartMode = StartMode.NONE,
         reports: tuple[Hashable, ...] = (),
         name: str = "",
+        allow_empty: bool = False,
     ) -> int:
-        """Add an STE and return its id."""
-        if not char_class:
+        """Add an STE and return its id.
+
+        Programmatic construction fails fast on an empty character
+        class; ``allow_empty=True`` admits it anyway, which is the
+        load-then-verify path deserialisers use so that
+        :mod:`repro.check.automata` can *diagnose* a malformed external
+        automaton instead of the loader crashing on its first defect.
+        """
+        if not char_class and not allow_empty:
             raise AutomatonError("an STE must match at least one symbol")
         ste_id = len(self._stes)
         self._stes.append(
@@ -187,7 +195,9 @@ class HomogeneousAutomaton:
             report_cycles=report_cycles,
         )
 
-    def _execute(self, codes: np.ndarray, *, want_stats: bool):
+    def _execute(
+        self, codes: np.ndarray, *, want_stats: bool
+    ) -> Iterator[tuple[int, int, list[Hashable]]]:
         codes = np.asarray(codes, dtype=np.uint8)
         arrays = self._arrays()
         driven = arrays.all_input | arrays.start_of_data

@@ -32,13 +32,16 @@ pinned by property tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Iterator
+from typing import TYPE_CHECKING, Callable, Hashable, Iterator, Sequence
 
 import numpy as np
 
 from .. import alphabet
 from ..errors import AutomatonError, CompileError
 from .charclass import CharClass
+
+if TYPE_CHECKING:  # runtime import would cycle through repro.core
+    from ..core.hamming import PatternSegment
 
 #: number of pair-symbol codes.
 PAIR_CODES = alphabet.NUM_CODES * alphabet.NUM_CODES
@@ -134,6 +137,24 @@ class StridedAutomaton:
     def num_edges(self) -> int:
         return sum(len(outs) for outs in self._successors)
 
+    # -- introspection (checker surface) -----------------------------------
+
+    def pair_class_of(self, state: int) -> PairClass:
+        """The pair class state *state* matches on."""
+        return self._classes[state]
+
+    def is_start(self, state: int) -> bool:
+        """Whether *state* is an all-input start state."""
+        return self._starts[state]
+
+    def reports_of(self, state: int) -> tuple[StridedReport, ...]:
+        """Report records attached to *state*."""
+        return self._reports[state]
+
+    def successors(self, state: int) -> list[int]:
+        """Successor state ids of *state*."""
+        return list(self._successors[state])
+
     def merge(self, other: "StridedAutomaton") -> None:
         """Disjoint union (for multi-guide / dual-phase networks)."""
         offset = self.num_states
@@ -194,7 +215,9 @@ class _Position:
         return cls(CharClass.from_iupac(symbol), CharClass.mismatch_of(symbol))
 
 
-def _extended_positions(segments, phase: int) -> tuple[list[_Position], int]:
+def _extended_positions(
+    segments: Sequence[PatternSegment], phase: int
+) -> tuple[list[_Position], int]:
     """Flatten segments into slots, pad to pair alignment; return pad_suffix."""
     positions: list[_Position] = []
     if phase == 1:
@@ -213,10 +236,10 @@ def _extended_positions(segments, phase: int) -> tuple[list[_Position], int]:
 
 
 def build_strided_hamming(
-    segments,
+    segments: Sequence[PatternSegment],
     max_mismatches: int,
     *,
-    label_factory,
+    label_factory: Callable[[int], Hashable],
 ) -> StridedAutomaton:
     """Compile a mismatch grid over the pair alphabet (both phases).
 
@@ -235,7 +258,11 @@ def build_strided_hamming(
 
 
 def _build_phase(
-    segments, max_mismatches: int, phase: int, site_length: int, label_factory
+    segments: Sequence[PatternSegment],
+    max_mismatches: int,
+    phase: int,
+    site_length: int,
+    label_factory: Callable[[int], Hashable],
 ) -> StridedAutomaton:
     positions, pad_suffix = _extended_positions(segments, phase)
     steps = len(positions) // 2
@@ -305,7 +332,7 @@ def strided_search(
     return sorted(seen, key=lambda item: item[0])
 
 
-def strided_state_count(segments, max_mismatches: int) -> int:
+def strided_state_count(segments: Sequence[PatternSegment], max_mismatches: int) -> int:
     """Predicted state count of the dual-phase strided automaton."""
     total = 0
     for phase in (0, 1):

@@ -1,0 +1,41 @@
+"""Static analysis: automata verification, capacity pre-flight, lint.
+
+Three passes, all emitting :class:`~repro.check.report.Diagnostic`
+records through a :class:`~repro.check.report.CheckReport`:
+
+* :mod:`repro.check.automata` — well-formedness of every automaton form
+  plus device capacity pre-flight (the AP-SDK/HyperScan-style
+  compile-time validation layer);
+* :mod:`repro.check.lint` — AST rules for this repository's own
+  invariants (picklable worker payloads, seeded randomness, engines
+  consuming ``CompiledLibrary``, strict-package annotations);
+* the ``repro-offtarget check`` CLI subcommand wires both over guide
+  tables, ANML files and source trees.
+"""
+
+from .automata import (
+    capacity_diagnostics,
+    check_compiled_library,
+    check_element_network,
+    check_homogeneous,
+    check_nfa,
+    check_strided,
+    require_capacity,
+)
+from .lint import lint_paths, lint_source
+from .report import CheckReport, Diagnostic, Severity
+
+__all__ = [
+    "CheckReport",
+    "Diagnostic",
+    "Severity",
+    "capacity_diagnostics",
+    "check_compiled_library",
+    "check_element_network",
+    "check_homogeneous",
+    "check_nfa",
+    "check_strided",
+    "require_capacity",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,341 @@
+"""AST-based linter for this repository's own invariants.
+
+Generic linters cannot know that a ``ShardTask`` crosses a process
+boundary or that engines must consume :class:`CompiledLibrary` rather
+than compiling their own automata. These rules encode the hazards this
+codebase has actually hit (or is structured to avoid):
+
+======== ======== ======================================================
+rule     severity invariant
+======== ======== ======================================================
+L001     E        no mutable default arguments — a shared-list default
+                  in a worker-payload or budget class aliases state
+                  across calls and across pickling round-trips.
+L002     E        no unseeded randomness outside ``genome/synthetic.py``
+                  — every run must be reproducible, which is the whole
+                  point of a reproduction repo. Flags ``import random``
+                  and zero-argument ``default_rng()``.
+L003     E        worker-payload classes (``*Task`` / ``*Payload`` in a
+                  ``parallel.py`` module) must stay cheap to pickle: no
+                  automaton/NFA/compiled-library fields. Workers
+                  recompile from the guide records; shipping automata
+                  through the pool serialises megabytes per shard and
+                  couples worker lifetime to automaton internals.
+L004     E        engines must not bypass :class:`CompiledLibrary` by
+                  building automata themselves (``Nfa()``,
+                  ``build_hamming_nfa``, ``compile_library``, ...) —
+                  compilation happens once, upstream, so every engine
+                  sees the identical network.
+L005     E        strict-typed packages (``automata/``, ``core/``,
+                  ``grna/``, ``platforms/``) require fully annotated
+                  function signatures — the locally-runnable proxy for
+                  the mypy strict gate CI enforces.
+======== ======== ======================================================
+
+``lint_source`` classifies a file by its *path string*, so tests can
+exercise every rule on fixture snippets with virtual paths.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Iterator, Union
+
+from .report import CheckReport, Diagnostic, Severity
+
+#: packages under src/repro that the typing gate holds to strict rules.
+STRICT_PACKAGES = frozenset({"automata", "core", "grna", "platforms", "check"})
+
+#: field types too heavy to ship through the process pool.
+HEAVY_PAYLOAD_TYPES = frozenset(
+    {
+        "Nfa",
+        "Dfa",
+        "HomogeneousAutomaton",
+        "StridedAutomaton",
+        "ElementNetwork",
+        "CompiledGuide",
+        "CompiledLibrary",
+    }
+)
+
+#: names whose use inside an engine means it is compiling automata itself.
+COMPILER_ONLY_NAMES = frozenset(
+    {
+        "Nfa",
+        "build_hamming_nfa",
+        "build_bulge_nfa",
+        "compile_guide",
+        "compile_library",
+        "nfa_to_homogeneous",
+    }
+)
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+_MUTABLE_CONSTRUCTORS = frozenset({"list", "dict", "set", "bytearray", "deque", "defaultdict"})
+
+
+def _parts(path: str) -> tuple[str, ...]:
+    return Path(path).parts
+
+
+def _is_synthetic_module(path: str) -> bool:
+    parts = _parts(path)
+    return Path(path).name == "synthetic.py" and "genome" in parts
+
+
+def _is_engine_module(path: str) -> bool:
+    return "engines" in _parts(path)
+
+
+def _is_worker_module(path: str) -> bool:
+    return Path(path).name == "parallel.py"
+
+
+def _is_strict_module(path: str) -> bool:
+    return bool(STRICT_PACKAGES.intersection(_parts(path)))
+
+
+def _annotation_names(annotation: ast.expr) -> Iterator[str]:
+    """Every identifier appearing anywhere in an annotation expression."""
+    for node in ast.walk(annotation):
+        if isinstance(node, ast.Name):
+            yield node.id
+        elif isinstance(node, ast.Attribute):
+            yield node.attr
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            # String (forward-reference) annotations: re-parse best-effort.
+            try:
+                parsed = ast.parse(node.value, mode="eval")
+            except SyntaxError:
+                continue
+            yield from _annotation_names(parsed.body)
+
+
+def _call_name(func: ast.expr) -> str:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def _lint_mutable_defaults(tree: ast.AST, path: str, report: CheckReport) -> None:
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        defaults = list(node.args.defaults) + [
+            default for default in node.args.kw_defaults if default is not None
+        ]
+        for default in defaults:
+            mutable = isinstance(default, _MUTABLE_LITERALS) or (
+                isinstance(default, ast.Call)
+                and _call_name(default.func) in _MUTABLE_CONSTRUCTORS
+            )
+            if mutable:
+                report.add(
+                    Diagnostic(
+                        Severity.ERROR,
+                        "L001",
+                        f"function {node.name!r} has a mutable default argument",
+                        subject=path,
+                        element=f"{node.name}:{default.lineno}",
+                        hint="default to None (or a frozen value) and build the "
+                        "mutable object inside the function",
+                    )
+                )
+
+
+def _lint_unseeded_random(tree: ast.AST, path: str, report: CheckReport) -> None:
+    if _is_synthetic_module(path):
+        return
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    report.add(
+                        Diagnostic(
+                            Severity.ERROR,
+                            "L002",
+                            "stdlib `random` imported outside genome/synthetic.py",
+                            subject=path,
+                            element=f"import:{node.lineno}",
+                            hint="all randomness flows through seeded "
+                            "numpy Generators in genome/synthetic.py",
+                        )
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "random":
+                report.add(
+                    Diagnostic(
+                        Severity.ERROR,
+                        "L002",
+                        "stdlib `random` imported outside genome/synthetic.py",
+                        subject=path,
+                        element=f"import:{node.lineno}",
+                        hint="all randomness flows through seeded "
+                        "numpy Generators in genome/synthetic.py",
+                    )
+                )
+        elif isinstance(node, ast.Call):
+            if (
+                _call_name(node.func) == "default_rng"
+                and not node.args
+                and not node.keywords
+            ):
+                report.add(
+                    Diagnostic(
+                        Severity.ERROR,
+                        "L002",
+                        "default_rng() called without a seed",
+                        subject=path,
+                        element=f"default_rng:{node.lineno}",
+                        hint="pass an explicit seed so runs are reproducible",
+                    )
+                )
+
+
+def _lint_worker_payloads(tree: ast.AST, path: str, report: CheckReport) -> None:
+    if not _is_worker_module(path):
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if not (node.name.endswith("Task") or node.name.endswith("Payload")):
+            continue
+        for statement in node.body:
+            if not isinstance(statement, ast.AnnAssign) or statement.annotation is None:
+                continue
+            heavy = HEAVY_PAYLOAD_TYPES.intersection(
+                _annotation_names(statement.annotation)
+            )
+            if heavy:
+                field = (
+                    statement.target.id
+                    if isinstance(statement.target, ast.Name)
+                    else ast.dump(statement.target)
+                )
+                report.add(
+                    Diagnostic(
+                        Severity.ERROR,
+                        "L003",
+                        f"worker payload {node.name!r} field {field!r} carries "
+                        f"{sorted(heavy)[0]} — payloads must stay cheap to pickle",
+                        subject=path,
+                        element=f"{node.name}.{field}:{statement.lineno}",
+                        hint="ship guides + budget and recompile in the worker; "
+                        "never serialise automata through the pool",
+                    )
+                )
+
+
+def _lint_engine_bypass(tree: ast.AST, path: str, report: CheckReport) -> None:
+    if not _is_engine_module(path):
+        return
+
+    def flag(name: str, lineno: int, what: str) -> None:
+        report.add(
+            Diagnostic(
+                Severity.ERROR,
+                "L004",
+                f"engine module {what} {name!r} — engines must consume "
+                "CompiledLibrary, not compile automata themselves",
+                subject=path,
+                element=f"{name}:{lineno}",
+                hint="compile once upstream (core.compiler) so every engine "
+                "executes the identical network",
+            )
+        )
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name in COMPILER_ONLY_NAMES:
+                    flag(alias.name, node.lineno, "imports")
+        elif isinstance(node, ast.Call):
+            name = _call_name(node.func)
+            if name in COMPILER_ONLY_NAMES:
+                flag(name, node.lineno, "calls")
+
+
+def _lint_typed_defs(tree: ast.AST, path: str, report: CheckReport) -> None:
+    if not _is_strict_module(path):
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        missing: list[str] = []
+        arguments = node.args
+        named = arguments.posonlyargs + arguments.args + arguments.kwonlyargs
+        for index, argument in enumerate(named):
+            if index == 0 and argument.arg in ("self", "cls"):
+                continue
+            if argument.annotation is None:
+                missing.append(argument.arg)
+        for star in (arguments.vararg, arguments.kwarg):
+            if star is not None and star.annotation is None:
+                missing.append(f"*{star.arg}")
+        if node.returns is None:
+            missing.append("return")
+        if missing:
+            report.add(
+                Diagnostic(
+                    Severity.ERROR,
+                    "L005",
+                    f"function {node.name!r} in a strict-typed package is missing "
+                    f"annotations: {', '.join(missing)}",
+                    subject=path,
+                    element=f"{node.name}:{node.lineno}",
+                    hint="automata/, core/, grna/, platforms/ and check/ are "
+                    "mypy-strict; annotate every parameter and the return",
+                )
+            )
+
+
+_RULES = (
+    _lint_mutable_defaults,
+    _lint_unseeded_random,
+    _lint_worker_payloads,
+    _lint_engine_bypass,
+    _lint_typed_defs,
+)
+
+
+def lint_source(source: str, path: str) -> CheckReport:
+    """Lint one module's *source*, classified by its *path* string."""
+    report = CheckReport()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        report.add(
+            Diagnostic(
+                Severity.ERROR,
+                "L000",
+                f"syntax error: {error.msg}",
+                subject=path,
+                element=f"line {error.lineno}",
+            )
+        )
+        return report
+    for rule in _RULES:
+        rule(tree, path, report)
+    return report
+
+
+def iter_python_files(paths: Iterable[Union[str, Path]]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``.py`` files."""
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        else:
+            yield path
+
+
+def lint_paths(paths: Iterable[Union[str, Path]]) -> CheckReport:
+    """Lint every python file under *paths* (files or directories)."""
+    report = CheckReport()
+    for path in iter_python_files(paths):
+        report.extend(lint_source(path.read_text(encoding="utf-8"), str(path)))
+    return report

@@ -1,0 +1,171 @@
+"""Structured diagnostics for the static-analysis passes.
+
+Every checker rule — automata well-formedness, capacity pre-flight,
+project-invariant lint — emits :class:`Diagnostic` records rather than
+raising, so a single run can report *all* defects of an automaton or a
+source tree at once, the way the AP SDK's compile-time validation and
+HyperScan's pattern-compile errors batch their findings. A
+:class:`CheckReport` aggregates diagnostics and renders them as plain
+text for terminals or as JSON for CI and tooling.
+
+Severities
+----------
+``ERROR``
+    The artefact is unusable as-is: loading it onto a platform would
+    either be rejected (over-capacity) or silently compute the wrong
+    thing (unreachable report state, empty character class).
+``WARNING``
+    Legal but suspicious: costs resources or risks surprising
+    behaviour (dead states, multi-pass placement).
+``INFO``
+    Observations useful for capacity planning (utilisation, pass
+    counts).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity, ordered so that ``ERROR`` sorts first."""
+
+    ERROR = 0
+    WARNING = 1
+    INFO = 2
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding of a checker rule.
+
+    Attributes
+    ----------
+    severity:
+        How bad the finding is (see module docstring).
+    rule:
+        Stable rule identifier (``AUT001``, ``CAP001``, ``LINT004``,
+        ...). Tests and tooling key off this, never off the message.
+    message:
+        Human-readable statement of the defect.
+    subject:
+        The artefact the finding is about (automaton name, guide name,
+        file path).
+    element:
+        The offending element within the subject (STE id, state name,
+        ``file:line``), when one exists.
+    hint:
+        A suggested fix, when the rule knows one.
+    """
+
+    severity: Severity
+    rule: str
+    message: str
+    subject: str = ""
+    element: str = ""
+    hint: str = ""
+
+    def render(self) -> str:
+        """One-line terminal rendering."""
+        location = self.subject
+        if self.element:
+            location = f"{location}::{self.element}" if location else self.element
+        prefix = f"{self.severity.label}[{self.rule}]"
+        body = f"{prefix} {location}: {self.message}" if location else f"{prefix} {self.message}"
+        if self.hint:
+            body += f" (hint: {self.hint})"
+        return body
+
+    def as_dict(self) -> dict[str, str]:
+        """JSON-ready mapping."""
+        return {
+            "severity": self.severity.label,
+            "rule": self.rule,
+            "message": self.message,
+            "subject": self.subject,
+            "element": self.element,
+            "hint": self.hint,
+        }
+
+
+@dataclass
+class CheckReport:
+    """An ordered collection of diagnostics from one check run."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when no ERROR-severity diagnostic was recorded."""
+        return not self.errors
+
+    @property
+    def exit_code(self) -> int:
+        """Process exit code: 0 clean, 1 when any error was found."""
+        return 0 if self.ok else 1
+
+    def rules(self) -> set[str]:
+        """The set of rule ids that fired."""
+        return {d.rule for d in self.diagnostics}
+
+    def sorted(self) -> list[Diagnostic]:
+        """Diagnostics ordered by severity, then subject/element."""
+        return sorted(self.diagnostics)
+
+    def to_text(self, *, verbose: bool = False) -> str:
+        """Terminal rendering: findings plus a one-line summary.
+
+        Without *verbose*, INFO diagnostics are summarised but not
+        listed.
+        """
+        lines = [
+            d.render()
+            for d in self.sorted()
+            if verbose or d.severity is not Severity.INFO
+        ]
+        counts = {severity: 0 for severity in Severity}
+        for diagnostic in self.diagnostics:
+            counts[diagnostic.severity] += 1
+        lines.append(
+            f"check: {counts[Severity.ERROR]} error(s), "
+            f"{counts[Severity.WARNING]} warning(s), "
+            f"{counts[Severity.INFO]} info"
+        )
+        return "\n".join(lines)
+
+    def to_json(self, **dump_kwargs: Any) -> str:
+        """JSON rendering (stable field order, machine-consumable)."""
+        payload = {
+            "ok": self.ok,
+            "num_errors": len(self.errors),
+            "num_warnings": len(self.warnings),
+            "diagnostics": [d.as_dict() for d in self.sorted()],
+        }
+        return json.dumps(payload, **dump_kwargs)

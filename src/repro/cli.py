@@ -11,6 +11,11 @@ Examples::
     repro-offtarget search ref.fa guides.txt --workers 4 --stats-json run.json
     repro-offtarget evaluate --guides 10 --mismatches 3
     repro-offtarget synthesize --length 2000000 --out ref.fa
+    repro-offtarget check --guides guides.txt --platform all
+    repro-offtarget check --anml exported.anml --lint src --json
+
+Exit codes: 0 success (for ``check``: no errors found), 1 the check
+found errors, 2 usage or input errors (bad flags, unreadable files).
 """
 
 from __future__ import annotations
@@ -42,10 +47,29 @@ def _positive_int(value: str) -> int:
     return parsed
 
 
+def _nonnegative_int(value: str) -> int:
+    """Argparse type for flags that must be a non-negative integer."""
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {value!r}")
+    if parsed < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a non-negative integer, got {parsed}"
+        )
+    return parsed
+
+
 def _add_budget_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--mismatches", type=int, default=3, help="mismatch budget")
-    parser.add_argument("--rna-bulges", type=int, default=0, help="RNA bulge budget")
-    parser.add_argument("--dna-bulges", type=int, default=0, help="DNA bulge budget")
+    parser.add_argument(
+        "--mismatches", type=_nonnegative_int, default=3, help="mismatch budget"
+    )
+    parser.add_argument(
+        "--rna-bulges", type=_nonnegative_int, default=0, help="RNA bulge budget"
+    )
+    parser.add_argument(
+        "--dna-bulges", type=_nonnegative_int, default=0, help="DNA bulge budget"
+    )
 
 
 def _budget_from(args: argparse.Namespace) -> SearchBudget:
@@ -84,7 +108,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     search.add_argument(
         "--chunk-length",
-        type=int,
+        type=_positive_int,
         default=1 << 20,
         help="chunk size for --chunked / --workers",
     )
@@ -133,11 +157,51 @@ def build_parser() -> argparse.ArgumentParser:
     _add_budget_arguments(evaluate)
 
     synthesize = commands.add_parser("synthesize", help="generate a synthetic reference")
-    synthesize.add_argument("--length", type=int, default=1_000_000)
+    synthesize.add_argument("--length", type=_positive_int, default=1_000_000)
     synthesize.add_argument("--seed", type=int, default=0)
     synthesize.add_argument("--gc", type=float, default=0.41)
     synthesize.add_argument("--name", default="chrSyn1")
     synthesize.add_argument("--out", required=True, help="output FASTA path")
+
+    check = commands.add_parser(
+        "check",
+        help="statically verify automata, device capacity, and project invariants",
+    )
+    check.add_argument("--guides", help="guide table to compile and verify")
+    check.add_argument("--pam", default="NGG", help="PAM name or IUPAC pattern")
+    check.add_argument(
+        "--platform",
+        choices=("ap", "fpga", "all", "none"),
+        default="all",
+        help="device(s) for the capacity pre-flight (with --guides)",
+    )
+    check.add_argument(
+        "--capacity-stes",
+        type=_positive_int,
+        default=None,
+        help="override the device STE capacity (exercise over-capacity findings)",
+    )
+    check.add_argument(
+        "--anml",
+        nargs="*",
+        default=(),
+        metavar="PATH",
+        help="ANML files to load permissively and verify",
+    )
+    check.add_argument(
+        "--lint",
+        nargs="*",
+        default=(),
+        metavar="PATH",
+        help="python files or directories to run the project-invariant linter on",
+    )
+    check.add_argument(
+        "--json", dest="as_json", action="store_true", help="emit diagnostics as JSON"
+    )
+    check.add_argument(
+        "--verbose", action="store_true", help="also list INFO diagnostics in text mode"
+    )
+    _add_budget_arguments(check)
     return parser
 
 
@@ -286,6 +350,109 @@ def _command_synthesize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _check_specs(args: argparse.Namespace) -> tuple:
+    """The device specs the capacity pre-flight should run against.
+
+    ``--capacity-stes N`` swaps in same-shape specs whose usable
+    capacity is exactly N STEs, so over-capacity diagnostics can be
+    exercised (and tested) without a genome-scale guide set.
+    """
+    from .platforms.spec import ApSpec, FpgaSpec
+
+    specs = []
+    if args.platform in ("ap", "all"):
+        if args.capacity_stes is None:
+            specs.append(ApSpec())
+        else:
+            specs.append(
+                ApSpec(
+                    stes_per_chip=args.capacity_stes,
+                    chips_per_rank=1,
+                    ranks=1,
+                    routable_fraction=1.0,
+                )
+            )
+    if args.platform in ("fpga", "all"):
+        if args.capacity_stes is None:
+            specs.append(FpgaSpec())
+        else:
+            default = FpgaSpec()
+            specs.append(
+                FpgaSpec(luts=int(args.capacity_stes * default.luts_per_ste))
+            )
+    return tuple(specs)
+
+
+def _command_check(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .automata.anml import from_anml
+    from .check import (
+        CheckReport,
+        check_compiled_library,
+        check_element_network,
+        check_homogeneous,
+        check_strided,
+        lint_paths,
+    )
+    from .core.compiler import _segments, compile_library
+
+    if not (args.guides or args.anml or args.lint):
+        print(
+            "error: nothing to check; pass --guides, --anml, and/or --lint",
+            file=sys.stderr,
+        )
+        return 2
+
+    report = CheckReport()
+    if args.guides:
+        library = parse_guide_table(args.guides, pam=args.pam)
+        budget = _budget_from(args)
+        compiled = compile_library(library, budget)
+        report.extend(check_compiled_library(compiled, specs=_check_specs(args)))
+        if not budget.has_bulges:
+            # Mismatch-only budgets also admit the paper's alternative
+            # designs; verify those forms of every guide too.
+            from .automata.striding import build_strided_hamming
+            from .core.counter_design import build_counter_design
+
+            for compiled_guide in compiled.guides:
+                guide = compiled_guide.guide
+                for strand in ("+", "-"):
+                    segments = _segments(guide, reverse=strand == "-")
+
+                    def label(mismatches: int, name: str = guide.name) -> tuple:
+                        return (name, mismatches)
+
+                    strided = build_strided_hamming(
+                        segments, budget.mismatches, label_factory=label
+                    )
+                    report.extend(
+                        check_strided(
+                            strided, subject=f"strided:{guide.name}{strand}"
+                        )
+                    )
+                    network = build_counter_design(
+                        segments, budget.mismatches, label=guide.name
+                    )
+                    report.extend(
+                        check_element_network(
+                            network, subject=f"counter:{guide.name}{strand}"
+                        )
+                    )
+    for path in args.anml:
+        automaton = from_anml(Path(path), strict=False)
+        report.extend(check_homogeneous(automaton, subject=path))
+    if args.lint:
+        report.extend(lint_paths(args.lint))
+
+    if args.as_json:
+        print(report.to_json(indent=2))
+    else:
+        print(report.to_text(verbose=args.verbose))
+    return report.exit_code
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
@@ -293,6 +460,7 @@ def main(argv: list[str] | None = None) -> int:
         "search": _command_search,
         "evaluate": _command_evaluate,
         "synthesize": _command_synthesize,
+        "check": _command_check,
     }
     try:
         return handlers[args.command](args)

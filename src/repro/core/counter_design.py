@@ -103,7 +103,7 @@ def build_counter_design(
 
 def _build_phase_instance(
     network: ElementNetwork,
-    positions,
+    positions: list[tuple[CharClass, CharClass]],
     max_mismatches: int,
     *,
     label: Hashable,

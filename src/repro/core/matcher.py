@@ -18,6 +18,8 @@ DP cell ``(i, g)`` fixes ``dna_bulges − rna_bulges = g − i``.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 import numpy as np
 
 from .. import alphabet
@@ -37,7 +39,7 @@ def _match_lut(symbol: str) -> np.ndarray:
 
 
 def find_hits(
-    genome: Sequence, guides, budget: SearchBudget
+    genome: Sequence, guides: Iterable[Guide], budget: SearchBudget
 ) -> list[OffTargetHit]:
     """Enumerate all off-target hits of *guides* in *genome* under *budget*."""
     hits: list[OffTargetHit] = []
@@ -56,7 +58,7 @@ def find_hits(
 
 
 def count_report_rows(
-    genome: Sequence, guides, budget: SearchBudget
+    genome: Sequence, guides: Iterable[Guide], budget: SearchBudget
 ) -> int:
     """Total accept-state activations (pre-dedup report events).
 

@@ -378,7 +378,7 @@ class ParallelSearch:
 
     def __init__(
         self,
-        guides,
+        guides: Iterable[Guide],
         budget: SearchBudget,
         *,
         workers: int | None = None,
@@ -520,7 +520,9 @@ class ParallelSearch:
         metrics.incr("parallel.backoff_waits")
         return delay
 
-    def _spawn_pool(self, num_tasks: int, run: dict, metrics: Metrics):
+    def _spawn_pool(
+        self, num_tasks: int, run: dict, metrics: Metrics
+    ) -> ProcessPoolExecutor | None:
         """Create the process pool, honouring injected spawn failures."""
         if run["spawn_failures_left"] > 0:
             run["spawn_failures_left"] -= 1

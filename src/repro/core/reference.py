@@ -20,6 +20,8 @@ oracle in tests and agreement benchmarks, not on full genomes.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from .. import alphabet
 from ..genome.sequence import Sequence
 from ..grna.guide import Guide
@@ -38,7 +40,7 @@ class NaiveSearcher:
     def budget(self) -> SearchBudget:
         return self._budget
 
-    def search(self, genome: Sequence, guides) -> list[OffTargetHit]:
+    def search(self, genome: Sequence, guides: Iterable[Guide]) -> list[OffTargetHit]:
         """Return the deduplicated hit list for *guides* over *genome*."""
         hits: list[OffTargetHit] = []
         text = genome.text

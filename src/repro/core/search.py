@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Iterable, Union
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Union
 
 from ..errors import EngineError
 from ..genome.sequence import Sequence
@@ -28,6 +28,10 @@ from ..grna.guide import Guide
 from ..grna.hit import OffTargetHit
 from ..grna.library import GuideLibrary
 from .compiler import CompiledLibrary, SearchBudget, compile_library
+
+if TYPE_CHECKING:  # imported lazily at runtime to keep startup light
+    from ..engines.base import EngineResult
+    from .parallel import FaultPlan, ParallelSearch
 
 #: Engine used when the caller does not pick one.
 DEFAULT_ENGINE = "hyperscan"
@@ -45,7 +49,7 @@ class SearchReport:
     measured_seconds: float
     genome_length: int
     num_guides: int
-    stats: dict = field(default_factory=dict)
+    stats: dict[str, Any] = field(default_factory=dict)
 
     @property
     def num_hits(self) -> int:
@@ -100,7 +104,7 @@ class OffTargetSearch:
         shard_timeout: float | None = None,
         max_retries: int = 2,
         backoff_seconds: float = 0.05,
-        fault_plan=None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if not isinstance(guides, GuideLibrary):
             guides = GuideLibrary.from_guides(list(guides))
@@ -133,7 +137,7 @@ class OffTargetSearch:
         return compile_library(self._library, self._budget)
 
     @cached_property
-    def parallel(self):
+    def parallel(self) -> ParallelSearch:
         """The sharded executor behind ``workers != 1`` runs (lazy)."""
         from .parallel import ParallelSearch
 
@@ -173,7 +177,7 @@ class OffTargetSearch:
         modeled_total = 0.0
         modeled_kernel = 0.0
         measured = 0.0
-        stats: dict = {}
+        stats: dict[str, Any] = {}
         total_length = 0
         for sequence in sequences:
             with metrics.span("search", sequence=sequence.name):
@@ -202,7 +206,9 @@ class OffTargetSearch:
         )
 
 
-def _resolve(name: str, *, parallel: bool = False):
+def _resolve(
+    name: str, *, parallel: bool = False
+) -> Callable[[Sequence, "OffTargetSearch"], "EngineResult"]:
     """Resolve an engine or baseline name to a uniform callable.
 
     Imported lazily to keep :mod:`repro.core` free of import cycles
@@ -222,7 +228,7 @@ def _resolve(name: str, *, parallel: bool = False):
 
             from ..engines.base import EngineResult
 
-            def run_engine(sequence: Sequence, search: OffTargetSearch):
+            def run_engine(sequence: Sequence, search: OffTargetSearch) -> EngineResult:
                 started = time.perf_counter()
                 hits, shard_stats = search.parallel.search_with_stats(sequence)
                 measured = time.perf_counter() - started
@@ -240,14 +246,14 @@ def _resolve(name: str, *, parallel: bool = False):
 
             return run_engine
 
-        def run_engine(sequence: Sequence, search: OffTargetSearch):
+        def run_engine(sequence: Sequence, search: OffTargetSearch) -> "EngineResult":
             return engine.search(sequence, search.compiled)
 
         return run_engine
     if name in available_baselines():
         baseline = get_baseline(name)
 
-        def run_baseline(sequence: Sequence, search: OffTargetSearch):
+        def run_baseline(sequence: Sequence, search: OffTargetSearch) -> "EngineResult":
             return baseline.search(sequence, search.library, search.budget)
 
         return run_baseline

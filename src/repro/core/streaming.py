@@ -22,6 +22,7 @@ import numpy as np
 
 from ..errors import EngineError
 from ..genome.sequence import Sequence
+from ..grna.guide import Guide
 from ..grna.hit import OffTargetHit, dedupe_hits
 from . import matcher
 from .compiler import SearchBudget
@@ -103,7 +104,7 @@ class StreamingSearch:
 
     def __init__(
         self,
-        guides,
+        guides: Iterable[Guide],
         budget: SearchBudget,
         *,
         chunk_length: int = 1 << 20,

@@ -21,8 +21,9 @@ from typing import Any, Hashable
 
 import numpy as np
 
+from ..check.automata import require_capacity
 from ..core.compiler import CompiledLibrary
-from ..errors import CapacityError, EngineError
+from ..errors import EngineError
 from ..platforms.reporting import ReportCostModel, ReportTraffic
 from ..platforms.spec import ApSpec
 from ..platforms.timing import TimingBreakdown, WorkloadProfile, ap_time
@@ -47,18 +48,15 @@ class ApEngine(Engine):
         return ap_time(profile, self._spec, coalesce_reports=self._coalesce)
 
     def validate_capacity(self, compiled: CompiledLibrary) -> None:
-        """Raise :class:`CapacityError` when one guide cannot fit at all.
+        """Raise :class:`~repro.errors.CapacityError` when a guide cannot fit.
 
         Multi-pass execution splits the *library* across passes, but a
-        single guide's automaton is an indivisible placement unit.
+        single guide's automaton is an indivisible placement unit. The
+        check (and the per-guide STEs-needed-vs-remaining breakdown in
+        the error message) is the shared CAP001 rule in
+        :mod:`repro.check.automata`.
         """
-        for compiled_guide in compiled:
-            if compiled_guide.num_stes > self._spec.capacity_stes:
-                raise CapacityError(
-                    f"guide {compiled_guide.guide.name!r} needs "
-                    f"{compiled_guide.num_stes} STEs; device fits "
-                    f"{self._spec.capacity_stes}"
-                )
+        require_capacity(compiled, self._spec)
 
     def search(self, genome, compiled: CompiledLibrary, *, metrics=None):
         """Functional search with a capacity pre-check."""

@@ -18,8 +18,8 @@ from typing import Any, Hashable
 
 import numpy as np
 
+from ..check.automata import require_capacity
 from ..core.compiler import CompiledLibrary
-from ..errors import CapacityError
 from ..platforms.resources import fpga_luts_for
 from ..platforms.spec import FpgaSpec
 from ..platforms.timing import TimingBreakdown, WorkloadProfile, fpga_time
@@ -44,15 +44,13 @@ class FpgaEngine(Engine):
         return fpga_time(profile, self._spec, coalesce_reports=self._coalesce)
 
     def validate_capacity(self, compiled: CompiledLibrary) -> None:
-        """Raise :class:`CapacityError` when one guide exceeds the device."""
-        capacity_stes = int(self._spec.luts / self._spec.luts_per_ste)
-        for compiled_guide in compiled:
-            if compiled_guide.num_stes > capacity_stes:
-                raise CapacityError(
-                    f"guide {compiled_guide.guide.name!r} needs "
-                    f"{fpga_luts_for(compiled_guide.num_stes, self._spec)} LUTs; "
-                    f"device has {self._spec.luts}"
-                )
+        """Raise :class:`~repro.errors.CapacityError` when a guide exceeds the device.
+
+        Routed through the shared CAP001 rule in
+        :mod:`repro.check.automata`, whose error message carries the
+        per-guide LUTs-needed-vs-remaining breakdown.
+        """
+        require_capacity(compiled, self._spec)
 
     def search(self, genome, compiled: CompiledLibrary, *, metrics=None):
         """Functional search with a capacity pre-check."""

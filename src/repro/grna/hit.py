@@ -57,7 +57,7 @@ class OffTargetHit:
         return self.mismatches + self.rna_bulges + self.dna_bulges
 
     @property
-    def key(self):
+    def key(self) -> tuple[str, str, str, int, int]:
         """Identity key used for deduplication and cross-engine comparison."""
         return (self.guide_name, self.sequence_name, self.strand, self.start, self.end)
 

@@ -112,7 +112,7 @@ def fpga_luts_for(stes: int, spec: FpgaSpec) -> int:
     return int(stes * spec.luts_per_ste)
 
 
-def guides_per_pass(stes_per_guide: int, spec) -> int:
+def guides_per_pass(stes_per_guide: int, spec: ApSpec | FpgaSpec) -> int:
     """How many guides fit in one configuration pass of a spatial device."""
     if stes_per_guide <= 0:
         raise PlatformError("stes_per_guide must be positive")

@@ -111,7 +111,12 @@ class CasotSpec:
     setup_seconds: float = 120.0  #: reference indexing
 
 
-DEVICES = {
+#: any of the modeled device specifications.
+DeviceSpec = (
+    ApSpec | FpgaSpec | CpuSpec | GpuNfaSpec | CasOffinderSpec | CasotSpec
+)
+
+DEVICES: dict[str, DeviceSpec] = {
     spec.name: spec
     for spec in (
         ApSpec(),
@@ -124,7 +129,7 @@ DEVICES = {
 }
 
 
-def device(name: str):
+def device(name: str) -> DeviceSpec:
     """Look a device spec up by name."""
     try:
         return DEVICES[name]

@@ -77,6 +77,49 @@ def test_unknown_start_mode_rejected():
         from_anml(xml)
 
 
+def test_output_is_deterministic():
+    guide = Guide("g", "ACGTACGTACGTACGTACGT")
+    first = to_anml(compile_guide(guide, SearchBudget(mismatches=2)).homogeneous)
+    second = to_anml(compile_guide(guide, SearchBudget(mismatches=2)).homogeneous)
+    assert first == second
+
+
+def test_roundtrip_preserves_ids_classes_and_wiring():
+    guide = Guide("g", "ACGTACGTACGTACGTACGT")
+    original = compile_guide(guide, SearchBudget(mismatches=2)).homogeneous
+    back = from_anml(to_anml(original))
+    assert back.num_stes == original.num_stes
+    assert back.num_edges == original.num_edges
+    for ste_id in range(original.num_stes):
+        assert back.ste(ste_id).char_class == original.ste(ste_id).char_class
+        assert back.ste(ste_id).start is original.ste(ste_id).start
+        assert sorted(back.successors(ste_id)) == sorted(original.successors(ste_id))
+
+
+def test_roundtrip_preserves_report_codes():
+    automaton = HomogeneousAutomaton()
+    a = automaton.add_ste(CharClass.of("A"), start=StartMode.ALL_INPUT)
+    b = automaton.add_ste(CharClass.of("C"), reports=("first", "second"))
+    automaton.connect(a, b)
+    back = from_anml(to_anml(automaton))
+    # Report labels round-trip as their string serialisations, in order.
+    assert back.ste(1).reports == ("'first'", "'second'")
+    assert back.ste(0).reports == ()
+
+
+def test_permissive_load_admits_empty_symbol_set():
+    xml = (
+        '<anml><automata-network id="x">'
+        '<state-transition-element id="a" symbol-set="" start="all-input"/>'
+        "</automata-network></anml>"
+    )
+    with pytest.raises(AutomatonError):
+        from_anml(xml)
+    automaton = from_anml(xml, strict=False)
+    assert automaton.num_stes == 1
+    assert not automaton.ste(0).char_class
+
+
 def test_dangling_edge_rejected():
     xml = (
         '<anml><automata-network id="x">'

@@ -1,0 +1,507 @@
+"""Tests for the static verifier and project-invariant linter.
+
+The broken-automata corpus here is the acceptance contract of
+``repro.check``: each deliberately malformed artefact must produce the
+documented rule id and a nonzero exit, and every artefact the real
+pipeline produces must verify clean (no false positives).
+"""
+
+import json
+
+import pytest
+
+from repro.automata.anml import from_anml, to_anml
+from repro.automata.charclass import CharClass
+from repro.automata.elements import ElementNetwork, GateKind
+from repro.automata.homogeneous import HomogeneousAutomaton, StartMode
+from repro.automata.nfa import Nfa
+from repro.automata.striding import (
+    PairClass,
+    StridedAutomaton,
+    StridedReport,
+    build_strided_hamming,
+)
+from repro.check import (
+    CheckReport,
+    Diagnostic,
+    Severity,
+    capacity_diagnostics,
+    check_compiled_library,
+    check_element_network,
+    check_homogeneous,
+    check_nfa,
+    check_strided,
+    lint_paths,
+    lint_source,
+    require_capacity,
+)
+from repro.cli import main
+from repro.core.compiler import SearchBudget, _segments, compile_library
+from repro.core.counter_design import build_counter_design
+from repro.errors import AutomatonError, CapacityError
+from repro.grna.guide import Guide
+from repro.grna.library import GuideLibrary
+from repro.platforms.spec import ApSpec, FpgaSpec
+
+GUIDES = GuideLibrary.from_guides(
+    [
+        Guide("EMX1", "GAGTCCGAGCAGAAGAAGAA"),
+        Guide("VEGFA", "GGGTGGGGGGAGTTTGCTCC"),
+    ]
+)
+
+
+def tiny_ap(capacity: int) -> ApSpec:
+    return ApSpec(
+        stes_per_chip=capacity, chips_per_rank=1, ranks=1, routable_fraction=1.0
+    )
+
+
+# -- diagnostics / report plumbing ----------------------------------------
+
+
+class TestReport:
+    def test_render_shape(self):
+        diagnostic = Diagnostic(
+            Severity.ERROR, "AUT001", "boom", subject="net", element="ste3", hint="fix"
+        )
+        assert diagnostic.render() == "error[AUT001] net::ste3: boom (hint: fix)"
+
+    def test_sorted_puts_errors_first(self):
+        report = CheckReport()
+        report.add(Diagnostic(Severity.INFO, "CAP004", "i"))
+        report.add(Diagnostic(Severity.ERROR, "AUT001", "e"))
+        report.add(Diagnostic(Severity.WARNING, "AUT002", "w"))
+        assert [d.severity for d in report.sorted()] == [
+            Severity.ERROR,
+            Severity.WARNING,
+            Severity.INFO,
+        ]
+
+    def test_exit_code_tracks_errors(self):
+        report = CheckReport()
+        assert (report.ok, report.exit_code) == (True, 0)
+        report.add(Diagnostic(Severity.WARNING, "AUT002", "w"))
+        assert report.exit_code == 0
+        report.add(Diagnostic(Severity.ERROR, "AUT001", "e"))
+        assert (report.ok, report.exit_code) == (False, 1)
+
+    def test_text_hides_info_unless_verbose(self):
+        report = CheckReport()
+        report.add(Diagnostic(Severity.INFO, "CAP004", "utilisation"))
+        assert "utilisation" not in report.to_text()
+        assert "utilisation" in report.to_text(verbose=True)
+        assert "0 error(s), 0 warning(s), 1 info" in report.to_text()
+
+    def test_json_payload(self):
+        report = CheckReport()
+        report.add(Diagnostic(Severity.ERROR, "AUT004", "empty", subject="s"))
+        payload = json.loads(report.to_json())
+        assert payload["ok"] is False
+        assert payload["num_errors"] == 1
+        assert payload["diagnostics"][0]["rule"] == "AUT004"
+
+
+# -- no false positives on real pipeline artefacts ------------------------
+
+
+class TestCleanArtefacts:
+    @pytest.mark.parametrize(
+        "budget",
+        [SearchBudget(mismatches=3), SearchBudget(mismatches=1, rna_bulges=1, dna_bulges=1)],
+    )
+    def test_compiled_library_is_clean(self, budget):
+        compiled = compile_library(GUIDES, budget)
+        report = check_compiled_library(compiled, specs=(ApSpec(), FpgaSpec()))
+        assert report.ok, report.to_text()
+        assert not report.warnings, report.to_text()
+
+    def test_strided_is_clean(self):
+        segments = _segments(GUIDES.guides[0], reverse=False)
+        automaton = build_strided_hamming(
+            segments, 3, label_factory=lambda mismatches: ("EMX1", mismatches)
+        )
+        report = check_strided(automaton)
+        assert report.ok, report.to_text()
+        assert not report.warnings, report.to_text()
+
+    @pytest.mark.parametrize("streaming", [True, False])
+    def test_counter_design_is_clean(self, streaming):
+        segments = _segments(GUIDES.guides[0], reverse=False)
+        network = build_counter_design(segments, 3, label="EMX1", streaming=streaming)
+        report = check_element_network(network)
+        assert report.ok, report.to_text()
+
+    def test_own_sources_pass_the_linter(self):
+        report = lint_paths(["src"])
+        assert report.ok, report.to_text()
+
+
+# -- broken-automata corpus -----------------------------------------------
+
+
+class TestBrokenAutomata:
+    def test_unreachable_report_state(self):
+        automaton = HomogeneousAutomaton()
+        automaton.add_ste(CharClass.of("A"), start=StartMode.ALL_INPUT)
+        automaton.add_ste(CharClass.of("C"), reports=("hit",))  # never wired
+        report = check_homogeneous(automaton)
+        errors = {d.rule for d in report.errors}
+        assert "AUT001" in errors
+        assert "AUT003" in errors  # the start now reports nothing either
+        assert report.exit_code == 1
+
+    def test_unreachable_nonreport_state_is_warning(self):
+        automaton = HomogeneousAutomaton()
+        a = automaton.add_ste(CharClass.of("A"), start=StartMode.ALL_INPUT)
+        b = automaton.add_ste(CharClass.of("C"), reports=("hit",))
+        automaton.connect(a, b)
+        automaton.add_ste(CharClass.of("G"))  # floating, no reports
+        report = check_homogeneous(automaton)
+        assert report.ok
+        assert {d.rule for d in report.warnings} == {"AUT001"}
+
+    def test_dead_state_is_warning(self):
+        automaton = HomogeneousAutomaton()
+        a = automaton.add_ste(CharClass.of("A"), start=StartMode.ALL_INPUT)
+        b = automaton.add_ste(CharClass.of("C"), reports=("hit",))
+        dead = automaton.add_ste(CharClass.of("G"))
+        automaton.connect(a, b)
+        automaton.connect(a, dead)
+        report = check_homogeneous(automaton)
+        assert report.ok
+        assert {d.rule for d in report.warnings} == {"AUT002"}
+
+    def test_no_starts_and_no_reports(self):
+        automaton = HomogeneousAutomaton()
+        automaton.add_ste(CharClass.of("A"))
+        report = check_homogeneous(automaton)
+        assert {"AUT005", "AUT006"}.issubset(report.rules())
+        assert report.exit_code == 1
+
+    def test_empty_char_class_via_permissive_anml_load(self):
+        xml = (
+            '<anml><automata-network id="x">'
+            '<state-transition-element id="a" symbol-set="" start="all-input"'
+            ' report-on-match="true"/>'
+            "</automata-network></anml>"
+        )
+        with pytest.raises(AutomatonError):
+            from_anml(xml)  # strict load refuses it
+        automaton = from_anml(xml, strict=False)
+        report = check_homogeneous(automaton)
+        assert "AUT004" in {d.rule for d in report.errors}
+        assert report.exit_code == 1
+
+    def test_nfa_constructor_fails_fast_on_empty_class(self):
+        # NFAs have no external load path, so the empty-class defect is
+        # rejected at construction; AUT004 covers the forms that do
+        # (permissively-loaded ANML).
+        nfa = Nfa()
+        a = nfa.add_state()
+        b = nfa.add_state()
+        with pytest.raises(AutomatonError):
+            nfa.add_transition(a, CharClass.empty(), b)
+
+    def test_nfa_unreachable_accept_state(self):
+        nfa = Nfa()
+        a = nfa.add_state()
+        b = nfa.add_state()
+        nfa.mark_start(a)
+        nfa.mark_accept(b, "hit")  # never wired
+        report = check_nfa(nfa)
+        assert "AUT001" in {d.rule for d in report.errors}
+        assert report.exit_code == 1
+
+    def test_nfa_counts_epsilon_edges_as_reachability(self):
+        nfa = Nfa()
+        a = nfa.add_state()
+        b = nfa.add_state()
+        nfa.mark_start(a)
+        nfa.mark_accept(b, "hit")
+        nfa.add_epsilon(a, b)
+        assert check_nfa(nfa).ok
+
+
+class TestBrokenNetworks:
+    def _base(self):
+        network = ElementNetwork()
+        start = network.add_ste(CharClass.any(), start=StartMode.ALL_INPUT)
+        return network, start
+
+    def test_counter_without_count_inputs(self):
+        network, start = self._base()
+        counter = network.add_counter(2)
+        network.mark_report(counter, "hit")
+        report = check_element_network(network)
+        assert "CNT001" in {d.rule for d in report.errors}
+
+    def test_counter_target_exceeds_inputs(self):
+        network, start = self._base()
+        counter = network.add_counter(5)
+        network.connect_count(start, counter)
+        network.mark_report(counter, "hit")
+        report = check_element_network(network)
+        assert "CNT002" in {d.rule for d in report.warnings}
+
+    def test_not_gate_arity(self):
+        network, start = self._base()
+        other = network.add_ste(CharClass.any())
+        network.connect(start, other)
+        gate = network.add_gate(GateKind.NOT)
+        network.connect(start, gate)
+        network.connect(other, gate)
+        network.mark_report(gate, "hit")
+        report = check_element_network(network)
+        assert "GAT001" in {d.rule for d in report.errors}
+
+    def test_undriven_report_element(self):
+        network, start = self._base()
+        network.mark_report(start, "ok")
+        gate = network.add_gate(GateKind.OR)
+        floating = network.add_ste(CharClass.any())
+        network.connect(floating, gate)
+        network.mark_report(gate, "hit")
+        report = check_element_network(network)
+        assert "NET001" in {d.rule for d in report.errors}
+
+
+class TestBrokenStrided:
+    def _pair(self):
+        return PairClass.from_classes(CharClass.bases(), CharClass.bases())
+
+    def test_ambiguous_pair_depth(self):
+        automaton = StridedAutomaton()
+        a = automaton.add_state(self._pair(), all_input_start=True)
+        b = automaton.add_state(self._pair())
+        c = automaton.add_state(
+            self._pair(), reports=(StridedReport("hit", 4, 0),)
+        )
+        automaton.connect(a, c)  # depth 2 ...
+        automaton.connect(a, b)
+        automaton.connect(b, c)  # ... and depth 3
+        report = check_strided(automaton)
+        assert "STR001" in {d.rule for d in report.errors}
+
+    def test_report_geometry_mismatch(self):
+        automaton = StridedAutomaton()
+        a = automaton.add_state(self._pair(), all_input_start=True)
+        b = automaton.add_state(
+            self._pair(), reports=(StridedReport("hit", 23, 0),)
+        )
+        automaton.connect(a, b)  # depth 2 -> spans 4 symbols, not 23
+        report = check_strided(automaton)
+        assert "STR002" in {d.rule for d in report.errors}
+
+    def test_bad_report_metadata(self):
+        automaton = StridedAutomaton()
+        automaton.add_state(
+            self._pair(),
+            all_input_start=True,
+            reports=(StridedReport("hit", 2, pad_suffix=7),),
+        )
+        report = check_strided(automaton)
+        assert "STR003" in {d.rule for d in report.errors}
+
+    def test_empty_pair_class_rejected_at_construction(self):
+        automaton = StridedAutomaton()
+        with pytest.raises(AutomatonError):
+            automaton.add_state(PairClass(0), all_input_start=True)
+
+
+# -- capacity pre-flight --------------------------------------------------
+
+
+class TestCapacity:
+    def test_over_capacity_guide_is_cap001(self):
+        compiled = compile_library(GUIDES, SearchBudget(mismatches=3))
+        report = capacity_diagnostics(compiled, tiny_ap(64))
+        assert {d.rule for d in report.errors} == {"CAP001"}
+        first = report.errors[0]
+        assert first.element == "EMX1"
+        assert "needs" in first.message and "64" in first.message
+        assert report.exit_code == 1
+
+    def test_require_capacity_raises_with_breakdown(self):
+        compiled = compile_library(GUIDES, SearchBudget(mismatches=3))
+        with pytest.raises(CapacityError) as excinfo:
+            require_capacity(compiled, tiny_ap(64))
+        message = str(excinfo.value)
+        assert "EMX1" in message and "CAP001" in message
+
+    def test_multi_pass_is_cap002_with_per_guide_breakdown(self):
+        compiled = compile_library(GUIDES, SearchBudget(mismatches=3))
+        per_guide = max(g.num_stes for g in compiled.guides)
+        report = capacity_diagnostics(compiled, tiny_ap(per_guide))
+        assert report.ok  # legal, just slow
+        assert "CAP002" in {d.rule for d in report.warnings}
+        breakdown = [d for d in report if d.rule == "CAP003"]
+        assert [d.element for d in breakdown] == ["EMX1", "VEGFA"]
+        assert "pass 1" in breakdown[0].message
+        assert "pass 2" in breakdown[1].message
+        # multi-pass placements must still pass require_capacity
+        require_capacity(compiled, tiny_ap(per_guide))
+
+    def test_fpga_capacity_counts_luts(self):
+        compiled = compile_library(GUIDES, SearchBudget(mismatches=3))
+        spec = FpgaSpec(luts=100)
+        report = capacity_diagnostics(compiled, spec)
+        assert {d.rule for d in report.errors} == {"CAP001"}
+        assert "LUTs" in report.errors[0].message
+
+    def test_real_devices_fit_easily(self):
+        compiled = compile_library(GUIDES, SearchBudget(mismatches=3))
+        for spec in (ApSpec(), FpgaSpec()):
+            require_capacity(compiled, spec)  # must not raise
+
+
+# -- project-invariant linter ---------------------------------------------
+
+
+class TestLintRules:
+    def test_syntax_error_is_l000(self):
+        report = lint_source("def broken(:\n", "src/repro/x.py")
+        assert {d.rule for d in report.errors} == {"L000"}
+
+    def test_mutable_default_argument(self):
+        source = "def f(items=[]):\n    return items\n"
+        report = lint_source(source, "src/repro/analysis/x.py")
+        assert "L001" in report.rules()
+        source = "def f(*, cache=dict()):\n    return cache\n"
+        assert "L001" in lint_source(source, "src/repro/analysis/x.py").rules()
+
+    def test_unseeded_random(self):
+        assert "L002" in lint_source("import random\n", "src/repro/x.py").rules()
+        source = "from numpy.random import default_rng\nrng = default_rng()\n"
+        assert "L002" in lint_source(source, "src/repro/x.py").rules()
+        # seeded is fine, and synthetic.py is exempt entirely
+        source_seeded = "from numpy.random import default_rng\nrng = default_rng(7)\n"
+        assert lint_source(source_seeded, "src/repro/x.py").ok
+        assert lint_source("import random\n", "src/repro/genome/synthetic.py").ok
+
+    def test_heavy_worker_payload(self):
+        source = (
+            "from dataclasses import dataclass\n"
+            "from repro.automata.nfa import Nfa\n"
+            "@dataclass\n"
+            "class ShardTask:\n"
+            "    shard_id: int\n"
+            "    automaton: Nfa\n"
+        )
+        report = lint_source(source, "src/repro/core/parallel.py")
+        findings = [d for d in report.errors if d.rule == "L003"]
+        assert findings, report.to_text()
+        assert "ShardTask" in findings[0].message
+        assert "automaton" in findings[0].message
+
+    def test_heavy_payload_inside_container_annotation(self):
+        source = (
+            "class RetryPayload:\n"
+            "    libraries: 'list[CompiledLibrary]'\n"
+        )
+        report = lint_source(source, "src/repro/core/parallel.py")
+        assert "L003" in report.rules()
+
+    def test_light_payload_is_fine(self):
+        source = (
+            "class ShardTask:\n"
+            "    shard_id: int\n"
+            "    guides: tuple\n"
+            "    start: int\n"
+        )
+        assert lint_source(source, "src/repro/core/parallel.py").ok
+
+    def test_engine_bypass(self):
+        source = "from repro.core.compiler import compile_library\n"
+        report = lint_source(source, "src/repro/engines/rogue.py")
+        assert "L004" in report.rules()
+        source = "def search(self, seq):\n    nfa = Nfa()\n"
+        assert "L004" in lint_source(source, "src/repro/engines/rogue.py").rules()
+        # the same code outside engines/ is legitimate (path outside the
+        # strict packages so L005 stays out of the picture)
+        assert lint_source(source, "src/repro/analysis/builder.py").ok
+
+    def test_untyped_def_in_strict_package(self):
+        source = "def f(x):\n    return x\n"
+        report = lint_source(source, "src/repro/core/x.py")
+        findings = [d for d in report.errors if d.rule == "L005"]
+        assert findings
+        assert "x" in findings[0].message and "return" in findings[0].message
+        # permissive packages are not held to it
+        assert lint_source(source, "src/repro/analysis/x.py").ok
+        # self is exempt, annotations satisfy it
+        typed = "class C:\n    def f(self, x: int) -> int:\n        return x\n"
+        assert lint_source(typed, "src/repro/core/x.py").ok
+
+    def test_lint_paths_walks_directories(self, tmp_path):
+        package = tmp_path / "engines"
+        package.mkdir()
+        (package / "bad.py").write_text("from x import compile_library\n")
+        report = lint_paths([tmp_path])
+        assert "L004" in report.rules()
+
+
+# -- `repro-offtarget check` CLI ------------------------------------------
+
+
+class TestCheckCommand:
+    @pytest.fixture()
+    def guide_table(self, tmp_path):
+        path = tmp_path / "guides.txt"
+        path.write_text("EMX1 GAGTCCGAGCAGAAGAAGAA\n")
+        return path
+
+    def test_clean_guides_exit_0(self, guide_table, capsys):
+        code = main(["check", "--guides", str(guide_table)])
+        assert code == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_verbose_lists_capacity_breakdown(self, guide_table, capsys):
+        main(["check", "--guides", str(guide_table), "--verbose"])
+        out = capsys.readouterr().out
+        assert "CAP003" in out and "CAP004" in out
+
+    def test_capacity_override_exits_1(self, guide_table, capsys):
+        code = main(
+            ["check", "--guides", str(guide_table), "--capacity-stes", "64",
+             "--platform", "ap"]
+        )
+        assert code == 1
+        assert "CAP001" in capsys.readouterr().out
+
+    def test_bulged_budget_skips_alternative_designs(self, guide_table, capsys):
+        code = main(
+            ["check", "--guides", str(guide_table), "--rna-bulges", "1",
+             "--platform", "none"]
+        )
+        assert code == 0
+
+    def test_broken_anml_exits_1_with_rule(self, tmp_path, capsys):
+        automaton = HomogeneousAutomaton()
+        automaton.add_ste(CharClass.of("A"), start=StartMode.ALL_INPUT)
+        automaton.add_ste(CharClass.of("C"), reports=("hit",))  # unreachable
+        path = tmp_path / "broken.anml"
+        path.write_text(to_anml(automaton))
+        code = main(["check", "--anml", str(path), "--json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        rules = {d["rule"] for d in payload["diagnostics"]}
+        assert "AUT001" in rules
+
+    def test_lint_target(self, tmp_path, capsys):
+        bad = tmp_path / "engines"
+        bad.mkdir()
+        (bad / "rogue.py").write_text("from repro.core.compiler import compile_guide\n")
+        code = main(["check", "--lint", str(bad)])
+        assert code == 1
+        assert "L004" in capsys.readouterr().out
+
+    def test_no_targets_exits_2(self, capsys):
+        code = main(["check"])
+        assert code == 2
+        assert "nothing to check" in capsys.readouterr().err
+
+    def test_missing_anml_exits_2(self, tmp_path, capsys):
+        code = main(["check", "--anml", str(tmp_path / "absent.anml")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

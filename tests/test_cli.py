@@ -51,6 +51,39 @@ class TestParser:
         assert excinfo.value.code == 2
         assert "--workers" in capsys.readouterr().err
 
+    @pytest.mark.parametrize("bad", ["0", "-1", "huge"])
+    def test_chunk_length_rejects_nonpositive(self, bad, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(
+                ["search", "r.fa", "g.txt", "--chunk-length", bad]
+            )
+        assert excinfo.value.code == 2
+        assert "--chunk-length" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("flag", ["--mismatches", "--rna-bulges", "--dna-bulges"])
+    @pytest.mark.parametrize("command", ["search", "evaluate", "check"])
+    def test_budget_flags_reject_negative(self, command, flag, capsys):
+        argv = {
+            "search": ["search", "r.fa", "g.txt"],
+            "evaluate": ["evaluate"],
+            "check": ["check", "--guides", "g.txt"],
+        }[command]
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args([*argv, flag, "-1"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert flag in err and "non-negative" in err
+
+    def test_budget_flags_accept_zero(self):
+        args = build_parser().parse_args(["search", "r.fa", "g.txt", "--mismatches", "0"])
+        assert args.mismatches == 0
+
+    def test_synthesize_rejects_nonpositive_length(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["synthesize", "--length", "0", "--out", "x.fa"])
+        assert excinfo.value.code == 2
+        assert "--length" in capsys.readouterr().err
+
 
 class TestSearch:
     def test_search_outputs_bed(self, reference, guide_table, capsys):

@@ -38,3 +38,46 @@ def test_quotes_escaped():
         name='with "quotes"',
     )
     assert 'digraph "with \\"quotes\\""' in text
+
+
+def test_output_is_deterministic():
+    compiled = compile_guide(GUIDE, SearchBudget(mismatches=2))
+    first = homogeneous_to_dot(compiled.homogeneous)
+    second = homogeneous_to_dot(
+        compile_guide(GUIDE, SearchBudget(mismatches=2)).homogeneous
+    )
+    assert first == second
+    assert nfa_to_dot(compiled.forward) == nfa_to_dot(
+        compile_guide(GUIDE, SearchBudget(mismatches=2)).forward
+    )
+
+
+def test_every_ste_id_appears_exactly_once_as_a_node():
+    compiled = compile_guide(GUIDE, SearchBudget(mismatches=1))
+    automaton = compiled.homogeneous
+    text = homogeneous_to_dot(automaton)
+    lines = text.splitlines()
+    for ste in automaton.stes():
+        node_lines = [
+            line
+            for line in lines
+            if line.strip().startswith(f"s{ste.ste_id} [")
+        ]
+        assert len(node_lines) == 1, f"ste{ste.ste_id} not rendered exactly once"
+
+
+def test_edges_match_network_wiring():
+    compiled = compile_guide(GUIDE, SearchBudget(mismatches=1))
+    automaton = compiled.homogeneous
+    text = homogeneous_to_dot(automaton)
+    rendered = {
+        tuple(part.strip().rstrip(";") for part in line.split("->"))
+        for line in text.splitlines()
+        if "->" in line
+    }
+    expected = {
+        (f"s{source}", f"s{target}")
+        for source in range(automaton.num_stes)
+        for target in automaton.successors(source)
+    }
+    assert rendered == expected
