@@ -32,7 +32,8 @@ from .grna.guide import Guide
 from .grna.library import GuideLibrary, parse_guide_table, sample_guides_from_genome
 from .grna.pam import Pam, get_pam, PAM_CATALOG
 from .grna.hit import OffTargetHit, render_alignment
-from .errors import ReproError
+from .service import OffTargetService, ServiceClient, ServiceResult
+from .errors import ReproError, ServiceError, ServiceOverloadedError
 
 __version__ = "1.0.0"
 
@@ -65,6 +66,11 @@ __all__ = [
     "PAM_CATALOG",
     "OffTargetHit",
     "render_alignment",
+    "OffTargetService",
+    "ServiceClient",
+    "ServiceResult",
     "ReproError",
+    "ServiceError",
+    "ServiceOverloadedError",
     "__version__",
 ]

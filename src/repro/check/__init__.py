@@ -23,6 +23,7 @@ from .automata import (
     require_capacity,
 )
 from .lint import lint_paths, lint_source
+from .service import check_guide_cache
 from .report import CheckReport, Diagnostic, Severity
 
 __all__ = [
@@ -36,6 +37,7 @@ __all__ = [
     "check_nfa",
     "check_strided",
     "require_capacity",
+    "check_guide_cache",
     "lint_paths",
     "lint_source",
 ]

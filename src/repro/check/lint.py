@@ -27,7 +27,8 @@ L004     E        engines must not bypass :class:`CompiledLibrary` by
                   compilation happens once, upstream, so every engine
                   sees the identical network.
 L005     E        strict-typed packages (``automata/``, ``core/``,
-                  ``grna/``, ``platforms/``) require fully annotated
+                  ``grna/``, ``platforms/``, ``check/``, ``service/``)
+                  require fully annotated
                   function signatures — the locally-runnable proxy for
                   the mypy strict gate CI enforces.
 ======== ======== ======================================================
@@ -45,7 +46,7 @@ from typing import Iterable, Iterator, Union
 from .report import CheckReport, Diagnostic, Severity
 
 #: packages under src/repro that the typing gate holds to strict rules.
-STRICT_PACKAGES = frozenset({"automata", "core", "grna", "platforms", "check"})
+STRICT_PACKAGES = frozenset({"automata", "core", "grna", "platforms", "check", "service"})
 
 #: field types too heavy to ship through the process pool.
 HEAVY_PAYLOAD_TYPES = frozenset(

@@ -1,0 +1,119 @@
+"""Static verification of the serving layer's compiled-guide cache.
+
+The cache is the one serving component whose corruption would be
+*silent*: a key pointing at the wrong artefact demultiplexes one
+guide's hits under another guide's name. So, like the automata and
+capacity passes, its invariants are a checker rule rather than
+scattered asserts:
+
+======== ======== ======================================================
+rule     severity invariant
+======== ======== ======================================================
+SVC001   E        occupancy respects the capacity bound (the LRU must
+                  evict before exceeding it).
+SVC002   E        every entry coheres with its key: the cached
+                  artefact's protospacer / PAM / budget equal the
+                  key's, and its name is the key's canonical name.
+SVC003   E        counters cohere: ``hits + misses == lookups`` and
+                  ``evictions <= misses`` (every eviction was caused
+                  by a miss-driven insertion).
+SVC004   I        occupancy / hit-rate observation for capacity
+                  planning.
+======== ======== ======================================================
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .report import CheckReport, Diagnostic, Severity
+
+if TYPE_CHECKING:  # imported lazily to keep check importable standalone
+    from ..service.cache import CompiledGuideCache
+
+
+def check_guide_cache(
+    cache: "CompiledGuideCache", *, subject: str = "guide-cache"
+) -> CheckReport:
+    """Verify the structural invariants of one compiled-guide cache."""
+    from ..service.cache import cache_key, canonical_name
+
+    report = CheckReport()
+    entries = list(cache.items())
+
+    if len(entries) > cache.capacity:
+        report.add(
+            Diagnostic(
+                Severity.ERROR,
+                "SVC001",
+                f"cache holds {len(entries)} entries over its capacity "
+                f"{cache.capacity}",
+                subject=subject,
+                hint="the LRU must evict before an insert exceeds capacity",
+            )
+        )
+
+    for key, compiled in entries:
+        expected_name = canonical_name(key)
+        actual_key = cache_key(compiled.guide, compiled.budget)
+        if actual_key != key:
+            report.add(
+                Diagnostic(
+                    Severity.ERROR,
+                    "SVC002",
+                    f"entry under key {key!r} holds an artefact compiled for "
+                    f"{actual_key!r}",
+                    subject=subject,
+                    element=compiled.guide.name,
+                    hint="a mismatched entry demultiplexes hits under the "
+                    "wrong guide — rebuild the cache",
+                )
+            )
+        elif compiled.guide.name != expected_name:
+            report.add(
+                Diagnostic(
+                    Severity.ERROR,
+                    "SVC002",
+                    f"entry for key {key!r} is named {compiled.guide.name!r}, "
+                    f"expected canonical {expected_name!r}",
+                    subject=subject,
+                    element=compiled.guide.name,
+                )
+            )
+
+    counters = cache.counters()
+    if counters["hits"] + counters["misses"] != counters["lookups"]:
+        report.add(
+            Diagnostic(
+                Severity.ERROR,
+                "SVC003",
+                f"counters incoherent: hits {counters['hits']} + misses "
+                f"{counters['misses']} != lookups {counters['lookups']}",
+                subject=subject,
+            )
+        )
+    if counters["evictions"] > counters["misses"]:
+        report.add(
+            Diagnostic(
+                Severity.ERROR,
+                "SVC003",
+                f"counters incoherent: evictions {counters['evictions']} exceed "
+                f"misses {counters['misses']} (every eviction follows a "
+                f"miss-driven insertion)",
+                subject=subject,
+            )
+        )
+
+    lookups = counters["lookups"]
+    hit_rate = counters["hits"] / lookups if lookups else 0.0
+    report.add(
+        Diagnostic(
+            Severity.INFO,
+            "SVC004",
+            f"cache at {len(entries)}/{cache.capacity} entries, "
+            f"{lookups} lookups, hit rate {hit_rate:.1%}, "
+            f"{counters['evictions']} evictions",
+            subject=subject,
+        )
+    )
+    return report

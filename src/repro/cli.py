@@ -13,9 +13,13 @@ Examples::
     repro-offtarget synthesize --length 2000000 --out ref.fa
     repro-offtarget check --guides guides.txt --platform all
     repro-offtarget check --anml exported.anml --lint src --json
+    repro-offtarget serve ref.fa --port 7911
+    repro-offtarget query guides.txt --port 7911 --stats-json -
 
 Exit codes: 0 success (for ``check``: no errors found), 1 the check
-found errors, 2 usage or input errors (bad flags, unreadable files).
+found errors, 2 usage or input errors (bad flags, unreadable files,
+unreachable service), 3 the service shed the request (queue at
+capacity, or the request's deadline expired before dispatch).
 """
 
 from __future__ import annotations
@@ -28,10 +32,20 @@ from .analysis.speedup import speedup_matrix
 from .analysis.tables import render_table
 from .analysis.workloads import StandardWorkload, evaluate_platforms
 from .core.search import OffTargetSearch, SearchBudget
-from .errors import ReproError
+from .errors import (
+    DeadlineExceededError,
+    ReproError,
+    ServiceError,
+    ServiceOverloadedError,
+)
 from .genome.fasta import read_fasta, write_fasta
 from .genome.synthetic import random_genome
 from .grna.library import parse_guide_table
+
+
+#: Exit code for requests the service refused or expired (distinct from
+#: success (0), check failures (1), and usage/input errors (2)).
+EXIT_OVERLOADED = 3
 
 
 def _positive_int(value: str) -> int:
@@ -162,6 +176,86 @@ def build_parser() -> argparse.ArgumentParser:
     synthesize.add_argument("--gc", type=float, default=0.41)
     synthesize.add_argument("--name", default="chrSyn1")
     synthesize.add_argument("--out", required=True, help="output FASTA path")
+
+    serve = commands.add_parser(
+        "serve", help="run the batch-serving layer over a local socket"
+    )
+    serve.add_argument("reference", help="reference FASTA, loaded once at startup")
+    serve.add_argument("--session", default="default", help="session id clients name")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port",
+        type=_nonnegative_int,
+        default=0,
+        help="bind port (0 = pick a free port; the chosen one is announced)",
+    )
+    serve.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.005,
+        metavar="SECONDS",
+        help="coalescing window: requests arriving within it share one search",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=_positive_int,
+        default=128,
+        help="admission-control bound; requests beyond it are shed",
+    )
+    serve.add_argument(
+        "--cache-capacity",
+        type=_positive_int,
+        default=256,
+        help="compiled-guide LRU cache entries",
+    )
+    serve.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="process-pool workers per dispatched search",
+    )
+    serve.add_argument(
+        "--chunk-length", type=_positive_int, default=1 << 20, help="genome chunk size"
+    )
+    serve.add_argument(
+        "--max-guides-per-pass",
+        type=_positive_int,
+        default=None,
+        help="split coalesced batches above this many distinct guides into passes",
+    )
+    serve.add_argument(
+        "--platform",
+        choices=("ap", "fpga", "none"),
+        default="none",
+        help="device whose capacity bounds each pass (via the CAP pre-flight)",
+    )
+
+    query = commands.add_parser("query", help="query a running serve instance")
+    query.add_argument("guides", help="guide table path (name  protospacer)")
+    query.add_argument("--pam", default="NGG", help="PAM name or IUPAC pattern")
+    query.add_argument("--host", default="127.0.0.1", help="service address")
+    query.add_argument("--port", type=_positive_int, required=True, help="service port")
+    query.add_argument("--session", default="default", help="genome session to search")
+    query.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="dispatch deadline; an expired request exits with code 3",
+    )
+    query.add_argument("--out", help="write hits to this file instead of stdout")
+    query.add_argument(
+        "--format", choices=("bed", "tsv"), default="bed", help="output format"
+    )
+    query.add_argument(
+        "--stats-json",
+        metavar="PATH",
+        help=(
+            "write request + service metrics (coalesced batches, cache hit "
+            "rate, shed requests) as JSON to PATH ('-' for stdout)"
+        ),
+    )
+    _add_budget_arguments(query)
 
     check = commands.add_parser(
         "check",
@@ -350,6 +444,97 @@ def _command_synthesize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from .platforms.spec import ApSpec, FpgaSpec
+    from .service import OffTargetServer, OffTargetService
+
+    capacity_spec = None
+    if args.platform == "ap":
+        capacity_spec = ApSpec()
+    elif args.platform == "fpga":
+        capacity_spec = FpgaSpec()
+    service = OffTargetService(
+        cache_capacity=args.cache_capacity,
+        batch_window_seconds=args.batch_window,
+        max_queue_depth=args.max_queue,
+        workers=args.workers,
+        chunk_length=args.chunk_length,
+        capacity_spec=capacity_spec,
+        max_guides_per_pass=args.max_guides_per_pass,
+    )
+    session = service.add_genome(args.session, args.reference)
+    server = OffTargetServer(service, host=args.host, port=args.port)
+    host, port = server.start()
+    # The announce line is the machine-readable contract the e2e tests
+    # (and shell scripts) parse for the OS-chosen port; keep its shape.
+    print(
+        f"# serving session {session.session_id!r} "
+        f"({session.total_length:,} bp, {len(session.sequences)} sequence(s)) "
+        f"on {host}:{port}",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("# interrupted; draining admitted requests", file=sys.stderr)
+    finally:
+        server.stop()
+    return 0
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    from .analysis.report_io import write_bed, write_tsv
+    from .service import ServiceClient
+
+    library = parse_guide_table(args.guides, pam=args.pam)
+    budget = _budget_from(args)
+    try:
+        with ServiceClient(args.host, args.port) as client:
+            result = client.query(
+                tuple(library),
+                budget,
+                session_id=args.session,
+                timeout_seconds=args.timeout,
+            )
+            service_stats = client.stats() if args.stats_json else None
+    except (ServiceOverloadedError, DeadlineExceededError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_OVERLOADED
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    hits = list(result.hits)
+    writer = write_bed if args.format == "bed" else write_tsv
+    if args.out:
+        count = writer(hits, args.out)
+        print(f"# wrote {count} hits to {args.out}", file=sys.stderr)
+    else:
+        writer(hits, sys.stdout)
+    if args.stats_json:
+        payload = {
+            "command": "query",
+            "request_id": result.request_id,
+            "num_hits": len(hits),
+            "num_guides": len(library),
+            "budget": {
+                "mismatches": budget.mismatches,
+                "rna_bulges": budget.rna_bulges,
+                "dna_bulges": budget.dna_bulges,
+            },
+            "request": result.stats,
+            "service": service_stats,
+        }
+        if args.stats_json == "-":
+            json.dump(payload, sys.stdout, indent=2, default=repr)
+            sys.stdout.write("\n")
+        else:
+            with open(args.stats_json, "w", encoding="ascii") as handle:
+                json.dump(payload, handle, indent=2, default=repr)
+            print(f"# wrote run stats to {args.stats_json}", file=sys.stderr)
+    print(f"# total hits: {len(hits)}", file=sys.stderr)
+    return 0
+
+
 def _check_specs(args: argparse.Namespace) -> tuple:
     """The device specs the capacity pre-flight should run against.
 
@@ -461,6 +646,8 @@ def main(argv: list[str] | None = None) -> int:
         "evaluate": _command_evaluate,
         "synthesize": _command_synthesize,
         "check": _command_check,
+        "serve": _command_serve,
+        "query": _command_query,
     }
     try:
         return handlers[args.command](args)

@@ -46,3 +46,15 @@ class CapacityError(EngineError):
 
 class PlatformError(ReproError):
     """A platform specification is unknown or inconsistent."""
+
+
+class ServiceError(ReproError):
+    """The batch-serving layer failed or was misused."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Admission control shed the request: the service queue is full."""
+
+
+class DeadlineExceededError(ServiceError):
+    """An admitted request expired before its batch was dispatched."""

@@ -8,6 +8,9 @@ pairs. A :class:`Metrics` instance collects three kinds of signal:
 
 * **counters** — monotonically increasing tallies (positions scanned,
   report events, shard retries);
+* **gauges** — point-in-time levels that move both ways (queue depth,
+  cache occupancy); a gauge reports *state*, which a counter's
+  cumulative tally cannot express;
 * **timers** — duration distributions (count / total / min / max) for
   repeated operations (per-chunk kernel calls, merge passes);
 * **spans** — one-shot stage traces with nesting depth, recording when
@@ -74,6 +77,7 @@ class Metrics:
         self._lock = threading.Lock()
         self._epoch = time.perf_counter()
         self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
         self._timers: dict[str, TimerStat] = {}
         self._spans: list[dict[str, Any]] = []
         self._span_depth = 0
@@ -97,6 +101,25 @@ class Metrics:
             if not bottom:
                 return 0.0
             return per * self._counters.get(numerator, 0) / bottom
+
+    # -- gauges ------------------------------------------------------------
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge *name* to its current level *value*."""
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def gauge_add(self, name: str, delta: float) -> float:
+        """Move gauge *name* by *delta* (created at zero); returns the level."""
+        with self._lock:
+            level = self._gauges.get(name, 0.0) + delta
+            self._gauges[name] = level
+            return level
+
+    def gauge_value(self, name: str) -> float:
+        """Current level of gauge *name* (zero if never set)."""
+        with self._lock:
+            return self._gauges.get(name, 0.0)
 
     # -- timers ------------------------------------------------------------
 
@@ -158,6 +181,7 @@ class Metrics:
         with self._lock:
             return {
                 "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
                 "timers": {
                     name: stat.as_dict() for name, stat in self._timers.items()
                 },
@@ -167,12 +191,16 @@ class Metrics:
     def merge(self, snapshot: dict[str, Any]) -> None:
         """Fold a :meth:`snapshot` (e.g. from a worker) into this instance.
 
-        Counters add, timers combine their distributions, and spans are
-        appended verbatim (their offsets stay relative to the worker's
-        epoch, which is what a per-shard trace should show).
+        Counters add, timers combine their distributions, gauges take
+        the incoming level (a gauge is a *current* value, so the most
+        recent observation wins), and spans are appended verbatim
+        (their offsets stay relative to the worker's epoch, which is
+        what a per-shard trace should show).
         """
         for name, value in snapshot.get("counters", {}).items():
             self.incr(name, value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name, value)
         for name, stat in snapshot.get("timers", {}).items():
             with self._lock:
                 mine = self._timers.get(name)

@@ -1,0 +1,42 @@
+"""The batch-serving layer: persistent, coalescing off-target search.
+
+Every ``repro-offtarget search`` invocation recompiles its guides and
+rescans the genome. This package is the ROADMAP's path past that: a
+persistent service that loads a reference **once**
+(:mod:`~repro.service.sessions`), compiles each distinct guide **once**
+(:mod:`~repro.service.cache`), and coalesces concurrently arriving
+requests into shared genome passes
+(:mod:`~repro.service.scheduler`) — the software analogue of the
+paper's many-automata-one-stream execution. The front end is an
+in-process API (:class:`OffTargetService`) plus a JSON-lines socket
+server/client pair (:mod:`~repro.service.server`,
+:mod:`~repro.service.client`) behind the ``repro-offtarget serve`` /
+``query`` subcommands.
+"""
+
+from .api import OffTargetService
+from .cache import CompiledGuideCache, cache_key, canonical_name
+from .client import ServiceClient
+from .scheduler import (
+    QueryRequest,
+    RequestScheduler,
+    ServiceResult,
+    split_into_passes,
+)
+from .server import OffTargetServer
+from .sessions import GenomeSession, SessionRegistry
+
+__all__ = [
+    "CompiledGuideCache",
+    "GenomeSession",
+    "OffTargetServer",
+    "OffTargetService",
+    "QueryRequest",
+    "RequestScheduler",
+    "ServiceClient",
+    "ServiceResult",
+    "SessionRegistry",
+    "cache_key",
+    "canonical_name",
+    "split_into_passes",
+]

@@ -1,0 +1,197 @@
+"""The compiled-guide cache: pay guide compilation once, reuse forever.
+
+The automata-processing trade the paper exploits is *one-time
+compilation, cheap repeated streaming*: a guide's automaton is built
+once and then consumes any number of reference streams. A serving
+layer that recompiles every request throws that economy away, so the
+scheduler routes every guide through this LRU cache instead.
+
+Entries are keyed by everything that determines the compiled artefact
+— the protospacer, the PAM (pattern **and** side), and the
+:class:`~repro.core.compiler.SearchBudget` — and hold a
+:class:`~repro.core.compiler.CompiledGuide` under a *canonical* name
+derived from the key. Canonical naming is what makes the cache safe to
+share across requests: two clients asking for the same sequence under
+different display names hit the same entry, and the scheduler renames
+hits back per request (:mod:`repro.service.scheduler`).
+
+Hit/miss/eviction tallies and a size gauge are wired into
+:class:`repro.obs.Metrics`; the structural invariants (size bound, key
+↔ entry coherence, counter coherence) are enforced by the ``SVC*``
+rules of :func:`repro.check.check_guide_cache`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Iterator
+
+from ..core.compiler import CompiledGuide, SearchBudget, compile_guide
+from ..errors import ServiceError
+from ..grna.guide import Guide
+from ..grna.pam import Pam
+from ..obs import Metrics
+
+#: Everything that determines a compiled artefact, as a hashable key.
+CacheKey = tuple[str, str, str, int, int, int]
+
+
+def cache_key(guide: Guide, budget: SearchBudget) -> CacheKey:
+    """The cache key of *guide* under *budget*.
+
+    Deliberately excludes ``guide.name``: the compiled automaton of a
+    guide depends only on its sequence content, PAM, and budget, which
+    is exactly what lets concurrent requests share one artefact.
+    """
+    pam: Pam = guide.pam
+    return (
+        guide.protospacer,
+        pam.pattern,
+        pam.side,
+        budget.mismatches,
+        budget.rna_bulges,
+        budget.dna_bulges,
+    )
+
+
+def canonical_name(key: CacheKey) -> str:
+    """Stable content-derived guide name for a cache key.
+
+    Hits produced under this name are renamed back to each request's
+    own guide names during demultiplexing, so the only requirements
+    are determinism (same key → same name, across processes) and
+    uniqueness (distinct keys → distinct names).
+    """
+    digest = hashlib.sha256("|".join(map(str, key)).encode("ascii")).hexdigest()
+    return f"cg-{digest[:16]}"
+
+
+class CompiledGuideCache:
+    """A bounded, thread-safe LRU of :class:`CompiledGuide` artefacts.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries; the least-recently-used entry is
+        evicted when an insertion would exceed it.
+    metrics:
+        Collector for ``service.cache.{lookups,hits,misses,evictions}``
+        counters and the ``service.cache.size`` gauge; the cache keeps
+        its own when none is supplied.
+    """
+
+    def __init__(self, capacity: int = 256, *, metrics: Metrics | None = None) -> None:
+        if not isinstance(capacity, int) or capacity < 1:
+            raise ServiceError(
+                f"cache capacity must be a positive integer, got {capacity!r}"
+            )
+        self._capacity = capacity
+        self._metrics = metrics if metrics is not None else Metrics()
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[CacheKey, CompiledGuide]" = OrderedDict()
+        self._lookups = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def metrics(self) -> Metrics:
+        return self._metrics
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def keys(self) -> list[CacheKey]:
+        """Current keys, least- to most-recently used."""
+        with self._lock:
+            return list(self._entries)
+
+    def items(self) -> Iterator[tuple[CacheKey, CompiledGuide]]:
+        """Snapshot of (key, entry) pairs, LRU order (for the checker)."""
+        with self._lock:
+            pairs = list(self._entries.items())
+        return iter(pairs)
+
+    def stats(self) -> dict[str, float]:
+        """Counter/occupancy summary (what ``--stats-json`` reports)."""
+        with self._lock:
+            lookups = self._lookups
+            return {
+                "size": len(self._entries),
+                "capacity": self._capacity,
+                "lookups": lookups,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "hit_rate": self._hits / lookups if lookups else 0.0,
+            }
+
+    # -- the cache operation -----------------------------------------------
+
+    def get(self, guide: Guide, budget: SearchBudget) -> CompiledGuide:
+        """The compiled artefact for (*guide*, *budget*), cached.
+
+        On a miss the guide is compiled under its canonical name and
+        inserted, evicting the least-recently-used entry when the cache
+        is full. The returned :class:`CompiledGuide` always carries the
+        canonical name, never ``guide.name``.
+        """
+        key = cache_key(guide, budget)
+        with self._lock:
+            self._lookups += 1
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._hits += 1
+                self._entries.move_to_end(key)
+                self._metrics.incr("service.cache.lookups")
+                self._metrics.incr("service.cache.hits")
+                return entry
+            self._misses += 1
+            self._metrics.incr("service.cache.lookups")
+            self._metrics.incr("service.cache.misses")
+        # Compile outside the lock: compilation is the expensive part,
+        # and a concurrent identical miss merely compiles the same
+        # deterministic artefact twice (the second insert wins).
+        compiled = compile_guide(
+            Guide(canonical_name(key), guide.protospacer, guide.pam), budget
+        )
+        with self._lock:
+            self._entries[key] = compiled
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+                self._metrics.incr("service.cache.evictions")
+            self._metrics.gauge("service.cache.size", len(self._entries))
+        return compiled
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved; they are history)."""
+        with self._lock:
+            self._entries.clear()
+            self._metrics.gauge("service.cache.size", 0)
+
+    # -- verification hook ---------------------------------------------------
+
+    def counters(self) -> dict[str, int]:
+        """Raw counter values for the ``SVC`` invariant checker."""
+        with self._lock:
+            return {
+                "lookups": self._lookups,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+            }

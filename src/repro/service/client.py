@@ -1,0 +1,165 @@
+"""Blocking JSON-lines client for :class:`OffTargetServer`.
+
+Speaks the one-object-per-line protocol of
+:mod:`repro.service.server` over a local TCP socket and maps wire
+error kinds back onto the typed exception hierarchy, so callers handle
+a remote overload exactly like an in-process one::
+
+    from repro.service import ServiceClient
+
+    with ServiceClient(port=port) as client:
+        result = client.query(guides, SearchBudget(mismatches=3))
+        print(client.stats()["cache"]["hit_rate"])
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, BinaryIO, Iterable, Union
+
+from ..core.compiler import SearchBudget
+from ..errors import (
+    CapacityError,
+    DeadlineExceededError,
+    ServiceError,
+    ServiceOverloadedError,
+)
+from ..grna.guide import Guide
+from .scheduler import ServiceResult
+from .server import guide_to_wire, hit_from_wire
+
+_ERROR_TYPES: dict[str, type[ServiceError]] = {
+    "overloaded": ServiceOverloadedError,
+    "deadline": DeadlineExceededError,
+}
+
+
+def _raise_wire_error(kind: str, detail: str) -> None:
+    if kind == "capacity":
+        raise CapacityError(detail)
+    raise _ERROR_TYPES.get(kind, ServiceError)(detail)
+
+
+class ServiceClient:
+    """One connection to a running off-target service."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        timeout_seconds: float = 60.0,
+    ) -> None:
+        if port < 1:
+            raise ServiceError(f"client needs the server's port, got {port!r}")
+        self._address = (host, port)
+        self._timeout = timeout_seconds
+        self._socket: socket.socket | None = None
+        self._reader: BinaryIO | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def connect(self) -> "ServiceClient":
+        """Open the connection (idempotent)."""
+        if self._socket is None:
+            try:
+                self._socket = socket.create_connection(
+                    self._address, timeout=self._timeout
+                )
+            except OSError as error:
+                raise ServiceError(
+                    f"cannot connect to service at "
+                    f"{self._address[0]}:{self._address[1]}: {error}"
+                ) from error
+            self._reader = self._socket.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        if self._reader is not None:
+            self._reader.close()
+            self._reader = None
+        if self._socket is not None:
+            self._socket.close()
+            self._socket = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- protocol ----------------------------------------------------------
+
+    def roundtrip(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Send one request object, return the (``ok``) response object.
+
+        Wire failures raise the matching typed exception
+        (:class:`ServiceOverloadedError`, :class:`DeadlineExceededError`,
+        :class:`~repro.errors.CapacityError`, :class:`ServiceError`).
+        """
+        self.connect()
+        assert self._socket is not None and self._reader is not None
+        try:
+            self._socket.sendall(json.dumps(payload).encode("ascii") + b"\n")
+            line = self._reader.readline()
+        except OSError as error:
+            raise ServiceError(f"service connection failed: {error}") from error
+        if not line:
+            raise ServiceError("service closed the connection")
+        response = json.loads(line)
+        if not isinstance(response, dict):
+            raise ServiceError(f"malformed response: {response!r}")
+        if not response.get("ok"):
+            _raise_wire_error(
+                str(response.get("error", "internal")),
+                str(response.get("detail", "service error")),
+            )
+        return response
+
+    # -- ops ---------------------------------------------------------------
+
+    def ping(self) -> bool:
+        """Liveness check."""
+        return self.roundtrip({"op": "ping"}).get("op") == "pong"
+
+    def query(
+        self,
+        guides: Union[Guide, Iterable[Guide]],
+        budget: SearchBudget,
+        *,
+        session_id: str = "default",
+        request_id: str = "",
+        timeout_seconds: float | None = None,
+    ) -> ServiceResult:
+        """Run one query through the service; hits come back typed."""
+        if isinstance(guides, Guide):
+            guides = (guides,)
+        payload: dict[str, Any] = {
+            "op": "query",
+            "guides": [guide_to_wire(guide) for guide in guides],
+            "budget": {
+                "mismatches": budget.mismatches,
+                "rna_bulges": budget.rna_bulges,
+                "dna_bulges": budget.dna_bulges,
+            },
+            "session": session_id,
+        }
+        if request_id:
+            payload["id"] = request_id
+        if timeout_seconds is not None:
+            payload["timeout"] = timeout_seconds
+        response = self.roundtrip(payload)
+        return ServiceResult(
+            request_id=str(response.get("id", request_id)),
+            hits=tuple(hit_from_wire(raw) for raw in response.get("hits", [])),
+            stats=dict(response.get("stats", {})),
+        )
+
+    def stats(self) -> dict[str, Any]:
+        """The service's metrics payload (see ``OffTargetService.stats``)."""
+        return dict(self.roundtrip({"op": "stats"})["stats"])
+
+    def shutdown(self) -> None:
+        """Ask the server to stop (it acknowledges first)."""
+        self.roundtrip({"op": "shutdown"})

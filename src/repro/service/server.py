@@ -1,0 +1,291 @@
+"""JSON-lines socket front end for :class:`OffTargetService`.
+
+A deliberately small wire protocol: one JSON object per line in each
+direction over a local TCP socket. Every response carries ``"ok"``;
+failures carry a stable ``"error"`` kind the client maps back onto the
+typed exception hierarchy, so overload and deadline behaviour is
+end-to-end testable through the socket:
+
+========== =============================================================
+op          behaviour
+========== =============================================================
+``ping``    liveness check → ``{"ok": true, "op": "pong"}``
+``query``   guides + budget + session → demultiplexed hits and stats
+``stats``   service metrics (coalesced batches, cache hit rate, sheds)
+``shutdown`` acknowledge, then stop the server loop
+========== =============================================================
+
+Error kinds: ``overloaded`` (queue at capacity — the request was shed
+at admission), ``deadline`` (admitted but expired before dispatch),
+``capacity`` (a guide cannot fit the configured device),
+``bad_request`` (malformed guides/budget/ops), ``internal``.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from typing import Any, BinaryIO
+
+from ..core.compiler import SearchBudget
+from ..errors import (
+    CapacityError,
+    DeadlineExceededError,
+    ReproError,
+    ServiceError,
+    ServiceOverloadedError,
+)
+from ..grna.guide import Guide
+from ..grna.hit import OffTargetHit
+from ..grna.pam import Pam, get_pam
+from .api import OffTargetService
+from .scheduler import ServiceResult
+
+#: Wire-protocol limit on one request line (a guide panel is tiny; a
+#: multi-megabyte line is a confused or hostile client).
+MAX_LINE_BYTES = 4 << 20
+
+
+def hit_to_wire(hit: OffTargetHit) -> dict[str, Any]:
+    """One hit as a JSON-friendly dict (the protocol's hit schema)."""
+    return {
+        "guide": hit.guide_name,
+        "sequence": hit.sequence_name,
+        "strand": hit.strand,
+        "start": hit.start,
+        "end": hit.end,
+        "mismatches": hit.mismatches,
+        "rna_bulges": hit.rna_bulges,
+        "dna_bulges": hit.dna_bulges,
+        "site": hit.site,
+    }
+
+
+def hit_from_wire(payload: dict[str, Any]) -> OffTargetHit:
+    """Inverse of :func:`hit_to_wire` (used by the client)."""
+    return OffTargetHit(
+        guide_name=payload["guide"],
+        sequence_name=payload["sequence"],
+        strand=payload["strand"],
+        start=payload["start"],
+        end=payload["end"],
+        mismatches=payload["mismatches"],
+        rna_bulges=payload.get("rna_bulges", 0),
+        dna_bulges=payload.get("dna_bulges", 0),
+        site=payload.get("site", ""),
+    )
+
+
+def guide_to_wire(guide: Guide) -> dict[str, Any]:
+    """One guide as its wire dict, PAM side included."""
+    return {
+        "name": guide.name,
+        "protospacer": guide.protospacer,
+        "pam": {
+            "name": guide.pam.name,
+            "pattern": guide.pam.pattern,
+            "side": guide.pam.side,
+            "nuclease": guide.pam.nuclease,
+        },
+    }
+
+
+def guide_from_wire(payload: dict[str, Any], *, default_pam: str = "NGG") -> Guide:
+    """Build a :class:`Guide` from its wire dict.
+
+    ``pam`` may be a catalog name / IUPAC string or the full
+    ``{name, pattern, side}`` object :func:`guide_to_wire` emits.
+    """
+    raw_pam = payload.get("pam", default_pam)
+    pam: Pam
+    if isinstance(raw_pam, dict):
+        pam = Pam(
+            name=raw_pam.get("name", raw_pam["pattern"]),
+            pattern=raw_pam["pattern"],
+            side=raw_pam.get("side", "3prime"),
+            nuclease=raw_pam.get("nuclease", "custom"),
+        )
+    else:
+        pam = get_pam(raw_pam)
+    return Guide(payload["name"], payload["protospacer"], pam)
+
+
+def budget_from_wire(payload: dict[str, Any]) -> SearchBudget:
+    """Build a :class:`SearchBudget` from its wire dict."""
+    return SearchBudget(
+        mismatches=payload.get("mismatches", 3),
+        rna_bulges=payload.get("rna_bulges", 0),
+        dna_bulges=payload.get("dna_bulges", 0),
+    )
+
+
+def _error_kind(error: Exception) -> str:
+    if isinstance(error, ServiceOverloadedError):
+        return "overloaded"
+    if isinstance(error, DeadlineExceededError):
+        return "deadline"
+    if isinstance(error, CapacityError):
+        return "capacity"
+    if isinstance(error, (ReproError, KeyError, TypeError, ValueError)):
+        return "bad_request"
+    return "internal"
+
+
+class OffTargetServer:
+    """Serve one :class:`OffTargetService` over a local TCP socket.
+
+    ``port=0`` (the default) lets the OS pick a free port; the bound
+    address is available as :attr:`address` after :meth:`start` and is
+    what ``repro-offtarget serve`` announces on stdout.
+    """
+
+    def __init__(
+        self,
+        service: OffTargetService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._service = service
+        self._host = host
+        self._port = port
+        self._socket: socket.socket | None = None
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port); valid after :meth:`start`."""
+        if self._socket is None:
+            raise ServiceError("server is not started")
+        host, port = self._socket.getsockname()[:2]
+        return str(host), int(port)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> tuple[str, int]:
+        """Bind, listen, and start accepting; returns the bound address."""
+        if self._socket is not None:
+            raise ServiceError("server already started")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self._host, self._port))
+        listener.listen(16)
+        listener.settimeout(0.2)  # poll the stop flag between accepts
+        self._socket = listener
+        acceptor = threading.Thread(
+            target=self._accept_loop, name="repro-service-accept", daemon=True
+        )
+        acceptor.start()
+        self._threads.append(acceptor)
+        return self.address
+
+    def stop(self) -> None:
+        """Stop accepting, close the listener, and shut the service down."""
+        self._stop.set()
+        if self._socket is not None:
+            try:
+                self._socket.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+            self._socket = None
+        for thread in self._threads:
+            thread.join(timeout=10.0)
+        self._threads.clear()
+        self._service.close()
+
+    def serve_forever(self, *, poll_seconds: float = 0.2) -> None:
+        """Block the calling thread until :meth:`stop` (or ``shutdown`` op)."""
+        while not self._stop.wait(timeout=poll_seconds):
+            pass
+
+    # -- connection handling -------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            listener = self._socket
+            if listener is None:
+                break
+            try:
+                connection, _ = listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break  # listener closed under us during stop()
+            handler = threading.Thread(
+                target=self._handle_connection,
+                args=(connection,),
+                name="repro-service-conn",
+                daemon=True,
+            )
+            handler.start()
+
+    def _handle_connection(self, connection: socket.socket) -> None:
+        with connection:
+            reader: BinaryIO = connection.makefile("rb")
+            with reader:
+                while not self._stop.is_set():
+                    line = reader.readline(MAX_LINE_BYTES)
+                    if not line:
+                        return
+                    response = self._respond(line)
+                    try:
+                        connection.sendall(
+                            json.dumps(response).encode("ascii") + b"\n"
+                        )
+                    except OSError:
+                        return
+                    if response.get("op") == "bye":
+                        self._stop.set()
+                        return
+
+    # -- the ops --------------------------------------------------------------
+
+    def _respond(self, line: bytes) -> dict[str, Any]:
+        try:
+            payload = json.loads(line)
+            if not isinstance(payload, dict):
+                raise ServiceError("request must be a JSON object")
+            op = payload.get("op", "query")
+            if op == "ping":
+                return {"ok": True, "op": "pong"}
+            if op == "stats":
+                return {"ok": True, "op": "stats", "stats": self._service.stats()}
+            if op == "shutdown":
+                return {"ok": True, "op": "bye"}
+            if op == "query":
+                return self._respond_query(payload)
+            raise ServiceError(f"unknown op {op!r}")
+        except Exception as error:
+            return {
+                "ok": False,
+                "error": _error_kind(error),
+                "detail": str(error) or type(error).__name__,
+            }
+
+    def _respond_query(self, payload: dict[str, Any]) -> dict[str, Any]:
+        raw_guides = payload.get("guides")
+        if not isinstance(raw_guides, list) or not raw_guides:
+            raise ServiceError("query needs a non-empty 'guides' list")
+        default_pam = payload.get("pam", "NGG")
+        guides = tuple(
+            guide_from_wire(raw, default_pam=default_pam) for raw in raw_guides
+        )
+        budget = budget_from_wire(payload.get("budget", {}))
+        future = self._service.query_async(
+            guides,
+            budget,
+            session_id=payload.get("session", "default"),
+            request_id=str(payload.get("id", "")),
+            timeout_seconds=payload.get("timeout"),
+        )
+        result: ServiceResult = future.result()
+        return {
+            "ok": True,
+            "op": "result",
+            "id": result.request_id,
+            "num_hits": result.num_hits,
+            "hits": [hit_to_wire(hit) for hit in result.hits],
+            "stats": result.stats,
+        }

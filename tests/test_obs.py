@@ -47,6 +47,49 @@ class TestCounters:
         assert metrics.rate("hits", "positions") == 0.0
 
 
+class TestGauges:
+    def test_gauge_records_last_observation(self):
+        metrics = Metrics()
+        assert metrics.gauge_value("queue_depth") == 0.0
+        metrics.gauge("queue_depth", 4)
+        metrics.gauge("queue_depth", 2)
+        assert metrics.gauge_value("queue_depth") == 2
+
+    def test_gauge_add_moves_the_level(self):
+        metrics = Metrics()
+        metrics.gauge("inflight", 3)
+        assert metrics.gauge_add("inflight", 2) == 5
+        assert metrics.gauge_add("inflight", -4) == 1
+        assert metrics.gauge_value("inflight") == 1
+
+    def test_gauge_add_starts_from_zero(self):
+        metrics = Metrics()
+        assert metrics.gauge_add("fresh", 2.5) == 2.5
+
+    def test_snapshot_carries_gauges(self):
+        metrics = Metrics()
+        metrics.gauge("depth", 7)
+        snapshot = json.loads(json.dumps(metrics.snapshot()))
+        assert snapshot["gauges"] == {"depth": 7}
+
+    def test_merge_gauges_last_observation_wins(self):
+        a, b = Metrics(), Metrics()
+        a.gauge("depth", 9)
+        a.gauge("only_a", 1)
+        b.gauge("depth", 3)
+        a.merge(b.snapshot())
+        merged = a.snapshot()["gauges"]
+        assert merged["depth"] == 3  # incoming level replaces, never sums
+        assert merged["only_a"] == 1
+
+    def test_merge_snapshots_helper_carries_gauges(self):
+        a, b = Metrics(), Metrics()
+        a.gauge("depth", 9)
+        b.gauge("depth", 3)
+        combined = merge_snapshots(a.snapshot(), b.snapshot())
+        assert combined["gauges"]["depth"] == 3
+
+
 class TestTimers:
     def test_observe_tracks_distribution(self):
         metrics = Metrics()
