@@ -23,7 +23,7 @@ from .automata import (
     require_capacity,
 )
 from .lint import lint_paths, lint_source
-from .service import check_guide_cache
+from .service import check_guide_cache, check_server
 from .report import CheckReport, Diagnostic, Severity
 
 __all__ = [
@@ -38,6 +38,7 @@ __all__ = [
     "check_strided",
     "require_capacity",
     "check_guide_cache",
+    "check_server",
     "lint_paths",
     "lint_source",
 ]

@@ -1,24 +1,37 @@
-"""Static verification of the serving layer's compiled-guide cache.
+"""Static verification of the serving layer's invariants.
 
-The cache is the one serving component whose corruption would be
-*silent*: a key pointing at the wrong artefact demultiplexes one
-guide's hits under another guide's name. So, like the automata and
-capacity passes, its invariants are a checker rule rather than
-scattered asserts:
+The serving components whose corruption would be *silent* get checker
+rules rather than scattered asserts — the compiled-guide cache (a key
+pointing at the wrong artefact demultiplexes one guide's hits under
+another guide's name) and, since the chaos-hardening PR, the socket
+server's idempotency and drain machinery (a double-executed retry or
+an abandoned in-flight handler corrupts results without crashing
+anything):
 
 ======== ======== ======================================================
 rule     severity invariant
 ======== ======== ======================================================
-SVC001   E        occupancy respects the capacity bound (the LRU must
-                  evict before exceeding it).
-SVC002   E        every entry coheres with its key: the cached
+SVC001   E        cache occupancy respects the capacity bound (the LRU
+                  must evict before exceeding it).
+SVC002   E        every cache entry coheres with its key: the cached
                   artefact's protospacer / PAM / budget equal the
                   key's, and its name is the key's canonical name.
-SVC003   E        counters cohere: ``hits + misses == lookups`` and
-                  ``evictions <= misses`` (every eviction was caused
-                  by a miss-driven insertion).
-SVC004   I        occupancy / hit-rate observation for capacity
+SVC003   E        cache counters cohere: ``hits + misses == lookups``
+                  and ``evictions <= misses`` (every eviction was
+                  caused by a miss-driven insertion).
+SVC004   I        cache occupancy / hit-rate observation for capacity
                   planning.
+SVC005   E        retry idempotency: no request id was submitted for
+                  execution more than once, every recorded response
+                  echoes its own id, and the idempotency record
+                  respects its capacity bound.
+SVC006   E        drain/lifecycle coherence: a stopped or draining
+                  server holds no accepting listener, and a stopped
+                  server has no live connection handlers (nothing was
+                  abandoned mid-request).
+SVC007   I        serving-edge observation: connections accepted /
+                  rejected / active, executions vs deduped replays,
+                  drain completions.
 ======== ======== ======================================================
 """
 
@@ -30,6 +43,7 @@ from .report import CheckReport, Diagnostic, Severity
 
 if TYPE_CHECKING:  # imported lazily to keep check importable standalone
     from ..service.cache import CompiledGuideCache
+    from ..service.server import OffTargetServer
 
 
 def check_guide_cache(
@@ -113,6 +127,108 @@ def check_guide_cache(
             f"cache at {len(entries)}/{cache.capacity} entries, "
             f"{lookups} lookups, hit rate {hit_rate:.1%}, "
             f"{counters['evictions']} evictions",
+            subject=subject,
+        )
+    )
+    return report
+
+
+def check_server(
+    server: "OffTargetServer", *, subject: str = "offtarget-server"
+) -> CheckReport:
+    """Verify the socket server's idempotency and drain invariants.
+
+    The chaos suite's structural backstop: after any seeded
+    :class:`~repro.service.chaos.ChaosPlan` run, a clean report here
+    means no retried request double-executed (SVC005) and the
+    lifecycle machinery abandoned nothing (SVC006).
+    """
+    report = CheckReport()
+
+    duplicates = {
+        request_id: count
+        for request_id, count in server.execution_counts().items()
+        if count > 1
+    }
+    for request_id, count in sorted(duplicates.items()):
+        report.add(
+            Diagnostic(
+                Severity.ERROR,
+                "SVC005",
+                f"request id {request_id!r} was submitted for execution "
+                f"{count} times — a retry double-executed",
+                subject=subject,
+                element=request_id,
+                hint="retried ids must be answered from the idempotency "
+                "record, never resubmitted to the scheduler",
+            )
+        )
+    recorded = server.idempotent_ids()
+    completed_ids = [request_id for request_id, done in recorded if done]
+    if len(completed_ids) > server.idempotency_capacity:
+        report.add(
+            Diagnostic(
+                Severity.ERROR,
+                "SVC005",
+                f"idempotency record holds {len(completed_ids)} completed "
+                f"responses over its capacity {server.idempotency_capacity}",
+                subject=subject,
+                hint="the LRU must evict before an insert exceeds capacity",
+            )
+        )
+    for request_id in completed_ids:
+        response = server.completed_response(request_id)
+        if response is not None and response.get("id") != request_id:
+            report.add(
+                Diagnostic(
+                    Severity.ERROR,
+                    "SVC005",
+                    f"idempotency record for id {request_id!r} holds a "
+                    f"response for id {response.get('id')!r}",
+                    subject=subject,
+                    element=request_id,
+                    hint="a mismatched record would answer a retried request "
+                    "with another request's hits",
+                )
+            )
+
+    if (server.stopped or server.draining) and server.accepting:
+        report.add(
+            Diagnostic(
+                Severity.ERROR,
+                "SVC006",
+                "server is draining/stopped but still holds an accepting "
+                "listener",
+                subject=subject,
+                hint="drain must close the listener before joining handlers",
+            )
+        )
+    if server.stopped and server.active_connections:
+        report.add(
+            Diagnostic(
+                Severity.ERROR,
+                "SVC006",
+                f"server is stopped with {server.active_connections} live "
+                f"connection handler(s) — in-flight work was abandoned",
+                subject=subject,
+                hint="stop()/drain() must join handlers before closing the "
+                "service",
+            )
+        )
+
+    counters = server.service.metrics.counters_with_prefix("service.")
+    report.add(
+        Diagnostic(
+            Severity.INFO,
+            "SVC007",
+            "serving edge: "
+            f"{int(counters.get('service.connections.accepted', 0))} accepted / "
+            f"{int(counters.get('service.connections.rejected', 0))} rejected "
+            f"connections, {server.active_connections} active; "
+            f"{int(counters.get('service.server.executions', 0))} executions, "
+            f"{int(counters.get('service.server.requests.deduped', 0))} deduped "
+            f"replays, "
+            f"{int(counters.get('service.drain.completed', 0))} drains",
             subject=subject,
         )
     )

@@ -229,6 +229,21 @@ def build_parser() -> argparse.ArgumentParser:
         default="none",
         help="device whose capacity bounds each pass (via the CAP pre-flight)",
     )
+    serve.add_argument(
+        "--max-connections",
+        type=_positive_int,
+        default=64,
+        help="concurrent-connection cap; connections beyond it are refused "
+        "with a typed 'overloaded' line",
+    )
+    serve.add_argument(
+        "--drain-deadline",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="on SIGTERM/SIGINT (or the 'drain' op): stop accepting, give "
+        "in-flight requests this long to finish, then exit",
+    )
 
     query = commands.add_parser("query", help="query a running serve instance")
     query.add_argument("guides", help="guide table path (name  protospacer)")
@@ -242,6 +257,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="SECONDS",
         help="dispatch deadline; an expired request exits with code 3",
+    )
+    query.add_argument(
+        "--retries",
+        type=_positive_int,
+        default=3,
+        metavar="ATTEMPTS",
+        help="total attempts for safe failure classes (transport faults, "
+        "overload sheds); retried queries carry a request id the server "
+        "deduplicates, so 1 disables retrying",
     )
     query.add_argument("--out", help="write hits to this file instead of stdout")
     query.add_argument(
@@ -445,6 +469,8 @@ def _command_synthesize(args: argparse.Namespace) -> int:
 
 
 def _command_serve(args: argparse.Namespace) -> int:
+    import signal
+
     from .platforms.spec import ApSpec, FpgaSpec
     from .service import OffTargetServer, OffTargetService
 
@@ -463,7 +489,13 @@ def _command_serve(args: argparse.Namespace) -> int:
         max_guides_per_pass=args.max_guides_per_pass,
     )
     session = service.add_genome(args.session, args.reference)
-    server = OffTargetServer(service, host=args.host, port=args.port)
+    server = OffTargetServer(
+        service,
+        host=args.host,
+        port=args.port,
+        max_connections=args.max_connections,
+        drain_deadline_seconds=args.drain_deadline,
+    )
     host, port = server.start()
     # The announce line is the machine-readable contract the e2e tests
     # (and shell scripts) parse for the OS-chosen port; keep its shape.
@@ -473,23 +505,41 @@ def _command_serve(args: argparse.Namespace) -> int:
         f"on {host}:{port}",
         flush=True,
     )
+
+    # SIGTERM/SIGINT begin a graceful drain: stop accepting, finish the
+    # requests already admitted (under --drain-deadline), then exit 0.
+    # The handler only flags the drain; the blocking work happens in the
+    # drain thread, and serve_forever returns once it completes.
+    def _begin_drain(signum: int, frame: object) -> None:
+        print(
+            f"# received signal {signum}; draining admitted requests",
+            file=sys.stderr,
+            flush=True,
+        )
+        server.request_drain()
+
+    previous = {
+        signal.SIGTERM: signal.signal(signal.SIGTERM, _begin_drain),
+        signal.SIGINT: signal.signal(signal.SIGINT, _begin_drain),
+    }
     try:
         server.serve_forever()
-    except KeyboardInterrupt:
-        print("# interrupted; draining admitted requests", file=sys.stderr)
     finally:
         server.stop()
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
     return 0
 
 
 def _command_query(args: argparse.Namespace) -> int:
     from .analysis.report_io import write_bed, write_tsv
-    from .service import ServiceClient
+    from .service import RetryPolicy, ServiceClient
 
     library = parse_guide_table(args.guides, pam=args.pam)
     budget = _budget_from(args)
+    retry = RetryPolicy(max_attempts=args.retries) if args.retries > 1 else None
     try:
-        with ServiceClient(args.host, args.port) as client:
+        with ServiceClient(args.host, args.port, retry=retry) as client:
             result = client.query(
                 tuple(library),
                 budget,

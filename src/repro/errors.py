@@ -58,3 +58,14 @@ class ServiceOverloadedError(ServiceError):
 
 class DeadlineExceededError(ServiceError):
     """An admitted request expired before its batch was dispatched."""
+
+
+class ServiceTransportError(ServiceError):
+    """The socket transport failed before a typed response arrived.
+
+    Raised for connection-level failures only — refused/reset/closed
+    connections, timeouts, and truncated or unparseable response
+    lines. The request's fate is *unknown* to the caller, which is
+    exactly why this class is the retryable one: the server
+    deduplicates retried request ids, so resending is safe.
+    """

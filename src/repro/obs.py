@@ -94,6 +94,21 @@ class Metrics:
         with self._lock:
             return self._counters.get(name, 0)
 
+    def counters_with_prefix(self, prefix: str = "") -> dict[str, float]:
+        """Every counter whose name starts with *prefix*, as a dict.
+
+        The serving layer's health/drain/retry/reject tallies all live
+        under dotted prefixes (``service.server.``, ``service.client.``,
+        ``service.connections.``, ``service.drain.``), so checkers and
+        tests read a family at once instead of guessing names.
+        """
+        with self._lock:
+            return {
+                name: value
+                for name, value in self._counters.items()
+                if name.startswith(prefix)
+            }
+
     def rate(self, numerator: str, denominator: str, *, per: float = 1.0) -> float:
         """``per * counters[numerator] / counters[denominator]`` (0 if empty)."""
         with self._lock:

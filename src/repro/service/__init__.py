@@ -16,7 +16,8 @@ server/client pair (:mod:`~repro.service.server`,
 
 from .api import OffTargetService
 from .cache import CompiledGuideCache, cache_key, canonical_name
-from .client import ServiceClient
+from .chaos import ChaosPlan, open_flood
+from .client import RetryPolicy, ServiceClient
 from .scheduler import (
     QueryRequest,
     RequestScheduler,
@@ -27,16 +28,19 @@ from .server import OffTargetServer
 from .sessions import GenomeSession, SessionRegistry
 
 __all__ = [
+    "ChaosPlan",
     "CompiledGuideCache",
     "GenomeSession",
     "OffTargetServer",
     "OffTargetService",
     "QueryRequest",
     "RequestScheduler",
+    "RetryPolicy",
     "ServiceClient",
     "ServiceResult",
     "SessionRegistry",
     "cache_key",
     "canonical_name",
+    "open_flood",
     "split_into_passes",
 ]

@@ -198,6 +198,26 @@ class OffTargetService:
 
     # -- observability -------------------------------------------------------
 
+    def health(self) -> dict[str, Any]:
+        """Cheap readiness snapshot (no metrics serialisation).
+
+        What the socket server's ``health`` op builds on: queue
+        pressure, registered sessions, and the compiled-guide cache
+        gauge — the signals a load balancer or drain script needs,
+        without the full :meth:`stats` payload.
+        """
+        return {
+            "ready": not self._closed and not self._scheduler.stopped,
+            "closed": self._closed,
+            "queue_depth": self._scheduler.queue_depth,
+            "max_queue_depth": self._scheduler.max_queue_depth,
+            "sessions": self._sessions.ids(),
+            "cache": {
+                "size": len(self._cache),
+                "capacity": self._cache.capacity,
+            },
+        }
+
     def stats(self) -> dict[str, Any]:
         """Service-level metrics: the ``--stats-json`` payload.
 

@@ -1,0 +1,243 @@
+"""Deterministic chaos engineering for the serving stack's socket edge.
+
+The process-pool layer proved the discipline in PR 2: a seeded,
+injectable :class:`~repro.core.parallel.FaultPlan` lets the fault
+suite pin recovery behaviour bit-identically to the oracle. This
+module is the same idea one layer out, at the network edge, where the
+adversary is a hostile or unlucky *peer* rather than a dying worker:
+mid-line disconnects, partial and slow writes (slowloris), garbage and
+oversized lines, and connection floods.
+
+A :class:`ChaosPlan` is consulted from two injection sites —
+``client.send`` inside :class:`~repro.service.client.ServiceClient`
+and ``server.write`` inside
+:class:`~repro.service.server.OffTargetServer` — and answers "what, if
+anything, goes wrong with this wire event?". Two modes:
+
+* **seeded** — every site gets its own seeded numpy generator stream
+  (derived from ``seed`` and the site name), so a single-client
+  sequential workload replays the identical fault schedule for the
+  same seed. This drives the differential sweep in
+  ``tests/test_chaos.py``.
+* **scripted** — an explicit per-site action sequence, for targeted
+  regressions ("the response write is dropped exactly once").
+
+Actions injected on the *client* side sabotage the current attempt and
+surface as :class:`~repro.errors.ServiceTransportError`, which the
+client's :class:`~repro.service.client.RetryPolicy` classifies as
+retryable; actions on the *server* side corrupt or drop a response
+that was already computed, which is recoverable only because the
+server deduplicates retried request ids. All randomness is seeded
+(numpy ``default_rng``; the L002 lint rule forbids stdlib ``random``
+here), so a plan is a reproducible adversary, never a flaky test.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import zlib
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import ServiceError
+
+#: Client-side sabotage: each corrupts one send attempt.
+CLIENT_ACTIONS = (
+    "disconnect_before_send",  # drop the connection instead of sending
+    "truncate_send",  # send a prefix of the line, then disconnect
+    "garbage_line",  # send seeded garbage bytes, then disconnect
+    "oversize_line",  # send one line past the server's limit
+    "disconnect_after_send",  # full send, then vanish before the reply
+    "slow_send",  # slowloris: dribble the line out, but complete it
+)
+
+#: Server-side degradation of an already-computed response.
+SERVER_ACTIONS = (
+    "drop_before_write",  # close without answering
+    "truncate_write",  # send a partial response line, then close
+    "slow_write",  # dribble the response out, but complete it
+)
+
+#: Injection sites and the actions each may draw.
+SITE_ACTIONS: Mapping[str, tuple[str, ...]] = {
+    "client.send": CLIENT_ACTIONS,
+    "server.write": SERVER_ACTIONS,
+}
+
+#: Actions that complete the wire event (degrade, don't sabotage).
+DEGRADE_ACTIONS = frozenset({"slow_send", "slow_write"})
+
+
+class ChaosPlan:
+    """A reproducible adversary for the socket serving path.
+
+    Parameters
+    ----------
+    seed:
+        Root seed; each injection site derives its own generator
+        stream from it, so draws at one site never perturb another.
+    client_rate, server_rate:
+        Per-event probability that the site injects *some* action
+        (which one is a second seeded draw). Zero disables a site.
+    script:
+        Scripted mode: a map from site name to an explicit sequence of
+        actions (``None`` entries mean "behave normally"). A scripted
+        site ignores its rate and draws the sequence in order,
+        behaving normally once exhausted.
+    max_faults:
+        Global cap on injected *sabotage* actions (degrade actions are
+        uncounted); ``None`` means unbounded. A capped plan guarantees
+        a finite fault schedule, which keeps retry-exhaustion out of a
+        sweep when that is not the behaviour under test.
+    slow_chunk_bytes, slow_pause_seconds:
+        Shape of the slowloris dribble: payloads are written in chunks
+        of this size with this pause between them (bounded below).
+    oversize_bytes:
+        Line length used by ``oversize_line`` — point it just past the
+        server's ``max_line_bytes``.
+    garbage_bytes:
+        Length of the seeded garbage line.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        *,
+        client_rate: float = 0.25,
+        server_rate: float = 0.25,
+        script: Mapping[str, Sequence[str | None]] | None = None,
+        max_faults: int | None = None,
+        slow_chunk_bytes: int = 16,
+        slow_pause_seconds: float = 0.001,
+        oversize_bytes: int = 1 << 16,
+        garbage_bytes: int = 64,
+    ) -> None:
+        for name, rate in (("client_rate", client_rate), ("server_rate", server_rate)):
+            if not 0.0 <= rate <= 1.0:
+                raise ServiceError(f"{name} must be within [0, 1], got {rate!r}")
+        if slow_chunk_bytes < 1:
+            raise ServiceError(
+                f"slow_chunk_bytes must be positive, got {slow_chunk_bytes!r}"
+            )
+        if script is not None:
+            for site, actions in script.items():
+                allowed = SITE_ACTIONS.get(site)
+                if allowed is None:
+                    raise ServiceError(
+                        f"unknown chaos site {site!r}; known: {sorted(SITE_ACTIONS)}"
+                    )
+                for action in actions:
+                    if action is not None and action not in allowed:
+                        raise ServiceError(
+                            f"action {action!r} is not valid at site {site!r}; "
+                            f"allowed: {allowed}"
+                        )
+        self.seed = seed
+        self.slow_chunk_bytes = slow_chunk_bytes
+        self.slow_pause_seconds = slow_pause_seconds
+        self.oversize_bytes = oversize_bytes
+        self.garbage_bytes = garbage_bytes
+        self._rates = {"client.send": client_rate, "server.write": server_rate}
+        self._script = {
+            site: list(actions) for site, actions in (script or {}).items()
+        }
+        self._max_faults = max_faults
+        self._lock = threading.Lock()
+        self._streams: dict[str, np.random.Generator] = {}
+        self._drawn: dict[str, int] = {}
+        self._injected: dict[str, int] = {}
+        self._faults = 0
+
+    @classmethod
+    def scripted(cls, script: Mapping[str, Sequence[str | None]]) -> "ChaosPlan":
+        """A purely scripted plan (no seeded draws at unscripted sites)."""
+        return cls(seed=0, client_rate=0.0, server_rate=0.0, script=script)
+
+    # -- the draw ----------------------------------------------------------
+
+    def _stream(self, site: str) -> np.random.Generator:
+        stream = self._streams.get(site)
+        if stream is None:
+            # Stable per-site derivation: crc32 is deterministic across
+            # processes (unlike salted str hashing).
+            derived = (self.seed << 32) ^ zlib.crc32(site.encode("ascii"))
+            stream = self._streams[site] = np.random.default_rng(derived)
+        return stream
+
+    def draw(self, site: str) -> str | None:
+        """The action injected into this wire event, or ``None``.
+
+        Each call consumes one decision from *site*'s schedule;
+        sequential callers therefore replay identically for the same
+        seed (or script).
+        """
+        actions = SITE_ACTIONS.get(site)
+        if actions is None:
+            raise ServiceError(
+                f"unknown chaos site {site!r}; known: {sorted(SITE_ACTIONS)}"
+            )
+        with self._lock:
+            self._drawn[site] = self._drawn.get(site, 0) + 1
+            scripted = self._script.get(site)
+            if scripted is not None:
+                action = scripted.pop(0) if scripted else None
+            else:
+                rate = self._rates[site]
+                stream = self._stream(site)
+                # Two draws per event, fault or not, so the schedule at
+                # one site is independent of how many faults fired.
+                fires = float(stream.random()) < rate
+                index = int(stream.integers(len(actions)))
+                action = actions[index] if fires else None
+            if action is not None and action not in DEGRADE_ACTIONS:
+                if self._max_faults is not None and self._faults >= self._max_faults:
+                    return None
+                self._faults += 1
+            if action is not None:
+                self._injected[site] = self._injected.get(site, 0) + 1
+            return action
+
+    def garbage_line(self) -> bytes:
+        """One newline-terminated line of seeded printable garbage."""
+        stream = self._stream("garbage")
+        codes = stream.integers(33, 127, size=self.garbage_bytes)
+        return bytes(int(c) for c in codes) + b"\n"
+
+    def oversize_line(self) -> bytes:
+        """One newline-terminated line of ``oversize_bytes`` filler."""
+        return b"!" * self.oversize_bytes + b"\n"
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def faults_injected(self) -> int:
+        """Sabotage actions injected so far (degrade actions excluded)."""
+        with self._lock:
+            return self._faults
+
+    def describe(self) -> dict[str, dict[str, int]]:
+        """Per-site draw/injection tallies (for test assertions)."""
+        with self._lock:
+            return {
+                "drawn": dict(self._drawn),
+                "injected": dict(self._injected),
+            }
+
+
+def open_flood(
+    host: str, port: int, count: int, *, timeout_seconds: float = 5.0
+) -> Iterator[socket.socket]:
+    """Open *count* idle connections against (*host*, *port*).
+
+    The connection-flood arm of a chaos run: callers hold the sockets
+    open (exhausting the server's connection cap) and close them when
+    done. Yields each connected socket; stops early if the server
+    starts refusing.
+    """
+    for _ in range(count):
+        try:
+            yield socket.create_connection((host, port), timeout=timeout_seconds)
+        except OSError:
+            return

@@ -237,6 +237,11 @@ class RequestScheduler:
     def batch_window_seconds(self) -> float:
         return self._batch_window
 
+    @property
+    def stopped(self) -> bool:
+        """True once :meth:`stop` has shut the background batcher down."""
+        return self._stop.is_set() and self._thread is None
+
     # -- admission ---------------------------------------------------------
 
     def submit(self, request: QueryRequest) -> "Future[ServiceResult]":

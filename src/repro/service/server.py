@@ -6,19 +6,45 @@ failures carry a stable ``"error"`` kind the client maps back onto the
 typed exception hierarchy, so overload and deadline behaviour is
 end-to-end testable through the socket:
 
-========== =============================================================
-op          behaviour
-========== =============================================================
-``ping``    liveness check → ``{"ok": true, "op": "pong"}``
-``query``   guides + budget + session → demultiplexed hits and stats
-``stats``   service metrics (coalesced batches, cache hit rate, sheds)
+=========== ============================================================
+op           behaviour
+=========== ============================================================
+``ping``     liveness check → ``{"ok": true, "op": "pong"}``
+``query``    guides + budget + session → demultiplexed hits and stats
+``stats``    service metrics (coalesced batches, cache hit rate, sheds)
+``health``   readiness/liveness: queue depth, sessions, cache gauge,
+             connection count, drain state
+``drain``    acknowledge, stop accepting, finish admitted requests
+             under the drain deadline, then exit
 ``shutdown`` acknowledge, then stop the server loop
-========== =============================================================
+=========== ============================================================
 
-Error kinds: ``overloaded`` (queue at capacity — the request was shed
-at admission), ``deadline`` (admitted but expired before dispatch),
-``capacity`` (a guide cannot fit the configured device),
-``bad_request`` (malformed guides/budget/ops), ``internal``.
+Error kinds: ``overloaded`` (queue at capacity or the connection cap
+was hit — the request was shed at admission), ``deadline`` (admitted
+but expired before dispatch), ``capacity`` (a guide cannot fit the
+configured device), ``bad_request`` (malformed lines/guides/budgets/
+ops — anything the *client* got wrong), ``internal`` (a server-side
+bug; stdlib exceptions escaping our own demux code land here, never
+under ``bad_request``).
+
+Robustness invariants (pinned by ``tests/test_chaos.py``):
+
+* **Framing is typed.** A line exceeding ``max_line_bytes`` is
+  answered with ``bad_request`` ("line too long") and the connection
+  is closed — never parsed as a truncated request plus garbage. A
+  peer that disconnects mid-line is dropped silently (counted).
+* **Retries are idempotent.** Responses to requests that carry an
+  ``id`` are remembered (bounded LRU); a retried id returns the
+  recorded response without re-executing, and concurrent duplicates
+  share one in-flight execution. This is what makes the client's
+  retry-on-transport-failure policy safe.
+* **Drain is graceful.** :meth:`OffTargetServer.request_drain` (the
+  ``drain`` op, or ``SIGTERM``/``SIGINT`` under ``repro-offtarget
+  serve``) stops accepting, lets in-flight handlers finish admitted
+  requests under a deadline, closes the service (which resolves every
+  admitted future), and only then stops. :meth:`OffTargetServer.stop`
+  runs the same sequence, so no code path abandons an executing
+  request.
 """
 
 from __future__ import annotations
@@ -26,7 +52,10 @@ from __future__ import annotations
 import json
 import socket
 import threading
-from typing import Any, BinaryIO
+import time
+from collections import OrderedDict
+from concurrent.futures import Future
+from typing import Any
 
 from ..core.compiler import SearchBudget
 from ..errors import (
@@ -39,7 +68,9 @@ from ..errors import (
 from ..grna.guide import Guide
 from ..grna.hit import OffTargetHit
 from ..grna.pam import Pam, get_pam
+from ..obs import Metrics
 from .api import OffTargetService
+from .chaos import ChaosPlan
 from .scheduler import ServiceResult
 
 #: Wire-protocol limit on one request line (a guide panel is tiny; a
@@ -121,15 +152,32 @@ def budget_from_wire(payload: dict[str, Any]) -> SearchBudget:
 
 
 def _error_kind(error: Exception) -> str:
+    """Classify an exception into its wire error kind.
+
+    Only the typed library hierarchy maps to client-attributable
+    kinds. Bare stdlib exceptions (``KeyError``/``TypeError``/
+    ``ValueError``) escaping our own code are genuine server-side bugs
+    and report ``internal`` — the demux/parse layers wrap the ones a
+    malformed request can legitimately provoke into
+    :class:`ServiceError` before they get here.
+    """
     if isinstance(error, ServiceOverloadedError):
         return "overloaded"
     if isinstance(error, DeadlineExceededError):
         return "deadline"
     if isinstance(error, CapacityError):
         return "capacity"
-    if isinstance(error, (ReproError, KeyError, TypeError, ValueError)):
+    if isinstance(error, ReproError):
         return "bad_request"
     return "internal"
+
+
+class _LineTooLong(Exception):
+    """A request line exceeded the server's framing limit."""
+
+    def __init__(self, length: int) -> None:
+        super().__init__(length)
+        self.length = length
 
 
 class OffTargetServer:
@@ -138,6 +186,27 @@ class OffTargetServer:
     ``port=0`` (the default) lets the OS pick a free port; the bound
     address is available as :attr:`address` after :meth:`start` and is
     what ``repro-offtarget serve`` announces on stdout.
+
+    Parameters
+    ----------
+    max_connections:
+        Concurrent-connection cap; a connection beyond it is answered
+        with one ``overloaded`` error line and closed (the flood arm
+        of the chaos suite).
+    max_line_bytes:
+        Framing limit for one request line; longer lines are rejected
+        with a typed ``bad_request`` and the connection is closed.
+    idempotency_capacity:
+        How many completed responses (for requests carrying an ``id``)
+        are remembered for retry deduplication, LRU-bounded.
+    drain_deadline_seconds:
+        How long :meth:`drain` waits for in-flight connection handlers
+        before closing the service (which resolves every admitted
+        future and unblocks any stragglers).
+    chaos:
+        Optional :class:`~repro.service.chaos.ChaosPlan` consulted at
+        the ``server.write`` site — drops, truncates, or slows
+        response writes for the differential chaos suite.
     """
 
     def __init__(
@@ -146,13 +215,53 @@ class OffTargetServer:
         *,
         host: str = "127.0.0.1",
         port: int = 0,
+        max_connections: int = 64,
+        max_line_bytes: int = MAX_LINE_BYTES,
+        idempotency_capacity: int = 1024,
+        drain_deadline_seconds: float = 10.0,
+        chaos: ChaosPlan | None = None,
     ) -> None:
+        if not isinstance(max_connections, int) or max_connections < 1:
+            raise ServiceError(
+                f"max_connections must be a positive integer, got {max_connections!r}"
+            )
+        if not isinstance(max_line_bytes, int) or max_line_bytes < 64:
+            raise ServiceError(
+                f"max_line_bytes must be an integer >= 64, got {max_line_bytes!r}"
+            )
+        if not isinstance(idempotency_capacity, int) or idempotency_capacity < 1:
+            raise ServiceError(
+                f"idempotency_capacity must be a positive integer, "
+                f"got {idempotency_capacity!r}"
+            )
+        if drain_deadline_seconds < 0:
+            raise ServiceError(
+                f"drain_deadline_seconds must be >= 0, got {drain_deadline_seconds!r}"
+            )
         self._service = service
+        self._metrics: Metrics = service.metrics
         self._host = host
         self._port = port
+        self._max_connections = max_connections
+        self._max_line_bytes = max_line_bytes
+        self._idempotency_capacity = idempotency_capacity
+        self._drain_deadline = drain_deadline_seconds
+        self._chaos = chaos
+        self._poll_seconds = 0.2
         self._socket: socket.socket | None = None
+        self._acceptor: threading.Thread | None = None
         self._stop = threading.Event()
-        self._threads: list[threading.Thread] = []
+        self._draining = threading.Event()
+        self._drain_lock = threading.Lock()
+        self._drain_thread: threading.Thread | None = None
+        self._finished = False
+        self._drained_clean = True
+        self._handler_lock = threading.Lock()
+        self._handlers: dict[threading.Thread, socket.socket] = {}
+        self._idemp_lock = threading.Lock()
+        self._inflight: dict[str, "Future[ServiceResult]"] = {}
+        self._completed: "OrderedDict[str, dict[str, Any]]" = OrderedDict()
+        self._executions: dict[str, int] = {}
 
     @property
     def address(self) -> tuple[str, int]:
@@ -162,48 +271,213 @@ class OffTargetServer:
         host, port = self._socket.getsockname()[:2]
         return str(host), int(port)
 
+    @property
+    def max_connections(self) -> int:
+        return self._max_connections
+
+    @property
+    def max_line_bytes(self) -> int:
+        return self._max_line_bytes
+
+    @property
+    def idempotency_capacity(self) -> int:
+        return self._idempotency_capacity
+
+    @property
+    def service(self) -> OffTargetService:
+        """The service this server fronts."""
+        return self._service
+
+    @property
+    def accepting(self) -> bool:
+        """True while the listener is open (new connections accepted)."""
+        return self._socket is not None
+
+    @property
+    def draining(self) -> bool:
+        """True once a graceful drain has begun."""
+        return self._draining.is_set()
+
+    @property
+    def stopped(self) -> bool:
+        """True once the serve loop has been told to exit."""
+        return self._stop.is_set()
+
+    @property
+    def active_connections(self) -> int:
+        """Currently-served connections (live handler threads)."""
+        with self._handler_lock:
+            return sum(1 for thread in self._handlers if thread.is_alive())
+
+    def execution_counts(self) -> dict[str, int]:
+        """How many times each request id was actually submitted.
+
+        The chaos suite's duplicate detector: under any retry schedule
+        every value must stay at 1.
+        """
+        with self._idemp_lock:
+            return dict(self._executions)
+
+    def idempotent_ids(self) -> tuple[tuple[str, bool], ...]:
+        """(request id, completed?) pairs currently remembered."""
+        with self._idemp_lock:
+            completed = [(request_id, True) for request_id in self._completed]
+            inflight = [(request_id, False) for request_id in self._inflight]
+        return tuple(completed + inflight)
+
+    def completed_response(self, request_id: str) -> dict[str, Any] | None:
+        """The remembered response for *request_id*, if any (checker)."""
+        with self._idemp_lock:
+            response = self._completed.get(request_id)
+            return dict(response) if response is not None else None
+
     # -- lifecycle ---------------------------------------------------------
 
     def start(self) -> tuple[str, int]:
         """Bind, listen, and start accepting; returns the bound address."""
         if self._socket is not None:
             raise ServiceError("server already started")
+        if self._finished:
+            raise ServiceError("server already stopped; build a new one")
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         listener.bind((self._host, self._port))
         listener.listen(16)
-        listener.settimeout(0.2)  # poll the stop flag between accepts
+        listener.settimeout(self._poll_seconds)  # poll stop/drain between accepts
         self._socket = listener
         acceptor = threading.Thread(
             target=self._accept_loop, name="repro-service-accept", daemon=True
         )
         acceptor.start()
-        self._threads.append(acceptor)
+        self._acceptor = acceptor
         return self.address
 
     def stop(self) -> None:
-        """Stop accepting, close the listener, and shut the service down."""
-        self._stop.set()
-        if self._socket is not None:
-            try:
-                self._socket.close()
-            except OSError:  # pragma: no cover - close is best-effort
-                pass
-            self._socket = None
-        for thread in self._threads:
-            thread.join(timeout=10.0)
-        self._threads.clear()
-        self._service.close()
+        """Stop the server without abandoning in-flight work.
+
+        Equivalent to :meth:`drain` under the configured deadline:
+        in-flight connection handlers are joined (bounded) *before*
+        the service is closed, so an executing request is answered,
+        never cut off mid-``_respond``.
+        """
+        self.drain()
+
+    def request_drain(self) -> None:
+        """Begin a graceful drain in the background (idempotent).
+
+        Safe to call from a signal handler or a connection handler:
+        it only sets the draining flag and spawns the drain thread.
+        """
+        self._draining.set()
+        with self._handler_lock:
+            if self._drain_thread is not None or self._finished:
+                return
+            self._drain_thread = threading.Thread(
+                target=self.drain, name="repro-service-drain", daemon=True
+            )
+            self._drain_thread.start()
+
+    def drain(self, deadline_seconds: float | None = None) -> bool:
+        """Gracefully stop: refuse new work, finish admitted work, exit.
+
+        The sequence: stop accepting (close the listener), give
+        in-flight connection handlers *deadline_seconds* (default: the
+        configured drain deadline) to finish the requests they are
+        serving, close the service — which drains every admitted
+        request, resolving the futures any straggling handler is
+        blocked on — then set the stop flag and reap stragglers.
+        Returns True when every handler finished inside the deadline.
+        Idempotent; concurrent callers serialize on one drain.
+        """
+        with self._drain_lock:
+            if self._finished:
+                return self._drained_clean
+            self._draining.set()
+            deadline = (
+                deadline_seconds
+                if deadline_seconds is not None
+                else self._drain_deadline
+            )
+            self._close_listener()
+            acceptor = self._acceptor
+            if acceptor is not None and acceptor is not threading.current_thread():
+                acceptor.join(timeout=5.0)
+            self._acceptor = None
+            clean = self._join_handlers(deadline)
+            # Closing the service stops the batcher *after* draining the
+            # queue: every admitted future resolves, which unblocks any
+            # handler still waiting in _respond_query.
+            self._service.close()
+            self._stop.set()
+            self._join_handlers(5.0)
+            self._metrics.incr("service.drain.completed")
+            if not clean:
+                self._metrics.incr("service.drain.deadline_expired")
+            self._drained_clean = clean
+            self._finished = True
+            return clean
 
     def serve_forever(self, *, poll_seconds: float = 0.2) -> None:
         """Block the calling thread until :meth:`stop` (or ``shutdown`` op)."""
         while not self._stop.wait(timeout=poll_seconds):
             pass
 
+    def health(self) -> dict[str, Any]:
+        """Readiness/liveness snapshot (the ``health`` op's payload)."""
+        service = self._service.health()
+        draining = self._draining.is_set()
+        stopped = self._stop.is_set()
+        return {
+            "live": not stopped,
+            "ready": (
+                not draining
+                and not stopped
+                and self._socket is not None
+                and bool(service["ready"])
+            ),
+            "draining": draining,
+            "connections": self.active_connections,
+            "max_connections": self._max_connections,
+            "queue_depth": service["queue_depth"],
+            "max_queue_depth": service["max_queue_depth"],
+            "sessions": service["sessions"],
+            "cache": service["cache"],
+            "executions": int(self._metrics.counter("service.server.executions")),
+            "deduped": int(
+                self._metrics.counter("service.server.requests.deduped")
+            ),
+        }
+
+    def _close_listener(self) -> None:
+        listener = self._socket
+        self._socket = None
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+
+    def _join_handlers(self, deadline_seconds: float) -> bool:
+        """Join live handler threads; True if all finished in time."""
+        deadline = time.monotonic() + deadline_seconds
+        while True:
+            with self._handler_lock:
+                threads = [
+                    thread
+                    for thread in self._handlers
+                    if thread.is_alive() and thread is not threading.current_thread()
+                ]
+            if not threads:
+                return True
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return False
+            threads[0].join(timeout=min(remaining, 0.5))
+
     # -- connection handling -------------------------------------------------
 
     def _accept_loop(self) -> None:
-        while not self._stop.is_set():
+        while not self._stop.is_set() and not self._draining.is_set():
             listener = self._socket
             if listener is None:
                 break
@@ -212,39 +486,171 @@ class OffTargetServer:
             except socket.timeout:
                 continue
             except OSError:
-                break  # listener closed under us during stop()
-            handler = threading.Thread(
-                target=self._handle_connection,
-                args=(connection,),
-                name="repro-service-conn",
-                daemon=True,
-            )
+                break  # listener closed under us during stop()/drain()
+            self._metrics.incr("service.connections.accepted")
+            if self._draining.is_set() or self._stop.is_set():
+                self._refuse(connection, "server is draining")
+                continue
+            with self._handler_lock:
+                active = sum(1 for t in self._handlers if t.is_alive())
+                if active >= self._max_connections:
+                    handler = None
+                else:
+                    handler = threading.Thread(
+                        target=self._handle_connection,
+                        args=(connection,),
+                        name="repro-service-conn",
+                        daemon=True,
+                    )
+                    self._handlers[handler] = connection
+                    self._metrics.gauge("service.connections.active", active + 1)
+            if handler is None:
+                self._refuse(
+                    connection,
+                    f"connection limit reached ({self._max_connections})",
+                )
+                continue
             handler.start()
 
+    def _refuse(self, connection: socket.socket, detail: str) -> None:
+        """Answer one typed ``overloaded`` line and close (best effort)."""
+        self._metrics.incr("service.connections.rejected")
+        try:
+            connection.settimeout(1.0)
+            connection.sendall(
+                json.dumps(
+                    {"ok": False, "error": "overloaded", "detail": detail}
+                ).encode("ascii")
+                + b"\n"
+            )
+        except OSError:
+            pass
+        finally:
+            try:
+                connection.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+
+    def _read_line(
+        self, connection: socket.socket, buffer: bytearray
+    ) -> bytes | None:
+        """Read one newline-terminated line into *buffer*; None = close.
+
+        Owns its buffer instead of trusting ``makefile().readline``:
+        a ``readline(limit)`` that fills its limit returns a truncated
+        partial line that would otherwise be parsed as one malformed
+        request plus a second garbage request. Here an overlong line
+        raises :class:`_LineTooLong` (answered with a typed
+        ``bad_request``), a mid-line disconnect is counted and
+        dropped, and the stop/drain flags are polled between reads so
+        a drain never waits on an idle peer.
+        """
+        while True:
+            newline = buffer.find(b"\n")
+            if newline >= 0:
+                if newline + 1 > self._max_line_bytes:
+                    raise _LineTooLong(newline + 1)
+                line = bytes(buffer[: newline + 1])
+                del buffer[: newline + 1]
+                return line
+            if len(buffer) > self._max_line_bytes:
+                raise _LineTooLong(len(buffer))
+            if self._stop.is_set():
+                return None
+            if self._draining.is_set() and not buffer:
+                return None  # idle connection; drain closes it
+            try:
+                chunk = connection.recv(1 << 16)
+            except socket.timeout:
+                continue
+            except OSError:
+                return None
+            if not chunk:
+                if buffer:
+                    self._metrics.incr("service.server.midline_disconnects")
+                return None
+            buffer.extend(chunk)
+
     def _handle_connection(self, connection: socket.socket) -> None:
-        with connection:
-            reader: BinaryIO = connection.makefile("rb")
-            with reader:
+        try:
+            connection.settimeout(self._poll_seconds)
+            buffer = bytearray()
+            with connection:
                 while not self._stop.is_set():
-                    line = reader.readline(MAX_LINE_BYTES)
-                    if not line:
+                    try:
+                        line = self._read_line(connection, buffer)
+                    except _LineTooLong as error:
+                        self._metrics.incr("service.server.oversize_rejected")
+                        self._send_response(
+                            connection,
+                            {
+                                "ok": False,
+                                "error": "bad_request",
+                                "detail": (
+                                    f"request line too long ({error.length} bytes "
+                                    f"> {self._max_line_bytes}); closing connection"
+                                ),
+                            },
+                        )
+                        return
+                    if line is None:
                         return
                     response = self._respond(line)
-                    try:
-                        connection.sendall(
-                            json.dumps(response).encode("ascii") + b"\n"
-                        )
-                    except OSError:
+                    if not self._send_response(connection, response):
                         return
                     if response.get("op") == "bye":
                         self._stop.set()
                         return
+                    if response.get("op") == "draining":
+                        self.request_drain()
+                        return
+                    if self._draining.is_set():
+                        return
+        finally:
+            with self._handler_lock:
+                self._handlers.pop(threading.current_thread(), None)
+                active = sum(1 for t in self._handlers if t.is_alive())
+                self._metrics.gauge("service.connections.active", active)
+
+    def _send_response(
+        self, connection: socket.socket, response: dict[str, Any]
+    ) -> bool:
+        """Write one response line; False means the connection is dead.
+
+        The ``server.write`` chaos site: a plan may drop the write,
+        truncate it, or slow it down. Dropping/truncating a response
+        is recoverable for the peer only because a retried request id
+        is served from the idempotency record, never re-executed.
+        """
+        data = json.dumps(response).encode("ascii") + b"\n"
+        action = self._chaos.draw("server.write") if self._chaos is not None else None
+        try:
+            if action == "drop_before_write":
+                self._metrics.incr("service.server.chaos_injected")
+                return False
+            if action == "truncate_write":
+                self._metrics.incr("service.server.chaos_injected")
+                connection.sendall(data[: max(1, len(data) // 2)])
+                return False
+            if action == "slow_write" and self._chaos is not None:
+                step = self._chaos.slow_chunk_bytes
+                for offset in range(0, len(data), step):
+                    connection.sendall(data[offset : offset + step])
+                    time.sleep(self._chaos.slow_pause_seconds)
+                return True
+            connection.sendall(data)
+            return True
+        except OSError:
+            return False
 
     # -- the ops --------------------------------------------------------------
 
     def _respond(self, line: bytes) -> dict[str, Any]:
         try:
-            payload = json.loads(line)
+            try:
+                payload = json.loads(line)
+            except ValueError as error:
+                raise ServiceError(f"request is not valid JSON: {error}") from error
             if not isinstance(payload, dict):
                 raise ServiceError("request must be a JSON object")
             op = payload.get("op", "query")
@@ -252,36 +658,103 @@ class OffTargetServer:
                 return {"ok": True, "op": "pong"}
             if op == "stats":
                 return {"ok": True, "op": "stats", "stats": self._service.stats()}
+            if op == "health":
+                return {"ok": True, "op": "health", "health": self.health()}
+            if op == "drain":
+                return {"ok": True, "op": "draining"}
             if op == "shutdown":
                 return {"ok": True, "op": "bye"}
             if op == "query":
                 return self._respond_query(payload)
             raise ServiceError(f"unknown op {op!r}")
         except Exception as error:
+            kind = _error_kind(error)
+            if kind == "internal":
+                self._metrics.incr("service.server.internal_errors")
             return {
                 "ok": False,
-                "error": _error_kind(error),
+                "error": kind,
                 "detail": str(error) or type(error).__name__,
             }
 
-    def _respond_query(self, payload: dict[str, Any]) -> dict[str, Any]:
+    def _decode_query(
+        self, payload: dict[str, Any]
+    ) -> tuple[tuple[Guide, ...], SearchBudget, str, str, float | None]:
+        """Parse a query payload, wrapping malformed-wire stdlib errors.
+
+        Anything a hostile payload can provoke out of the wire
+        decoders (missing keys, wrong shapes, bad numbers) becomes a
+        typed :class:`ServiceError` here, so ``bad_request`` stays the
+        client's verdict and a bare stdlib exception further down the
+        stack keeps meaning ``internal``.
+        """
         raw_guides = payload.get("guides")
         if not isinstance(raw_guides, list) or not raw_guides:
             raise ServiceError("query needs a non-empty 'guides' list")
         default_pam = payload.get("pam", "NGG")
-        guides = tuple(
-            guide_from_wire(raw, default_pam=default_pam) for raw in raw_guides
-        )
-        budget = budget_from_wire(payload.get("budget", {}))
-        future = self._service.query_async(
+        try:
+            guides = tuple(
+                guide_from_wire(raw, default_pam=default_pam) for raw in raw_guides
+            )
+            budget = budget_from_wire(payload.get("budget", {}))
+            session_id = str(payload.get("session", "default"))
+            request_id = str(payload.get("id", ""))
+            raw_timeout = payload.get("timeout")
+            timeout = None if raw_timeout is None else float(raw_timeout)
+        except (KeyError, TypeError, ValueError) as error:
+            raise ServiceError(f"malformed query: {error!r}") from error
+        return guides, budget, session_id, request_id, timeout
+
+    def _submit(
+        self,
+        guides: tuple[Guide, ...],
+        budget: SearchBudget,
+        session_id: str,
+        request_id: str,
+        timeout: float | None,
+    ) -> "Future[ServiceResult]":
+        self._metrics.incr("service.server.executions")
+        if request_id:
+            self._executions[request_id] = self._executions.get(request_id, 0) + 1
+        return self._service.query_async(
             guides,
             budget,
-            session_id=payload.get("session", "default"),
-            request_id=str(payload.get("id", "")),
-            timeout_seconds=payload.get("timeout"),
+            session_id=session_id,
+            request_id=request_id,
+            timeout_seconds=timeout,
         )
-        result: ServiceResult = future.result()
-        return {
+
+    def _respond_query(self, payload: dict[str, Any]) -> dict[str, Any]:
+        guides, budget, session_id, request_id, timeout = self._decode_query(payload)
+        if request_id:
+            with self._idemp_lock:
+                recorded = self._completed.get(request_id)
+                if recorded is not None:
+                    # A retried id: answer what the first execution
+                    # answered, bit-identically, without re-executing.
+                    self._completed.move_to_end(request_id)
+                    self._metrics.incr("service.server.requests.deduped")
+                    return dict(recorded)
+                future = self._inflight.get(request_id)
+                if future is None:
+                    future = self._submit(
+                        guides, budget, session_id, request_id, timeout
+                    )
+                    self._inflight[request_id] = future
+                else:
+                    self._metrics.incr("service.server.requests.deduped")
+        else:
+            future = self._submit(guides, budget, session_id, request_id, timeout)
+        try:
+            result: ServiceResult = future.result()
+        except Exception:
+            # A typed failure is not recorded: deadline/capacity/shed
+            # requests were never executed, so resubmission is safe.
+            if request_id:
+                with self._idemp_lock:
+                    self._inflight.pop(request_id, None)
+            raise
+        response = {
             "ok": True,
             "op": "result",
             "id": result.request_id,
@@ -289,3 +762,10 @@ class OffTargetServer:
             "hits": [hit_to_wire(hit) for hit in result.hits],
             "stats": result.stats,
         }
+        if request_id:
+            with self._idemp_lock:
+                self._inflight.pop(request_id, None)
+                self._completed[request_id] = dict(response)
+                while len(self._completed) > self._idempotency_capacity:
+                    self._completed.popitem(last=False)
+        return response

@@ -1,0 +1,146 @@
+"""Property tests (hypothesis) for the socket protocol's wire schemas.
+
+The serving layer's correctness rests on three encode/decode pairs —
+``guide_to_wire``/``guide_from_wire``, ``hit_to_wire``/``hit_from_wire``
+and ``budget_from_wire`` — being exact inverses through a JSON line.
+These round-trips are what make the chaos suite's "bit-identical to the
+solo search" invariant meaningful: if the wire lost information, the
+differential comparison would be vacuous. Guide names are deliberately
+arbitrary unicode (labs name guides freely); the protocol's
+``ensure_ascii`` JSON escaping must carry them intact over an ASCII
+socket.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.compiler import SearchBudget
+from repro.grna.guide import Guide
+from repro.grna.hit import OffTargetHit
+from repro.grna.pam import PAM_CATALOG, Pam
+from repro.service.server import (
+    budget_from_wire,
+    guide_from_wire,
+    guide_to_wire,
+    hit_from_wire,
+    hit_to_wire,
+)
+
+#: Names are free-form unicode (no surrogate halves; JSON can't carry
+#: them and neither can a real guide table).
+names = st.text(min_size=1, max_size=40).filter(lambda s: s.strip() != "")
+protospacers = st.text(alphabet="ACGT", min_size=10, max_size=30)
+iupac = "ACGTRYSWKMBDHVN"
+
+catalog_pams = st.sampled_from(sorted(PAM_CATALOG))
+custom_pams = st.builds(
+    Pam,
+    name=names,
+    pattern=st.text(alphabet=iupac, min_size=1, max_size=8),
+    side=st.sampled_from(["3prime", "5prime"]),
+    nuclease=st.text(min_size=1, max_size=20),
+)
+guides = st.builds(
+    Guide,
+    name=names,
+    protospacer=protospacers,
+    pam=st.one_of(catalog_pams, custom_pams),
+)
+
+hits = st.builds(
+    OffTargetHit,
+    guide_name=names,
+    sequence_name=names,
+    strand=st.sampled_from(["+", "-"]),
+    start=st.integers(min_value=0, max_value=1 << 40),
+    end=st.integers(min_value=0, max_value=1 << 40),
+    mismatches=st.integers(min_value=0, max_value=10),
+    rna_bulges=st.integers(min_value=0, max_value=4),
+    dna_bulges=st.integers(min_value=0, max_value=4),
+    site=st.text(alphabet="ACGT-", max_size=36),
+)
+
+budgets = st.builds(
+    SearchBudget,
+    mismatches=st.integers(min_value=0, max_value=12),
+    rna_bulges=st.integers(min_value=0, max_value=6),
+    dna_bulges=st.integers(min_value=0, max_value=6),
+)
+
+
+def over_the_wire(payload):
+    """Exactly what the socket does: one ASCII JSON line each way."""
+    line = json.dumps(payload).encode("ascii") + b"\n"
+    return json.loads(line)
+
+
+@given(guides)
+@settings(max_examples=200)
+def test_guide_round_trips_bit_identically(guide):
+    assert guide_from_wire(over_the_wire(guide_to_wire(guide))) == guide
+
+
+@given(guides)
+def test_guide_wire_dict_is_self_contained(guide):
+    payload = guide_to_wire(guide)
+    assert set(payload) == {"name", "protospacer", "pam"}
+    assert set(payload["pam"]) == {"name", "pattern", "side", "nuclease"}
+
+
+@given(names, protospacers, catalog_pams)
+def test_guide_from_wire_accepts_catalog_pam_strings(name, protospacer, pam_name):
+    # The compact client form: "pam" as a catalog name rather than the
+    # full object guide_to_wire emits.
+    payload = {"name": name, "protospacer": protospacer, "pam": pam_name}
+    rebuilt = guide_from_wire(over_the_wire(payload))
+    assert rebuilt == Guide(name, protospacer, pam_name)
+
+
+@given(names, protospacers)
+def test_guide_from_wire_default_pam(name, protospacer):
+    assert guide_from_wire({"name": name, "protospacer": protospacer}) == Guide(
+        name, protospacer
+    )
+
+
+@given(hits)
+@settings(max_examples=200)
+def test_hit_round_trips_bit_identically(hit):
+    assert hit_from_wire(over_the_wire(hit_to_wire(hit))) == hit
+
+
+@given(hits)
+def test_hit_wire_defaults_match_dataclass_defaults(hit):
+    # A minimal payload (bulge counts and site omitted) must decode to
+    # the dataclass defaults — old clients stay readable.
+    payload = hit_to_wire(hit)
+    for optional in ("rna_bulges", "dna_bulges", "site"):
+        payload.pop(optional)
+    rebuilt = hit_from_wire(over_the_wire(payload))
+    assert rebuilt == OffTargetHit(
+        guide_name=hit.guide_name,
+        sequence_name=hit.sequence_name,
+        strand=hit.strand,
+        start=hit.start,
+        end=hit.end,
+        mismatches=hit.mismatches,
+    )
+
+
+@given(budgets)
+@settings(max_examples=200)
+def test_budget_round_trips_bit_identically(budget):
+    payload = {
+        "mismatches": budget.mismatches,
+        "rna_bulges": budget.rna_bulges,
+        "dna_bulges": budget.dna_bulges,
+    }
+    assert budget_from_wire(over_the_wire(payload)) == budget
+
+
+def test_budget_from_wire_defaults():
+    assert budget_from_wire({}) == SearchBudget()
+    assert budget_from_wire({"mismatches": 1}) == SearchBudget(mismatches=1)
