@@ -20,6 +20,7 @@ Quickstart::
 """
 
 from .core.search import OffTargetSearch, SearchBudget, SearchReport
+from .core.bitparallel import BitParallelPanel, DEFAULT_KERNEL, KERNEL_NAMES
 from .core.compiler import compile_guide, compile_library, CompiledGuide, CompiledLibrary
 from .core.parallel import FaultPlan, FaultSpec, ParallelSearch
 from .core.reference import NaiveSearcher
@@ -41,6 +42,9 @@ __all__ = [
     "OffTargetSearch",
     "SearchBudget",
     "SearchReport",
+    "BitParallelPanel",
+    "DEFAULT_KERNEL",
+    "KERNEL_NAMES",
     "compile_guide",
     "compile_library",
     "CompiledGuide",

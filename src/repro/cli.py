@@ -31,6 +31,7 @@ import sys
 from .analysis.speedup import speedup_matrix
 from .analysis.tables import render_table
 from .analysis.workloads import StandardWorkload, evaluate_platforms
+from .core.bitparallel import DEFAULT_KERNEL, KERNEL_NAMES
 from .core.search import OffTargetSearch, SearchBudget
 from .errors import (
     DeadlineExceededError,
@@ -136,6 +137,15 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     search.add_argument(
+        "--kernel",
+        choices=KERNEL_NAMES,
+        default=DEFAULT_KERNEL,
+        help=(
+            "functional matching kernel; every kernel is bit-identical, "
+            "so this only changes throughput"
+        ),
+    )
+    search.add_argument(
         "--shard-timeout",
         type=float,
         default=None,
@@ -216,6 +226,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--chunk-length", type=_positive_int, default=1 << 20, help="genome chunk size"
+    )
+    serve.add_argument(
+        "--kernel",
+        choices=KERNEL_NAMES,
+        default=DEFAULT_KERNEL,
+        help="functional matching kernel each dispatched search runs",
     )
     serve.add_argument(
         "--max-guides-per-pass",
@@ -337,6 +353,7 @@ def _command_search(args: argparse.Namespace) -> int:
         "command": "search",
         "reference": args.reference,
         "engine": args.engine,
+        "kernel": args.kernel,
         "workers": args.workers,
         "num_sequences": len(records),
         "genome_length": total_length,
@@ -355,6 +372,7 @@ def _command_search(args: argparse.Namespace) -> int:
             chunk_length=args.chunk_length,
             shard_timeout=args.shard_timeout,
             max_retries=args.max_retries,
+            kernel=args.kernel,
         )
         hits, per_sequence = executor.search_many_with_stats(
             record.sequence for record in records
@@ -369,7 +387,9 @@ def _command_search(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     elif args.chunked:
-        streaming = StreamingSearch(library, budget, chunk_length=args.chunk_length)
+        streaming = StreamingSearch(
+            library, budget, chunk_length=args.chunk_length, kernel=args.kernel
+        )
         per_sequence = []
         for record in records:
             sequence_hits, sequence_stats = streaming.search_with_stats(
@@ -381,7 +401,7 @@ def _command_search(args: argparse.Namespace) -> int:
         stats_payload["streaming"] = per_sequence
         print(f"# streamed {len(records)} sequence(s), {len(hits)} hits", file=sys.stderr)
     else:
-        search = OffTargetSearch(library, budget)
+        search = OffTargetSearch(library, budget, kernel=args.kernel)
         stats_payload["mode"] = "engine"
         engine_runs = []
         modeled_total = 0.0
@@ -487,6 +507,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         chunk_length=args.chunk_length,
         capacity_spec=capacity_spec,
         max_guides_per_pass=args.max_guides_per_pass,
+        kernel=args.kernel,
     )
     session = service.add_genome(args.session, args.reference)
     server = OffTargetServer(

@@ -1,0 +1,349 @@
+"""Bit-parallel (Shift-And) off-target matching kernel.
+
+This is the dense, hardware-friendly execution form the automata
+literature arrives at when it trades compile time for symbol-rate: the
+mismatch-counting grid of :mod:`repro.core.hamming` collapses into a
+handful of machine-word bitboards, and one numpy pass over packed
+words evaluates 64 genome start positions at once. It replaces the
+byte-wise LUT scan of :mod:`repro.core.matcher` as the default
+functional kernel; the matcher remains selectable (``kernel="matcher"``)
+and is the fallback for bulged budgets, which the bit-plane encoding
+does not cover.
+
+Bit-plane layout
+----------------
+A genome block of ``n`` symbols becomes five *code planes* — one
+bitboard per symbol code (A, C, G, T, N), ``bit p`` set when position
+``p`` carries that code — stored as little-endian ``uint64`` words so
+word ``w`` holds positions ``[64w, 64w + 64)``. The planes are built
+once per block (`numpy.packbits`) and shared by every guide, strand,
+and pattern position of the panel.
+
+For one strand pattern (protospacer + PAM segments, already oriented
+by :func:`repro.core.compiler._segments`), position ``t``'s *match
+board* is the OR of the code planes selected by the symbol's 5-bit
+IUPAC mask (:func:`repro.alphabet.iupac_code_mask` — so a genome ``N``
+matches only a pattern ``N``, exactly as the oracle counts it).
+Shifting the board down by ``t`` bits aligns it with candidate *start*
+positions: after the shift, ``bit s`` answers "does the site starting
+at ``s`` match at pattern offset ``t``?".
+
+Counting uses thermometer bit-planes, one plane per mismatch-budget
+level: ``ge[j]`` has ``bit s`` set when start ``s`` has accumulated at
+least ``j + 1`` mismatches, and one more plane (``exceed``) saturates
+at budget + 1. Folding pattern position ``t``'s mismatch board ``x``
+into the counters is ``k + 1`` word-ops::
+
+    exceed |= ge[k-1] & x
+    ge[j]  |= ge[j-1] & x      # j = k-1 .. 1
+    ge[0]  |= x
+
+Exact (PAM) positions skip the counters and AND into a single ``ok``
+board instead. A start is a hit when ``ok & ~exceed`` — and its exact
+mismatch count is the number of ``ge`` planes with its bit set (the
+thermometer cannot saturate below ``exceed``), so hits carry the same
+counts the oracle reports, for free.
+
+Block boundaries
+----------------
+The kernel is windowed, so blocks compose exactly like the streaming
+path: scan blocks that overlap by ``max_site_length - 1`` symbols (the
+carry — every site straddling a boundary lies wholly inside one block)
+and drop hits whose end falls inside a block's overlapped prefix.
+:class:`~repro.core.streaming.StreamingSearch` and
+:class:`~repro.core.parallel.ParallelSearch` both drive this kernel
+through exactly that rule, so every execution path stays bit-identical
+to the whole-genome scan and to the :class:`~repro.core.reference`
+oracle — the property ``tests/differential.py`` pins across the full
+engine x genome x panel x budget grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Sequence as SequenceType, Tuple
+
+import numpy as np
+
+from .. import alphabet
+from ..errors import EngineError
+from ..genome.sequence import Sequence
+from ..grna.guide import Guide
+from ..grna.hit import OffTargetHit, dedupe_hits
+from . import matcher
+from .compiler import SearchBudget, _segments
+
+#: Selectable functional kernels, in preference order.
+KERNEL_BITPARALLEL = "bitparallel"
+KERNEL_MATCHER = "matcher"
+KERNEL_NAMES: Tuple[str, ...] = (KERNEL_BITPARALLEL, KERNEL_MATCHER)
+
+#: The kernel used when the caller does not pick one.
+DEFAULT_KERNEL = KERNEL_BITPARALLEL
+
+#: A compiled per-panel kernel: genome block in, deduplicated hits out.
+KernelFn = Callable[[Sequence], List[OffTargetHit]]
+
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def validate_kernel(name: str) -> str:
+    """Return *name* if it is a known kernel, else raise :class:`EngineError`."""
+    if name not in KERNEL_NAMES:
+        raise EngineError(
+            f"unknown kernel {name!r}; available kernels: {list(KERNEL_NAMES)}"
+        )
+    return name
+
+
+def make_kernel(
+    name: str, guides: Iterable[Guide], budget: SearchBudget
+) -> KernelFn:
+    """Compile *guides* + *budget* into a reusable block-scan callable.
+
+    The returned callable has the contract of
+    ``matcher.find_hits(block, guides, budget)`` with the panel bound:
+    same hits, positions, strands, mismatch counts, and canonical
+    dedupe order. ``"bitparallel"`` precompiles the panel's pattern
+    masks once so per-block work is pure vector passes; ``"matcher"``
+    returns the byte-wise LUT scan unchanged.
+    """
+    validate_kernel(name)
+    guide_list = list(guides)
+    if name == KERNEL_MATCHER or budget.has_bulges:
+        # The bit-plane encoding counts substitutions only; bulged
+        # budgets route to the banded-DP matcher so every kernel name
+        # answers every budget identically.
+        return lambda genome: matcher.find_hits(genome, guide_list, budget)
+    return BitParallelPanel(guide_list, budget).find_hits
+
+
+def find_hits(
+    genome: Sequence, guides: Iterable[Guide], budget: SearchBudget
+) -> list[OffTargetHit]:
+    """One-shot bit-parallel scan (API parity with ``matcher.find_hits``)."""
+    return make_kernel(KERNEL_BITPARALLEL, guides, budget)(genome)
+
+
+# -- pattern compilation -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _StrandPattern:
+    """One guide strand flattened into per-position IUPAC code masks."""
+
+    guide: Guide
+    strand: str
+    masks: tuple[int, ...]  # 5-bit genome-code mask per pattern position
+    budgeted: tuple[bool, ...]  # does this position spend the mismatch budget?
+
+    @property
+    def total(self) -> int:
+        return len(self.masks)
+
+
+def _compile_strand(guide: Guide, strand: str) -> _StrandPattern:
+    masks: list[int] = []
+    budgeted: list[bool] = []
+    for segment in _segments(guide, reverse=strand == "-"):
+        for symbol in segment.text:
+            masks.append(alphabet.iupac_code_mask(symbol))
+            budgeted.append(segment.budgeted)
+    return _StrandPattern(
+        guide=guide, strand=strand, masks=tuple(masks), budgeted=tuple(budgeted)
+    )
+
+
+# -- bitboard primitives -------------------------------------------------------
+
+
+def _pack_code_planes(codes: np.ndarray) -> np.ndarray:
+    """``(NUM_CODES, nwords)`` little-endian bitboards: bit p == (codes[p] == c)."""
+    n = int(codes.size)
+    nwords = (n + 63) // 64
+    planes = np.zeros((alphabet.NUM_CODES, nwords), dtype=np.uint64)
+    for code in range(alphabet.NUM_CODES):
+        bits = np.packbits(codes == code, bitorder="little")
+        padded = np.zeros(nwords * 8, dtype=np.uint8)
+        padded[: bits.size] = bits
+        planes[code] = padded.view(np.uint64)
+    return planes
+
+
+def _shift_down(words: np.ndarray, t: int) -> np.ndarray:
+    """Logical right-shift of a bitboard by *t* positions (bit s := bit s+t)."""
+    if t == 0:
+        return words
+    whole, rem = divmod(t, 64)
+    out = np.zeros_like(words)
+    keep = words.size - whole
+    if keep <= 0:
+        return out
+    if rem == 0:
+        out[:keep] = words[whole:]
+    else:
+        out[:keep] = words[whole:] >> np.uint64(rem)
+        if keep > 1:
+            out[: keep - 1] |= words[whole + 1 :] << np.uint64(64 - rem)
+    return out
+
+
+def _prefix_mask(nwords: int, count: int) -> np.ndarray:
+    """Bitboard with exactly bits ``[0, count)`` set."""
+    mask = np.zeros(nwords, dtype=np.uint64)
+    whole, rem = divmod(count, 64)
+    mask[:whole] = _ALL_ONES
+    if rem and whole < nwords:
+        mask[whole] = np.uint64((1 << rem) - 1)
+    return mask
+
+
+class _BlockPlanes:
+    """One genome block's code planes plus a match-board cache.
+
+    Every distinct IUPAC mask in the panel resolves to one OR-combined
+    board per block, shared across guides, strands, and positions.
+    """
+
+    def __init__(self, codes: np.ndarray) -> None:
+        self.length = int(codes.size)
+        self.nwords = (self.length + 63) // 64
+        self._planes = _pack_code_planes(codes)
+        self._boards: dict[int, np.ndarray] = {}
+
+    def match_board(self, mask: int) -> np.ndarray:
+        """Bitboard of positions whose code satisfies the 5-bit *mask*."""
+        board = self._boards.get(mask)
+        if board is None:
+            board = np.zeros(self.nwords, dtype=np.uint64)
+            for code in range(alphabet.NUM_CODES):
+                if (mask >> code) & 1:
+                    board |= self._planes[code]
+            self._boards[mask] = board
+        return board
+
+
+# -- the scan ------------------------------------------------------------------
+
+
+def _scan_strand(
+    planes: _BlockPlanes, pattern: _StrandPattern, max_mismatches: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """All (starts, mismatch counts) of *pattern* in the block, sorted."""
+    valid = planes.length - pattern.total + 1
+    empty = np.zeros(0, dtype=np.int64)
+    if valid <= 0:
+        return empty, empty
+    nwords = planes.nwords
+    ok = np.full(nwords, _ALL_ONES, dtype=np.uint64)
+    exceed = np.zeros(nwords, dtype=np.uint64)
+    # ge[j]: starts with >= j + 1 mismatches so far (thermometer planes).
+    ge = [np.zeros(nwords, dtype=np.uint64) for _ in range(max_mismatches)]
+    for t, (mask, budgeted) in enumerate(zip(pattern.masks, pattern.budgeted)):
+        board = _shift_down(planes.match_board(mask), t)
+        if budgeted:
+            miss = ~board
+            if max_mismatches == 0:
+                exceed |= miss
+            else:
+                exceed |= ge[max_mismatches - 1] & miss
+                for j in range(max_mismatches - 1, 0, -1):
+                    ge[j] |= ge[j - 1] & miss
+                ge[0] |= miss
+        else:
+            ok &= board
+    selected = ok & ~exceed & _prefix_mask(nwords, valid)
+    hot_words = np.flatnonzero(selected)
+    if hot_words.size == 0:
+        return empty, empty
+    lanes = np.unpackbits(
+        selected[hot_words].view(np.uint8).reshape(-1, 8), axis=1, bitorder="little"
+    ).astype(bool)
+    starts = (hot_words[:, None] * 64 + np.arange(64, dtype=np.int64)[None, :])[lanes]
+    counts = np.zeros(starts.size, dtype=np.int64)
+    byte_index = starts >> 3
+    bit_shift = (starts & 7).astype(np.uint8)
+    for plane in ge:
+        counts += (plane.view(np.uint8)[byte_index] >> bit_shift) & 1
+    return starts, counts
+
+
+class BitParallelPanel:
+    """A guide panel compiled for the bit-parallel kernel.
+
+    Compile once (pattern masks for every guide x strand), then call
+    :meth:`find_hits` per genome block: the block's code planes and
+    match boards are built once and shared by the whole panel, which is
+    what makes the per-block work a handful of dense vector passes.
+    """
+
+    def __init__(self, guides: Iterable[Guide], budget: SearchBudget) -> None:
+        guide_list = list(guides)
+        if not guide_list:
+            raise EngineError("bit-parallel kernel needs at least one guide")
+        if budget.has_bulges:
+            raise EngineError(
+                "the bit-parallel kernel counts substitutions only; "
+                "use make_kernel(), which routes bulged budgets to the matcher"
+            )
+        self._budget = budget
+        self._patterns: tuple[_StrandPattern, ...] = tuple(
+            _compile_strand(guide, strand)
+            for guide in guide_list
+            for strand in ("+", "-")
+        )
+
+    @property
+    def budget(self) -> SearchBudget:
+        return self._budget
+
+    @property
+    def num_patterns(self) -> int:
+        return len(self._patterns)
+
+    def find_hits(self, genome: Sequence) -> list[OffTargetHit]:
+        """All hits of the panel in *genome*, canonically deduped + sorted."""
+        if len(genome) == 0:
+            return []
+        planes = _BlockPlanes(genome.codes)
+        text = genome.text
+        hits: list[OffTargetHit] = []
+        for pattern in self._patterns:
+            starts, counts = _scan_strand(planes, pattern, self._budget.mismatches)
+            total = pattern.total
+            reverse = pattern.strand == "-"
+            for start, mismatches in zip(starts.tolist(), counts.tolist()):
+                site = text[start : start + total]
+                if reverse:
+                    site = alphabet.reverse_complement(site)
+                hits.append(
+                    OffTargetHit(
+                        guide_name=pattern.guide.name,
+                        sequence_name=genome.name,
+                        strand=pattern.strand,
+                        start=start,
+                        end=start + total,
+                        mismatches=mismatches,
+                        site=site,
+                    )
+                )
+        return dedupe_hits(hits)
+
+
+def count_report_rows(
+    genome: Sequence, guides: SequenceType[Guide], budget: SearchBudget
+) -> int:
+    """Pre-dedup report events (API parity with ``matcher.count_report_rows``)."""
+    if budget.has_bulges:
+        return matcher.count_report_rows(genome, guides, budget)
+    if len(genome) == 0:
+        return 0
+    planes = _BlockPlanes(genome.codes)
+    events = 0
+    for guide in guides:
+        for strand in ("+", "-"):
+            starts, _ = _scan_strand(
+                planes, _compile_strand(guide, strand), budget.mismatches
+            )
+            events += int(starts.size)
+    return events

@@ -18,9 +18,9 @@ Work is sharded along two axes:
 
 Workers receive cheap-to-pickle payloads only: 2-bit packed chunk
 codes (:class:`~repro.genome.sequence.TwoBitSequence` bytes), plain
-guide records, and the :class:`SearchBudget` — never automaton
-objects. Each worker runs the shared vectorised kernel
-(:mod:`repro.core.matcher`) on its shard; the parent merges shard
+guide records, the :class:`SearchBudget`, and the kernel name — never
+automaton objects. Each worker compiles and runs the selected kernel
+(:mod:`repro.core.bitparallel` by default) on its shard; the parent merges shard
 results in shard order and canonically dedupes, so the final hit list
 is **bit-identical** to :class:`StreamingSearch` and to the
 whole-genome kernel regardless of worker count, chunk size, or
@@ -83,7 +83,7 @@ from ..genome.sequence import Sequence, TwoBitSequence
 from ..grna.guide import Guide
 from ..grna.hit import OffTargetHit, dedupe_hits
 from ..obs import Metrics
-from . import matcher
+from . import bitparallel
 from .compiler import SearchBudget
 from .streaming import iter_chunks
 
@@ -178,8 +178,9 @@ class ShardTask:
 
     Every field pickles cheaply: the chunk travels as 2-bit packed
     bytes plus its ``N`` bitmap, guides as small frozen records, the
-    budget as three ints. The worker rebuilds the chunk
-    :class:`Sequence` and runs the vectorised kernel on it.
+    budget as three ints, and the kernel as its registry name (the
+    worker compiles it locally). The worker rebuilds the chunk
+    :class:`Sequence` and runs the selected kernel on it.
     """
 
     shard_id: int
@@ -191,6 +192,7 @@ class ShardTask:
     n_mask: bytes
     guides: tuple[Guide, ...]
     budget: SearchBudget
+    kernel: str = bitparallel.DEFAULT_KERNEL
 
 
 @dataclass(frozen=True)
@@ -216,8 +218,9 @@ def _search_shard(task: ShardTask) -> ShardResult:
     chunk = TwoBitSequence(packed, n_mask, task.chunk_length).unpack(
         name=task.sequence_name
     )
+    scan = bitparallel.make_kernel(task.kernel, task.guides, task.budget)
     hits: list[OffTargetHit] = []
-    for hit in matcher.find_hits(chunk, task.guides, task.budget):
+    for hit in scan(chunk):
         # A hit wholly inside the overlapped prefix was already
         # reported by the previous chunk's shard (streaming.py rule).
         if task.chunk_overlap and hit.end <= task.chunk_overlap:
@@ -374,6 +377,10 @@ class ParallelSearch:
     fault_plan:
         Deterministic fault injection for tests and drills; ``None``
         (default) injects nothing.
+    kernel:
+        Functional kernel each worker runs on its shard (see
+        :data:`repro.core.bitparallel.KERNEL_NAMES`); every kernel is
+        bit-identical, so this only changes throughput.
     """
 
     def __init__(
@@ -388,6 +395,7 @@ class ParallelSearch:
         max_retries: int = 2,
         backoff_seconds: float = 0.05,
         fault_plan: FaultPlan | None = None,
+        kernel: str = bitparallel.DEFAULT_KERNEL,
     ) -> None:
         guide_list = list(guides)
         if not guide_list:
@@ -427,6 +435,7 @@ class ParallelSearch:
         if fault_plan is not None and not isinstance(fault_plan, FaultPlan):
             raise EngineError(f"fault_plan must be a FaultPlan, got {fault_plan!r}")
         self._fault_plan = fault_plan
+        self._kernel = bitparallel.validate_kernel(kernel)
 
     # -- introspection -----------------------------------------------------
 
@@ -449,6 +458,10 @@ class ParallelSearch:
     @property
     def max_retries(self) -> int:
         return self._max_retries
+
+    @property
+    def kernel(self) -> str:
+        return self._kernel
 
     @property
     def guide_batches(self) -> list[tuple[Guide, ...]]:
@@ -483,6 +496,7 @@ class ParallelSearch:
                         n_mask=n_mask,
                         guides=batch,
                         budget=self._budget,
+                        kernel=self._kernel,
                     )
                 )
         return tasks
@@ -827,6 +841,7 @@ class ParallelSearch:
                 failure_totals[kind] = failure_totals.get(kind, 0) + 1
         stats = {
             "workers": self._workers,
+            "kernel": self._kernel,
             "pooled": run["pooled"],
             "serial_fallback": run["serial_fallback"],
             "num_shards": len(tasks),

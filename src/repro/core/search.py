@@ -27,6 +27,7 @@ from ..genome.sequence import Sequence
 from ..grna.guide import Guide
 from ..grna.hit import OffTargetHit
 from ..grna.library import GuideLibrary
+from .bitparallel import DEFAULT_KERNEL, validate_kernel
 from .compiler import CompiledLibrary, SearchBudget, compile_library
 
 if TYPE_CHECKING:  # imported lazily at runtime to keep startup light
@@ -89,6 +90,12 @@ class OffTargetSearch:
     injects deterministic faults for tests and drills). Baselines
     model competing tools' own algorithms and always run serially.
 
+    ``kernel`` picks the functional matcher for both paths
+    (:data:`repro.core.bitparallel.KERNEL_NAMES`): ``"bitparallel"``
+    (default) is the numpy Shift-And engine, ``"matcher"`` the
+    byte-wise LUT scan. Every kernel is pinned bit-identical by the
+    differential suite, so the choice only affects throughput.
+
     Every :meth:`run` report carries the pipeline's observability
     snapshot under ``stats["pipeline"]`` (compile/search/sort spans)
     next to the engine's own ``stats["obs"]``.
@@ -105,6 +112,7 @@ class OffTargetSearch:
         max_retries: int = 2,
         backoff_seconds: float = 0.05,
         fault_plan: FaultPlan | None = None,
+        kernel: str = DEFAULT_KERNEL,
     ) -> None:
         if not isinstance(guides, GuideLibrary):
             guides = GuideLibrary.from_guides(list(guides))
@@ -118,10 +126,15 @@ class OffTargetSearch:
         self._max_retries = max_retries
         self._backoff_seconds = backoff_seconds
         self._fault_plan = fault_plan
+        self._kernel = validate_kernel(kernel)
 
     @property
     def library(self) -> GuideLibrary:
         return self._library
+
+    @property
+    def kernel(self) -> str:
+        return self._kernel
 
     @property
     def budget(self) -> SearchBudget:
@@ -150,6 +163,7 @@ class OffTargetSearch:
             max_retries=self._max_retries,
             backoff_seconds=self._backoff_seconds,
             fault_plan=self._fault_plan,
+            kernel=self._kernel,
         )
 
     def run(
@@ -247,7 +261,7 @@ def _resolve(
             return run_engine
 
         def run_engine(sequence: Sequence, search: OffTargetSearch) -> "EngineResult":
-            return engine.search(sequence, search.compiled)
+            return engine.search(sequence, search.compiled, kernel=search.kernel)
 
         return run_engine
     if name in available_baselines():

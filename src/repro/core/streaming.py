@@ -24,7 +24,7 @@ from ..errors import EngineError
 from ..genome.sequence import Sequence
 from ..grna.guide import Guide
 from ..grna.hit import OffTargetHit, dedupe_hits
-from . import matcher
+from . import bitparallel
 from .compiler import SearchBudget
 
 
@@ -108,12 +108,15 @@ class StreamingSearch:
         budget: SearchBudget,
         *,
         chunk_length: int = 1 << 20,
+        kernel: str = bitparallel.DEFAULT_KERNEL,
     ) -> None:
         guide_list = list(guides)
         if not guide_list:
             raise EngineError("streaming search needs at least one guide")
         self._guides = guide_list
         self._budget = budget
+        self._kernel_name = bitparallel.validate_kernel(kernel)
+        self._kernel = bitparallel.make_kernel(kernel, guide_list, budget)
         max_site = max(g.site_length for g in guide_list) + budget.dna_bulges
         self._overlap = max_site - 1
         if chunk_length <= self._overlap:
@@ -125,6 +128,10 @@ class StreamingSearch:
     @property
     def overlap(self) -> int:
         return self._overlap
+
+    @property
+    def kernel(self) -> str:
+        return self._kernel_name
 
     @property
     def chunk_length(self) -> int:
@@ -171,6 +178,7 @@ class StreamingSearch:
         wall = time.perf_counter() - started
         positions = int(metrics.counter("streaming.kernel_positions"))
         stats = {
+            "kernel": self._kernel_name,
             "chunk_length": self._chunk_length,
             "overlap": self._overlap,
             "num_chunks": len(chunk_rows),
@@ -194,7 +202,7 @@ class StreamingSearch:
 
     def _chunk_hits(self, chunk: Chunk, genome_name: str) -> Iterator[OffTargetHit]:
         """One chunk's hits in absolute coordinates, boundary-deduped."""
-        for hit in matcher.find_hits(chunk.sequence, self._guides, self._budget):
+        for hit in self._kernel(chunk.sequence):
             # A hit wholly inside the overlapped prefix was already
             # reported by the previous chunk.
             if chunk.overlap and hit.end <= chunk.overlap:

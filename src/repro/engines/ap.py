@@ -58,10 +58,10 @@ class ApEngine(Engine):
         """
         require_capacity(compiled, self._spec)
 
-    def search(self, genome, compiled: CompiledLibrary, *, metrics=None):
+    def search(self, genome, compiled: CompiledLibrary, *, metrics=None, **kwargs):
         """Functional search with a capacity pre-check."""
         self.validate_capacity(compiled)
-        return super().search(genome, compiled, metrics=metrics)
+        return super().search(genome, compiled, metrics=metrics, **kwargs)
 
     def platform_stats(self, profile: WorkloadProfile, compiled: CompiledLibrary) -> dict[str, Any]:
         breakdown = self.model_time(profile)

@@ -5,7 +5,8 @@ automata network accept?* — but models a different execution substrate.
 An engine therefore exposes two paths:
 
 * :meth:`Engine.search` — the scalable functional path. Hit enumeration
-  uses the shared vectorised kernel (:mod:`repro.core.matcher`), which
+  uses a shared vectorised kernel (:mod:`repro.core.bitparallel` by
+  default, the LUT scan of :mod:`repro.core.matcher` on request), which
   property tests pin to the automata semantics; the engine contributes
   its platform's :class:`~repro.platforms.timing.TimingBreakdown` and
   micro-architectural statistics.
@@ -28,7 +29,7 @@ from typing import Any, Hashable
 
 import numpy as np
 
-from ..core import matcher
+from ..core import bitparallel
 from ..core.compiler import CompiledLibrary
 from ..errors import EngineError
 from ..genome.sequence import Sequence
@@ -80,6 +81,7 @@ class Engine(abc.ABC):
         compiled: CompiledLibrary,
         *,
         metrics: Metrics | None = None,
+        kernel: str = bitparallel.DEFAULT_KERNEL,
     ) -> EngineResult:
         """Functional search plus this platform's modeled timing.
 
@@ -87,12 +89,15 @@ class Engine(abc.ABC):
         caller-owned collector; otherwise the engine keeps its own. The
         result's ``stats["obs"]`` always carries the run's snapshot —
         kernel span, positions scanned, report events and their rate —
-        alongside the platform statistics.
+        alongside the platform statistics. *kernel* selects the
+        functional matcher (every kernel is bit-identical; see
+        :data:`repro.core.bitparallel.KERNEL_NAMES`).
         """
         metrics = metrics if metrics is not None else Metrics()
+        scan = bitparallel.make_kernel(kernel, compiled.library, compiled.budget)
         started = time.perf_counter()
-        with metrics.span("kernel", engine=self.name, genome=genome.name):
-            hits = matcher.find_hits(genome, compiled.library, compiled.budget)
+        with metrics.span("kernel", engine=self.name, genome=genome.name, kernel=kernel):
+            hits = scan(genome)
         measured = time.perf_counter() - started
         metrics.incr("kernel.positions_scanned", len(genome))
         metrics.incr("report.events", len(hits))

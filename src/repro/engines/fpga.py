@@ -52,10 +52,10 @@ class FpgaEngine(Engine):
         """
         require_capacity(compiled, self._spec)
 
-    def search(self, genome, compiled: CompiledLibrary, *, metrics=None):
+    def search(self, genome, compiled: CompiledLibrary, *, metrics=None, **kwargs):
         """Functional search with a capacity pre-check."""
         self.validate_capacity(compiled)
-        return super().search(genome, compiled, metrics=metrics)
+        return super().search(genome, compiled, metrics=metrics, **kwargs)
 
     def platform_stats(self, profile: WorkloadProfile, compiled: CompiledLibrary) -> dict[str, Any]:
         luts = fpga_luts_for(profile.total_stes, self._spec)

@@ -30,6 +30,7 @@ from concurrent.futures import Future
 from pathlib import Path
 from typing import Any, Iterable, Union
 
+from ..core.bitparallel import DEFAULT_KERNEL
 from ..core.compiler import SearchBudget
 from ..errors import ServiceError
 from ..genome.sequence import Sequence
@@ -62,6 +63,7 @@ class OffTargetService:
         capacity_spec: Union[ApSpec, FpgaSpec, None] = None,
         max_guides_per_pass: int | None = None,
         background: bool = True,
+        kernel: str = DEFAULT_KERNEL,
     ) -> None:
         self._metrics = Metrics()
         self._sessions = SessionRegistry(metrics=self._metrics)
@@ -76,6 +78,7 @@ class OffTargetService:
             capacity_spec=capacity_spec,
             max_guides_per_pass=max_guides_per_pass,
             metrics=self._metrics,
+            kernel=kernel,
         )
         self._background = background
         self._closed = False

@@ -47,6 +47,7 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field, replace
 from typing import Any, Iterable, Sequence as SequenceType, Union
 
+from ..core.bitparallel import DEFAULT_KERNEL, validate_kernel
 from ..core.compiler import CompiledGuide, CompiledLibrary, SearchBudget
 from ..core.parallel import ParallelSearch
 from ..errors import (
@@ -186,6 +187,7 @@ class RequestScheduler:
         capacity_spec: Union[ApSpec, FpgaSpec, None] = None,
         max_guides_per_pass: int | None = None,
         metrics: Metrics | None = None,
+        kernel: str = DEFAULT_KERNEL,
     ) -> None:
         if batch_window_seconds < 0:
             raise ServiceError(
@@ -211,6 +213,7 @@ class RequestScheduler:
         self._chunk_length = chunk_length
         self._capacity_spec = capacity_spec
         self._max_guides_per_pass = max_guides_per_pass
+        self._kernel = validate_kernel(kernel)
         self._metrics = metrics if metrics is not None else Metrics()
         self._cond = threading.Condition()
         self._pending: list[_Pending] = []
@@ -223,6 +226,10 @@ class RequestScheduler:
     @property
     def metrics(self) -> Metrics:
         return self._metrics
+
+    @property
+    def kernel(self) -> str:
+        return self._kernel
 
     @property
     def queue_depth(self) -> int:
@@ -363,6 +370,7 @@ class RequestScheduler:
                 budget,
                 workers=self._workers,
                 chunk_length=self._chunk_length,
+                kernel=self._kernel,
             )
             self._metrics.incr("service.genome_passes")
             self._metrics.incr("service.pass_guides", len(pass_guides))

@@ -1,0 +1,278 @@
+"""Cross-engine differential harness.
+
+One place for the oracle-comparison logic the suite used to duplicate
+across ``test_parallel.py``, ``test_faults.py``, and ``test_chaos.py``:
+every functional execution path — kernels, the chunked stream, the
+sharded pool, the public search API — must produce **bit-identical**
+results (same hits, positions, strands, mismatch counts, canonical
+dedupe order) to the :class:`~repro.core.reference.NaiveSearcher`
+ground truth.
+
+The harness has three layers:
+
+* ``run_engine(name, case)`` — execute one named engine on a
+  :class:`DifferentialCase`; every engine returns a canonically sorted
+  hit list, so exact ``==`` comparison checks order too.
+* ``assert_engines_agree(case, engines=...)`` — run several engines on
+  one case and assert bit-identity (exact list equality *and* the
+  span multiset, so ordering bugs and boundary double-reports are
+  both caught).
+* ``differential_grid(...)`` / ``adversarial_chunk_length(...)`` —
+  build the engine x genome x panel x budget sweep, including the
+  adversarial chunk lengths (barely above the overlap, prime-sized,
+  longer than the genome) that stress the block-boundary carry.
+"""
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence as SequenceType
+
+from repro import (
+    NaiveSearcher,
+    OffTargetSearch,
+    ParallelSearch,
+    SearchBudget,
+    StreamingSearch,
+    random_genome,
+    sample_guides_from_genome,
+)
+from repro.core import bitparallel, matcher
+from repro.genome.sequence import Sequence
+from repro.grna.guide import Guide
+from repro.grna.hit import OffTargetHit
+
+from helpers import hit_multiset
+
+#: Whole-genome kernels (no chunking involved).
+KERNEL_ENGINES = ("naive", "matcher", "bitparallel")
+#: Chunked/sharded/public paths (exercise the block-boundary carry).
+CHUNKED_ENGINES = ("streaming", "streaming-matcher", "parallel", "search-api")
+#: Every engine the harness can run.
+ALL_ENGINES = KERNEL_ENGINES + CHUNKED_ENGINES
+
+#: The ground truth everything else is pinned to.
+ORACLE = "naive"
+
+
+@dataclass(frozen=True)
+class DifferentialCase:
+    """One (genome, panel, budget) point of the differential grid."""
+
+    genome: Sequence
+    guides: tuple[Guide, ...]
+    budget: SearchBudget
+    chunk_length: Optional[int] = None  # None -> a default safely above overlap
+    workers: int = 1
+    label: str = ""
+
+    @property
+    def overlap(self) -> int:
+        """The streaming/sharding overlap this case's panel derives."""
+        return (
+            max(g.site_length for g in self.guides)
+            + self.budget.dna_bulges
+            - 1
+        )
+
+    def resolved_chunk_length(self) -> int:
+        if self.chunk_length is not None:
+            return max(self.chunk_length, self.overlap + 1)
+        return max(self.overlap + 1, 256)
+
+    def describe(self) -> str:
+        return (
+            f"{self.label or self.genome.name}: {len(self.genome)} bp, "
+            f"{len(self.guides)} guide(s), mm={self.budget.mismatches}, "
+            f"chunk={self.resolved_chunk_length()}"
+        )
+
+
+def next_prime_above(n):
+    """Smallest prime >= max(n, 2) — for never-divides chunk lengths."""
+    candidate = max(n, 2)
+    while any(candidate % p == 0 for p in range(2, int(candidate**0.5) + 1)):
+        candidate += 1
+    return candidate
+
+
+def adversarial_chunk_length(overlap, total, choice):
+    """Adversarial chunk lengths, scaled to the derived overlap.
+
+    ``choice`` indexes a stable menu: the minimum legal chunk, one
+    symbol of new content per chunk, a prime that never divides the
+    genome, a chunk longer than the whole genome, and a fixed
+    mid-sized prime.
+    """
+    options = [
+        overlap + 1,
+        overlap + 2,
+        next_prime_above(overlap + 3),
+        max(total, overlap + 1) + 7,
+        61,
+    ]
+    length = options[choice % len(options)]
+    return max(length, overlap + 1)
+
+
+#: How many distinct adversarial chunk choices exist (for sweeps).
+NUM_CHUNK_CHOICES = 5
+
+
+def run_engine(name: str, case: DifferentialCase) -> list[OffTargetHit]:
+    """Execute one named engine on *case*; canonically sorted hits."""
+    genome, guides, budget = case.genome, list(case.guides), case.budget
+    chunk = case.resolved_chunk_length()
+    if name == "naive":
+        return NaiveSearcher(budget).search(genome, guides)
+    if name == "matcher":
+        return matcher.find_hits(genome, guides, budget)
+    if name == "bitparallel":
+        return bitparallel.find_hits(genome, guides, budget)
+    if name == "streaming":
+        return StreamingSearch(guides, budget, chunk_length=chunk).search(genome)
+    if name == "streaming-matcher":
+        return StreamingSearch(
+            guides, budget, chunk_length=chunk, kernel="matcher"
+        ).search(genome)
+    if name == "parallel":
+        return ParallelSearch(
+            guides,
+            budget,
+            workers=case.workers,
+            chunk_length=chunk,
+            backoff_seconds=0.0,
+        ).search(genome)
+    if name == "search-api":
+        search = OffTargetSearch(guides, budget)
+        if len(genome) == 0:
+            return []
+        return list(search.run(genome).hits)
+    raise ValueError(f"unknown differential engine {name!r}; know {ALL_ENGINES}")
+
+
+def assert_engines_agree(
+    case: DifferentialCase,
+    engines: SequenceType[str] = ALL_ENGINES,
+    *,
+    oracle: str = ORACLE,
+) -> list[OffTargetHit]:
+    """Run *engines* on *case*; assert each is bit-identical to *oracle*.
+
+    Bit-identical means the exact same canonically-ordered hit list —
+    positions, strands, mismatch counts, and dedupe order — plus the
+    span multiset (which catches a path that double-reports a boundary
+    site even if sorting would hide it). Returns the oracle hits so
+    callers can make additional assertions.
+    """
+    expected = run_engine(oracle, case)
+    expected_multiset = hit_multiset(expected)
+    for name in engines:
+        if name == oracle:
+            continue
+        actual = run_engine(name, case)
+        assert hit_multiset(actual) == expected_multiset, (
+            f"{name} != {oracle} (span multiset) on {case.describe()}"
+        )
+        assert actual == expected, (
+            f"{name} != {oracle} (ordered hit list) on {case.describe()}"
+        )
+    return expected
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """Parametrizes :func:`differential_grid`."""
+
+    genome_lengths: tuple[int, ...] = (0, 90, 700, 2000)
+    panel_sizes: tuple[int, ...] = (1, 3)
+    mismatch_budgets: tuple[int, ...] = (0, 1, 2, 3)
+    chunk_choices: tuple[int, ...] = (0, 2, 3)
+    seed: int = 1729
+    n_run_every: int = 3  # every n-th genome gets an N-run splice
+
+
+def differential_grid(spec: GridSpec = GridSpec()) -> Iterator[DifferentialCase]:
+    """Yield the engine-agnostic genome x panel x budget x chunk grid.
+
+    Deterministic for a fixed spec (cases derive from ``spec.seed``);
+    each case carries a label that names its grid coordinates, so a
+    failure message pinpoints the configuration to replay.
+    """
+    case_index = 0
+    for g_index, length in enumerate(spec.genome_lengths):
+        genome = random_genome(
+            max(length, 1), seed=spec.seed + g_index, name=f"chrGrid{g_index}"
+        )
+        if length == 0:
+            genome = Sequence.from_text(f"chrGrid{g_index}", "")
+        elif spec.n_run_every and g_index % spec.n_run_every == 1 and length > 60:
+            # Splice an N-run mid-genome: ambiguity codes must stream
+            # through every engine identically.
+            text = genome.text
+            mid = length // 2
+            genome = Sequence.from_text(
+                genome.name, text[:mid] + "N" * 9 + text[mid + 9 :]
+            )
+        # Short genomes cannot donate a whole panel of distinct guides;
+        # sample those panels from a fixed donor instead (the guides
+        # still scan the short genome, which is the point of the case).
+        donor = genome if length >= 500 else random_genome(600, seed=spec.seed)
+        for panel_size in spec.panel_sizes:
+            guides = tuple(
+                sample_guides_from_genome(
+                    donor, panel_size, seed=spec.seed + 31 * case_index
+                )
+            )
+            for mismatches in spec.mismatch_budgets:
+                budget = SearchBudget(mismatches=mismatches)
+                overlap = (
+                    max(g.site_length for g in guides) + budget.dna_bulges - 1
+                )
+                for choice in spec.chunk_choices:
+                    yield DifferentialCase(
+                        genome=genome,
+                        guides=guides,
+                        budget=budget,
+                        chunk_length=adversarial_chunk_length(
+                            overlap, len(genome), choice
+                        ),
+                        label=(
+                            f"grid[g={g_index},p={panel_size},"
+                            f"mm={mismatches},c={choice}]"
+                        ),
+                    )
+                case_index += 1
+
+
+def case_from_seed(
+    seed: int,
+    *,
+    genome_length: int = 3000,
+    panel_size: int = 2,
+    mismatches: int = 1,
+    chunk_length: Optional[int] = None,
+    workers: int = 1,
+    name: str = "chrSeed",
+) -> DifferentialCase:
+    """One reproducible random case — the shape the ported suites use."""
+    genome = random_genome(genome_length, seed=seed, name=name)
+    guides = tuple(sample_guides_from_genome(genome, panel_size, seed=seed + 1))
+    return DifferentialCase(
+        genome=genome,
+        guides=guides,
+        budget=SearchBudget(mismatches=mismatches),
+        chunk_length=chunk_length,
+        workers=workers,
+        label=f"seed={seed}",
+    )
+
+
+def oracle_hits(case: DifferentialCase) -> list[OffTargetHit]:
+    """Ground-truth hits for *case* (convenience wrapper)."""
+    return run_engine(ORACLE, case)
+
+
+def duplicate_keys(hits) -> list:
+    """Hit keys appearing more than once (should always be empty)."""
+    counts = Counter(h.key for h in hits)
+    return [key for key, count in counts.items() if count > 1]

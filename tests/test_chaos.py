@@ -54,6 +54,7 @@ from repro.service.chaos import (
     SERVER_ACTIONS,
 )
 
+from differential import DifferentialCase, assert_engines_agree
 from test_service_socket import (
     REPO,
     SRC,
@@ -63,26 +64,41 @@ from test_service_socket import (
 
 CLIENT_TIMEOUT = 20  # every socket op in this file is bounded
 
+# The workload every chaotic request replays, as a differential case so
+# the harness can pin the solo-search reference to the naive oracle.
+_GENOME = random_genome(3000, seed=41, name="chrChaos")
+CASE = DifferentialCase(
+    genome=_GENOME,
+    guides=tuple(sample_guides_from_genome(_GENOME, 3, seed=43)),
+    budget=SearchBudget(mismatches=2),
+    label="chaos-workload",
+)
+
 
 @pytest.fixture(scope="module")
 def genome():
-    return random_genome(3000, seed=41, name="chrChaos")
+    return CASE.genome
 
 
 @pytest.fixture(scope="module")
-def guides(genome):
-    return tuple(sample_guides_from_genome(genome, 3, seed=43))
+def guides():
+    return CASE.guides
 
 
 @pytest.fixture(scope="module")
 def budget():
-    return SearchBudget(mismatches=2)
+    return CASE.budget
 
 
 @pytest.fixture(scope="module")
-def oracle(genome, guides, budget):
-    """Solo-search hits, the bit-identical reference for every seed."""
-    return OffTargetSearch(guides, budget).run(genome).hits
+def oracle():
+    """Solo-search hits, the bit-identical reference for every seed.
+
+    ``assert_engines_agree`` first pins the solo search (and every
+    other engine) to the naive oracle, so a chaotic response checked
+    against this list is transitively checked against ground truth.
+    """
+    return tuple(assert_engines_agree(CASE))
 
 
 def make_server(genome, *, chaos=None, **kwargs):

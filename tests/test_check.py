@@ -7,6 +7,7 @@ pipeline produces must verify clean (no false positives).
 """
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -432,6 +433,16 @@ class TestLintRules:
         # self is exempt, annotations satisfy it
         typed = "class C:\n    def f(self, x: int) -> int:\n        return x\n"
         assert lint_source(typed, "src/repro/core/x.py").ok
+
+    def test_bitparallel_kernel_is_in_strict_scope(self):
+        # The bit-parallel kernel must stay under the L005/mypy-strict
+        # gate (the `core` package), like every other kernel module.
+        source = "def f(x):\n    return x\n"
+        report = lint_source(source, "src/repro/core/bitparallel.py")
+        assert "L005" in {d.rule for d in report.errors}
+        # And the real module passes the gate as shipped.
+        real = Path("src/repro/core/bitparallel.py").read_text()
+        assert lint_source(real, "src/repro/core/bitparallel.py").ok
 
     def test_lint_paths_walks_directories(self, tmp_path):
         package = tmp_path / "engines"

@@ -12,14 +12,7 @@ flake hunt.
 
 import pytest
 
-from repro import (
-    FaultPlan,
-    NaiveSearcher,
-    ParallelSearch,
-    SearchBudget,
-    random_genome,
-    sample_guides_from_genome,
-)
+from repro import FaultPlan, ParallelSearch, SearchBudget
 from repro.core.parallel import (
     FaultSpec,
     ShardResult,
@@ -29,37 +22,52 @@ from repro.core.parallel import (
 from repro.errors import EngineError
 from repro.grna.hit import OffTargetHit
 
+from differential import assert_engines_agree, case_from_seed, oracle_hits
 from helpers import hit_multiset
 
 CHUNK = 700  # 3000 bp genome -> 4+ chunks -> ~8 shards with 2 guide batches
 
+# One reproducible differential case shared by the whole module; the
+# harness derives the genome (seed 91), the 2-guide panel (seed 92),
+# and the mm=1 budget the suite always used.
+CASE = case_from_seed(91, chunk_length=CHUNK, name="chrFault")
+
 
 @pytest.fixture(scope="module")
 def genome():
-    return random_genome(3000, seed=91, name="chrFault")
+    return CASE.genome
 
 
 @pytest.fixture(scope="module")
-def guides(genome):
-    return sample_guides_from_genome(genome, 2, seed=92)
+def guides():
+    return list(CASE.guides)
 
 
 @pytest.fixture(scope="module")
 def budget():
-    return SearchBudget(mismatches=1)
+    return CASE.budget
 
 
 @pytest.fixture(scope="module")
-def oracle(genome, guides, budget):
-    return NaiveSearcher(budget).search(genome, guides)
+def oracle():
+    return oracle_hits(CASE)
 
 
 @pytest.fixture(scope="module")
-def clean(genome, guides, budget):
-    """The fault-free sharded result every faulted run must reproduce."""
+def clean():
+    """The fault-free sharded result every faulted run must reproduce.
+
+    ``assert_engines_agree`` pins the clean run (and every other
+    engine) to the oracle before the fault tests start from it.
+    """
+    assert_engines_agree(CASE)
     return ParallelSearch(
-        guides, budget, workers=1, chunk_length=CHUNK, backoff_seconds=0.0
-    ).search(genome)
+        list(CASE.guides),
+        CASE.budget,
+        workers=1,
+        chunk_length=CHUNK,
+        backoff_seconds=0.0,
+    ).search(CASE.genome)
 
 
 def run(genome, guides, budget, **kwargs):

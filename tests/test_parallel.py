@@ -37,30 +37,15 @@ from repro.errors import EngineError
 from repro.genome.sequence import Sequence
 from repro.grna.guide import Guide
 
+from differential import (
+    DifferentialCase,
+    adversarial_chunk_length as _chunk_length_for,
+    assert_engines_agree,
+)
 from helpers import assert_equivalent_hits, hit_multiset, hit_spans
 
 protospacer = st.text(alphabet="ACGT", min_size=10, max_size=14)
 genome_text = st.text(alphabet="ACGTN", min_size=0, max_size=260)
-
-
-def _chunk_length_for(overlap, total, choice):
-    """Adversarial chunk lengths, scaled to the derived overlap."""
-    options = [
-        overlap + 1,                  # minimum legal chunk
-        overlap + 2,                  # one symbol of new content per chunk
-        next_prime_above(overlap + 3),  # prime-sized, never divides total
-        max(total, overlap + 1) + 7,  # longer than the whole genome
-        61,                           # fixed prime, mid-sized
-    ]
-    length = options[choice % len(options)]
-    return max(length, overlap + 1)
-
-
-def next_prime_above(n):
-    candidate = max(n, 2)
-    while any(candidate % p == 0 for p in range(2, int(candidate**0.5) + 1)):
-        candidate += 1
-    return candidate
 
 
 # -- the differential property suite ------------------------------------------
@@ -78,18 +63,19 @@ def test_parallel_equals_streaming_equals_oracle(
     text, protos, mismatches, workers, chunk_choice
 ):
     genome = Sequence.from_text("chr", text)
-    guides = [Guide(f"g{i}", proto) for i, proto in enumerate(protos)]
+    guides = tuple(Guide(f"g{i}", proto) for i, proto in enumerate(protos))
     budget = SearchBudget(mismatches=mismatches)
     overlap = max(g.site_length for g in guides) + budget.dna_bulges - 1
-    chunk_length = _chunk_length_for(overlap, len(genome), chunk_choice)
-
-    oracle = NaiveSearcher(budget).search(genome, guides)
-    streamed = StreamingSearch(guides, budget, chunk_length=chunk_length).search(genome)
-    sharded = ParallelSearch(
-        guides, budget, workers=workers, chunk_length=chunk_length
-    ).search(genome)
-
-    assert_equivalent_hits(oracle, streamed, sharded)
+    case = DifferentialCase(
+        genome=genome,
+        guides=guides,
+        budget=budget,
+        chunk_length=_chunk_length_for(overlap, len(genome), chunk_choice),
+        workers=workers,
+    )
+    assert_engines_agree(
+        case, engines=("streaming", "streaming-matcher", "bitparallel", "parallel")
+    )
 
 
 @settings(max_examples=8, deadline=None)
@@ -208,15 +194,18 @@ def test_pool_sized_to_shards_when_workers_exceed_them(seed, workers):
 class TestBoundaryStraddle:
     CHUNK = 200
 
-    def _run(self, text, guide, workers=2, **kwargs):
-        genome = Sequence.from_text("chrB", text)
-        budget = SearchBudget(mismatches=0)
-        sharded = ParallelSearch(
-            [guide], budget, workers=workers, chunk_length=self.CHUNK, **kwargs
-        ).search(genome)
-        oracle = NaiveSearcher(budget).search(genome, [guide])
-        assert hit_multiset(sharded) == hit_multiset(oracle)
-        return sharded
+    def _run(self, text, guide, workers=2):
+        case = DifferentialCase(
+            genome=Sequence.from_text("chrB", text),
+            guides=(guide,),
+            budget=SearchBudget(mismatches=0),
+            chunk_length=self.CHUNK,
+            workers=workers,
+            label="boundary-straddle",
+        )
+        # The straddle genomes are crafted to stress the chunked paths,
+        # so sweep the kernels too while we are here.
+        return assert_engines_agree(case)
 
     def _genome_with_target_at(self, guide, position, total=600):
         target = guide.concrete_target()
