@@ -20,6 +20,7 @@ from .automata import (
     check_homogeneous,
     check_nfa,
     check_strided,
+    kernel_plane_diagnostics,
     require_capacity,
 )
 from .lint import lint_paths, lint_source
@@ -36,6 +37,7 @@ __all__ = [
     "check_homogeneous",
     "check_nfa",
     "check_strided",
+    "kernel_plane_diagnostics",
     "require_capacity",
     "check_guide_cache",
     "check_server",

@@ -50,6 +50,15 @@ CAP002   W        the library needs multiple configuration passes —
 CAP003   I        per-guide placement breakdown (STEs/LUTs needed vs
                   remaining in the current pass).
 CAP004   I        device utilisation of the full library.
+CAP005   I        bit-parallel kernel state-plane pricing: every
+                  (rna, dna) diagonal band of a bulged budget costs a
+                  full set of mismatch planes per strand pattern, so a
+                  bulged panel's working set scales with
+                  bands x (mismatches + 1) x 2 x guides.
+CAP006   W        a single pattern's plane count exceeds the pricing
+                  threshold: per-block kernel state no longer fits the
+                  fast cache tier, so the budget shape — not the
+                  genome — dominates scan cost.
 ======== ======== ======================================================
 
 Reachability here is structural (wires), not symbolic: an STE whose
@@ -583,6 +592,70 @@ def require_capacity(compiled: CompiledLibrary, spec: ApSpec | FpgaSpec) -> None
     raise CapacityError("\n".join(lines))
 
 
+#: Planes per strand pattern above which CAP006 warns: 64 uint64 rows
+#: per genome word is the point where one pattern's banded state stops
+#: fitting alongside the code planes in a typical L2 slice and the
+#: kernel's per-block cost becomes budget-shaped instead of flat.
+KERNEL_PLANE_WARN_THRESHOLD = 64
+
+
+def kernel_plane_diagnostics(compiled: CompiledLibrary) -> CheckReport:
+    """Price the bit-parallel kernel's state planes for *compiled*.
+
+    The banded kernel keeps one uint64 bit-plane per
+    ``(rna, dna, mismatch)`` state row and strand pattern: a bulged
+    budget of ``r`` RNA and ``d`` DNA bulges spans ``(r+1) x (d+1)``
+    diagonal bands, each carrying its own ``mismatches + 1`` planes —
+    so every extra band a budget asks for is a whole extra plane set,
+    per guide, per strand. Mismatch-only budgets price as the
+    thermometer set (``mismatches`` counting planes plus the exceed
+    and exact boards). CAP005 reports the breakdown; CAP006 warns when
+    one pattern's plane count crosses
+    :data:`KERNEL_PLANE_WARN_THRESHOLD`.
+    """
+    report = CheckReport()
+    budget = compiled.budget
+    bands = (budget.rna_bulges + 1) * (budget.dna_bulges + 1)
+    if budget.has_bulges:
+        planes_per_pattern = bands * (budget.mismatches + 1)
+        shape = (
+            f"{bands} diagonal band(s) "
+            f"[rna={budget.rna_bulges}, dna={budget.dna_bulges}] "
+            f"x {budget.mismatches + 1} mismatch plane(s)"
+        )
+    else:
+        planes_per_pattern = budget.mismatches + 2
+        shape = (
+            f"{budget.mismatches} thermometer plane(s) + exceed + exact boards"
+        )
+    patterns = 2 * len(compiled)
+    report.add(
+        Diagnostic(
+            Severity.INFO,
+            "CAP005",
+            f"bit-parallel kernel: {planes_per_pattern} state plane(s) per "
+            f"strand pattern ({shape}); {patterns} pattern(s) -> "
+            f"{planes_per_pattern * patterns} plane-rows per genome word",
+            subject="kernel",
+        )
+    )
+    if planes_per_pattern > KERNEL_PLANE_WARN_THRESHOLD:
+        report.add(
+            Diagnostic(
+                Severity.WARNING,
+                "CAP006",
+                f"budget shape prices {planes_per_pattern} state planes per "
+                f"pattern (threshold {KERNEL_PLANE_WARN_THRESHOLD}); the "
+                "banded working set will dominate kernel scan cost",
+                subject="kernel",
+                hint="lower the bulge or mismatch budget, or route this "
+                "panel to kernel='matcher' whose per-candidate DP does not "
+                "materialise every band",
+            )
+        )
+    return report
+
+
 # -- whole-library entry point -------------------------------------------
 
 
@@ -608,6 +681,7 @@ def check_compiled_library(
         )
     for spec in specs:
         report.extend(capacity_diagnostics(compiled, spec))
+    report.extend(kernel_plane_diagnostics(compiled))
     report.add(
         Diagnostic(
             Severity.INFO,

@@ -6,9 +6,11 @@ mismatch-counting grid of :mod:`repro.core.hamming` collapses into a
 handful of machine-word bitboards, and one numpy pass over packed
 words evaluates 64 genome start positions at once. It replaces the
 byte-wise LUT scan of :mod:`repro.core.matcher` as the default
-functional kernel; the matcher remains selectable (``kernel="matcher"``)
-and is the fallback for bulged budgets, which the bit-plane encoding
-does not cover.
+functional kernel for **every** budget shape — mismatch-only budgets
+run the thermometer-plane scan, bulged budgets run the diagonal-band
+engine below — so the matcher remains selectable
+(``kernel="matcher"``) purely as an independent implementation, not as
+a fallback.
 
 Bit-plane layout
 ----------------
@@ -44,11 +46,44 @@ mismatch count is the number of ``ge`` planes with its bit set (the
 thermometer cannot saturate below ``exceed``), so hits carry the same
 counts the oracle reports, for free.
 
+Diagonal bulge bands
+--------------------
+A bulged budget (``r`` RNA bulges, ``d`` DNA bulges, ``k``
+mismatches) runs a Wu-Manber-style banded engine instead: one
+Shift-And state plane per ``(rna, dna, mismatch)`` coordinate of
+:mod:`repro.core.bulge`'s grid, held as one
+``(r+1, d+1, k+1, nwords)`` array of bitboards. A cell ``(r', d')``
+always sits on diagonal band ``d' - r'`` — its genome offset is the
+pattern position plus that band — so aligning pattern position ``i``
+needs only ``r + d + 1`` shifted copies of one match board, gathered
+per cell by band index. Each step folds three transition families, in
+exactly :func:`repro.core.bulge._build_grid`'s order and with its
+interior-only rules:
+
+* **DNA bulge** (:func:`_band_transfer`): band ``d'`` feeds band
+  ``d' + 1`` within the layer, chained ascending so bulges can stack,
+  only between interior pattern positions (``1 <= i <= m - 1``);
+* **match / mismatch**: AND with the band-aligned match board advances
+  the layer; ANDNOT advances it one mismatch plane up (planes above
+  the budget simply do not exist — exceeding paths fall off the
+  array, which is the saturation rule);
+* **RNA bulge**: the layer advances without consuming a genome symbol
+  — plane ``(r', d')`` ORs into ``(r' + 1, d')`` — for interior
+  positions only (``0 < i < m - 1``).
+
+Acceptance masks each final plane by its delta's exact-segment (PAM)
+board — PAM positions after the protospacer shift by ``delta = d' -
+r'`` — and by a per-delta bounds prefix, then keeps the best profile
+per (start, delta) under the canonical order (fewest total edits,
+then fewest bulges, then fewest mismatches), which is bit-identical
+to the banded-DP matcher and the naive oracle.
+
 Block boundaries
 ----------------
 The kernel is windowed, so blocks compose exactly like the streaming
 path: scan blocks that overlap by ``max_site_length - 1`` symbols (the
-carry — every site straddling a boundary lies wholly inside one block)
+carry — every site straddling a boundary lies wholly inside one block;
+for bulged budgets the longest site is ``site_length + dna_bulges``)
 and drop hits whose end falls inside a block's overlapped prefix.
 :class:`~repro.core.streaming.StreamingSearch` and
 :class:`~repro.core.parallel.ParallelSearch` both drive this kernel
@@ -61,7 +96,7 @@ engine x genome x panel x budget grid.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Sequence as SequenceType, Tuple
+from typing import Callable, Dict, Iterable, List, Sequence as SequenceType, Tuple
 
 import numpy as np
 
@@ -70,6 +105,7 @@ from ..errors import EngineError
 from ..genome.sequence import Sequence
 from ..grna.guide import Guide
 from ..grna.hit import OffTargetHit, dedupe_hits
+from ..obs import Metrics
 from . import matcher
 from .compiler import SearchBudget, _segments
 
@@ -83,6 +119,13 @@ DEFAULT_KERNEL = KERNEL_BITPARALLEL
 
 #: A compiled per-panel kernel: genome block in, deduplicated hits out.
 KernelFn = Callable[[Sequence], List[OffTargetHit]]
+
+#: Process-wide kernel-selection counters. Every block scan increments
+#: ``kernel.<name>.blocks`` (plus ``kernel.bitparallel.bulged_blocks``
+#: for bulged budgets), so tests and operators can assert *which*
+#: kernel actually executed — the regression surface for the removed
+#: bulged-budget fallback.
+KERNEL_OBS = Metrics()
 
 _ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
 
@@ -103,18 +146,20 @@ def make_kernel(
 
     The returned callable has the contract of
     ``matcher.find_hits(block, guides, budget)`` with the panel bound:
-    same hits, positions, strands, mismatch counts, and canonical
-    dedupe order. ``"bitparallel"`` precompiles the panel's pattern
-    masks once so per-block work is pure vector passes; ``"matcher"``
-    returns the byte-wise LUT scan unchanged.
+    same hits, positions, strands, edit profiles, and canonical dedupe
+    order. ``"bitparallel"`` precompiles the panel's pattern masks once
+    so per-block work is pure vector passes — for every budget shape,
+    bulged budgets included; ``"matcher"`` returns the byte-wise LUT /
+    banded-DP scan unchanged.
     """
     validate_kernel(name)
     guide_list = list(guides)
-    if name == KERNEL_MATCHER or budget.has_bulges:
-        # The bit-plane encoding counts substitutions only; bulged
-        # budgets route to the banded-DP matcher so every kernel name
-        # answers every budget identically.
-        return lambda genome: matcher.find_hits(genome, guide_list, budget)
+    if name == KERNEL_MATCHER:
+        def scan(genome: Sequence) -> List[OffTargetHit]:
+            KERNEL_OBS.incr("kernel.matcher.blocks")
+            return matcher.find_hits(genome, guide_list, budget)
+
+        return scan
     return BitParallelPanel(guide_list, budget).find_hits
 
 
@@ -151,6 +196,35 @@ def _compile_strand(guide: Guide, strand: str) -> _StrandPattern:
             budgeted.append(segment.budgeted)
     return _StrandPattern(
         guide=guide, strand=strand, masks=tuple(masks), budgeted=tuple(budgeted)
+    )
+
+
+@dataclass(frozen=True)
+class _BulgeLayout:
+    """One strand pattern split for the diagonal-band engine.
+
+    ``_segments`` guarantees exactly one budgeted segment (the
+    protospacer), so the budgeted positions form one contiguous run at
+    offset ``b_off``; exact (PAM) positions after that run shift with
+    the site's length delta, positions before it do not.
+    """
+
+    b_off: int  # pattern offset of the budgeted run
+    budgeted_masks: tuple[int, ...]
+    exact: tuple[tuple[int, int, bool], ...]  # (offset, mask, shifts with delta)
+
+
+def _bulge_layout(pattern: _StrandPattern) -> _BulgeLayout:
+    b_off = pattern.budgeted.index(True)
+    budgeted_masks: list[int] = []
+    exact: list[tuple[int, int, bool]] = []
+    for offset, (mask, is_budgeted) in enumerate(zip(pattern.masks, pattern.budgeted)):
+        if is_budgeted:
+            budgeted_masks.append(mask)
+        else:
+            exact.append((offset, mask, offset > b_off))
+    return _BulgeLayout(
+        b_off=b_off, budgeted_masks=tuple(budgeted_masks), exact=tuple(exact)
     )
 
 
@@ -198,6 +272,25 @@ def _prefix_mask(nwords: int, count: int) -> np.ndarray:
     return mask
 
 
+def _board_starts(board: np.ndarray) -> np.ndarray:
+    """Sorted positions of the set bits of a little-endian bitboard."""
+    hot_words = np.flatnonzero(board)
+    if hot_words.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    lanes = np.unpackbits(
+        board[hot_words].view(np.uint8).reshape(-1, 8), axis=1, bitorder="little"
+    ).astype(bool)
+    return (hot_words[:, None] * 64 + np.arange(64, dtype=np.int64)[None, :])[lanes]
+
+
+def _popcount(board: np.ndarray) -> int:
+    """Total number of set bits in *board*."""
+    bitwise_count = getattr(np, "bitwise_count", None)
+    if bitwise_count is not None:
+        return int(bitwise_count(board).sum())
+    return int(np.unpackbits(board.view(np.uint8)).sum())
+
+
 class _BlockPlanes:
     """One genome block's code planes plus a match-board cache.
 
@@ -223,7 +316,7 @@ class _BlockPlanes:
         return board
 
 
-# -- the scan ------------------------------------------------------------------
+# -- the mismatch-only scan ----------------------------------------------------
 
 
 def _scan_strand(
@@ -253,13 +346,9 @@ def _scan_strand(
         else:
             ok &= board
     selected = ok & ~exceed & _prefix_mask(nwords, valid)
-    hot_words = np.flatnonzero(selected)
-    if hot_words.size == 0:
+    starts = _board_starts(selected)
+    if starts.size == 0:
         return empty, empty
-    lanes = np.unpackbits(
-        selected[hot_words].view(np.uint8).reshape(-1, 8), axis=1, bitorder="little"
-    ).astype(bool)
-    starts = (hot_words[:, None] * 64 + np.arange(64, dtype=np.int64)[None, :])[lanes]
     counts = np.zeros(starts.size, dtype=np.int64)
     byte_index = starts >> 3
     bit_shift = (starts & 7).astype(np.uint8)
@@ -268,29 +357,165 @@ def _scan_strand(
     return starts, counts
 
 
+# -- the diagonal-band bulged scan ---------------------------------------------
+
+
+def _band_transfer(reach: np.ndarray) -> None:
+    """In-place DNA-bulge closure of one pattern layer.
+
+    *reach* has shape ``(rna + 1, dna + 1, mm + 1, nwords)``. Band
+    ``d`` feeds band ``d + 1``, chained ascending so one layer can
+    spend several DNA bulges back-to-back — the chained any-symbol
+    edges of :func:`repro.core.bulge._build_grid`. The genome offset
+    step is implicit: cell ``(r, d)`` always reads offset
+    ``i + d - r``, so moving to ``d + 1`` *is* consuming one symbol.
+    """
+    for d in range(reach.shape[1] - 1):
+        reach[:, d + 1] |= reach[:, d]
+
+
+def _bulged_reach(
+    planes: _BlockPlanes, layout: _BulgeLayout, budget: SearchBudget
+) -> np.ndarray:
+    """Final-layer reachability planes ``reach[r, d, j]`` over all starts.
+
+    Bit ``s`` of ``reach[r, d, j]`` is set when some alignment of the
+    budgeted segment starting at genome position ``s + b_off`` uses
+    exactly ``j`` mismatches, ``r`` RNA bulges and ``d`` DNA bulges —
+    the grid of :func:`repro.core.bulge._build_grid`, one bitboard per
+    state row, evaluated for 64 starts per word.
+    """
+    rna, dna, mm = budget.rna_bulges, budget.dna_bulges, budget.mismatches
+    m = len(layout.budgeted_masks)
+    nwords = planes.nwords
+    reach = np.zeros((rna + 1, dna + 1, mm + 1, nwords), dtype=np.uint64)
+    reach[0, 0, 0] = _ALL_ONES
+    # Gather index: cell (r, d) reads the shifted board of its band
+    # d - r (offset by +rna into the stacked board array).
+    band_index = (np.arange(dna + 1)[None, :] - np.arange(rna + 1)[:, None]) + rna
+    zero = np.zeros(nwords, dtype=np.uint64)
+    for i, mask in enumerate(layout.budgeted_masks):
+        if dna and 1 <= i <= m - 1:
+            _band_transfer(reach)
+        base = planes.match_board(mask)
+        boards = np.stack(
+            [
+                _shift_down(base, layout.b_off + i + band) if i + band >= 0 else zero
+                for band in range(-rna, dna + 1)
+            ]
+        )
+        aligned = boards[band_index][:, :, None, :]
+        nxt = reach & aligned
+        if mm:
+            nxt[:, :, 1:] |= reach[:, :, :mm] & ~aligned
+        if rna and 0 < i < m - 1:
+            nxt[1:] |= reach[:rna]
+        reach = nxt
+    return reach
+
+
+def _bulged_accept_boards(
+    planes: _BlockPlanes,
+    pattern: _StrandPattern,
+    layout: _BulgeLayout,
+    budget: SearchBudget,
+) -> Dict[Tuple[int, int, int], np.ndarray]:
+    """Accepted-start bitboards per exact ``(mismatches, rna, dna)`` profile.
+
+    Each final reach plane is masked by its delta's exact-segment (PAM)
+    board — positions after the protospacer shift by ``delta = d - r``
+    — and by the per-delta bounds prefix (a site of length ``total +
+    delta`` must end inside the block), mirroring the matcher's
+    per-delta ``pam_ok`` arrays. Empty boards are dropped.
+    """
+    rna, dna, mm = budget.rna_bulges, budget.dna_bulges, budget.mismatches
+    total = pattern.total
+    if planes.length < total - rna:
+        return {}
+    reach = _bulged_reach(planes, layout, budget)
+    nwords = planes.nwords
+    ok: dict[int, np.ndarray] = {}
+    for delta in range(-rna, dna + 1):
+        limit = planes.length - (total + delta) + 1
+        board = _prefix_mask(nwords, min(max(limit, 0), planes.length))
+        for offset, mask, shifts in layout.exact:
+            shift = offset + (delta if shifts else 0)
+            if shift < 0:
+                # Only possible when the RNA budget exceeds the
+                # protospacer's interior — those bands are unreachable.
+                board = np.zeros(nwords, dtype=np.uint64)
+                break
+            board = board & _shift_down(planes.match_board(mask), shift)
+        ok[delta] = board
+    accepted: Dict[Tuple[int, int, int], np.ndarray] = {}
+    for r in range(rna + 1):
+        for d in range(dna + 1):
+            pam = ok[d - r]
+            for j in range(mm + 1):
+                selected = reach[r, d, j] & pam
+                if selected.any():
+                    accepted[(j, r, d)] = selected
+    return accepted
+
+
+def _scan_strand_bulged(
+    planes: _BlockPlanes,
+    pattern: _StrandPattern,
+    layout: _BulgeLayout,
+    budget: SearchBudget,
+) -> List[Tuple[np.ndarray, int, int, int, int]]:
+    """Best-profile rows ``(starts, mismatches, rna, dna, delta)``.
+
+    Per (start, delta) only the canonically best profile is kept —
+    fewest total edits, then fewest bulges, then fewest mismatches —
+    exactly the matcher's and the oracle's selection rule.
+    """
+    accepted = _bulged_accept_boards(planes, pattern, layout, budget)
+    rows: List[Tuple[np.ndarray, int, int, int, int]] = []
+    for delta in range(-budget.rna_bulges, budget.dna_bulges + 1):
+        profiles = sorted(
+            (key for key in accepted if key[2] - key[1] == delta),
+            key=lambda key: (key[0] + key[1] + key[2], key[1] + key[2], key[0]),
+        )
+        chosen: np.ndarray | None = None
+        for j, r, d in profiles:
+            selected = accepted[(j, r, d)]
+            if chosen is not None:
+                selected = selected & ~chosen
+            starts = _board_starts(selected)
+            if starts.size == 0:
+                continue
+            chosen = selected if chosen is None else chosen | selected
+            rows.append((starts, j, r, d, delta))
+    return rows
+
+
 class BitParallelPanel:
     """A guide panel compiled for the bit-parallel kernel.
 
-    Compile once (pattern masks for every guide x strand), then call
+    Compile once (pattern masks for every guide x strand, plus the
+    diagonal-band layouts when the budget allows bulges), then call
     :meth:`find_hits` per genome block: the block's code planes and
     match boards are built once and shared by the whole panel, which is
     what makes the per-block work a handful of dense vector passes.
+    Bulged budgets run the banded engine natively — there is no
+    matcher fallback.
     """
 
     def __init__(self, guides: Iterable[Guide], budget: SearchBudget) -> None:
         guide_list = list(guides)
         if not guide_list:
             raise EngineError("bit-parallel kernel needs at least one guide")
-        if budget.has_bulges:
-            raise EngineError(
-                "the bit-parallel kernel counts substitutions only; "
-                "use make_kernel(), which routes bulged budgets to the matcher"
-            )
         self._budget = budget
         self._patterns: tuple[_StrandPattern, ...] = tuple(
             _compile_strand(guide, strand)
             for guide in guide_list
             for strand in ("+", "-")
+        )
+        self._layouts: tuple[_BulgeLayout, ...] = (
+            tuple(_bulge_layout(pattern) for pattern in self._patterns)
+            if budget.has_bulges
+            else ()
         )
 
     @property
@@ -303,16 +528,45 @@ class BitParallelPanel:
 
     def find_hits(self, genome: Sequence) -> list[OffTargetHit]:
         """All hits of the panel in *genome*, canonically deduped + sorted."""
+        bulged = self._budget.has_bulges
+        KERNEL_OBS.incr("kernel.bitparallel.blocks")
+        if bulged:
+            KERNEL_OBS.incr("kernel.bitparallel.bulged_blocks")
         if len(genome) == 0:
             return []
         planes = _BlockPlanes(genome.codes)
         text = genome.text
         hits: list[OffTargetHit] = []
-        for pattern in self._patterns:
-            starts, counts = _scan_strand(planes, pattern, self._budget.mismatches)
-            total = pattern.total
+        for index, pattern in enumerate(self._patterns):
             reverse = pattern.strand == "-"
-            for start, mismatches in zip(starts.tolist(), counts.tolist()):
+            if bulged:
+                for starts, mismatches, rna, dna, delta in _scan_strand_bulged(
+                    planes, pattern, self._layouts[index], self._budget
+                ):
+                    length = pattern.total + delta
+                    for start in starts.tolist():
+                        site = text[start : start + length]
+                        if reverse:
+                            site = alphabet.reverse_complement(site)
+                        hits.append(
+                            OffTargetHit(
+                                guide_name=pattern.guide.name,
+                                sequence_name=genome.name,
+                                strand=pattern.strand,
+                                start=start,
+                                end=start + length,
+                                mismatches=mismatches,
+                                rna_bulges=rna,
+                                dna_bulges=dna,
+                                site=site,
+                            )
+                        )
+                continue
+            starts_array, counts = _scan_strand(
+                planes, pattern, self._budget.mismatches
+            )
+            total = pattern.total
+            for start, mismatches in zip(starts_array.tolist(), counts.tolist()):
                 site = text[start : start + total]
                 if reverse:
                     site = alphabet.reverse_complement(site)
@@ -329,21 +583,35 @@ class BitParallelPanel:
                 )
         return dedupe_hits(hits)
 
+    def count_report_rows(self, genome: Sequence) -> int:
+        """Pre-dedup report events for this panel over *genome*.
+
+        For bulged budgets this counts every feasible edit profile per
+        (start, delta) — the accept-row activations the spatial
+        reporting models charge for — matching the matcher's
+        ``all_profiles`` enumeration bit for bit.
+        """
+        if len(genome) == 0:
+            return 0
+        planes = _BlockPlanes(genome.codes)
+        events = 0
+        for index, pattern in enumerate(self._patterns):
+            if self._budget.has_bulges:
+                boards = _bulged_accept_boards(
+                    planes, pattern, self._layouts[index], self._budget
+                )
+                events += sum(_popcount(board) for board in boards.values())
+            else:
+                starts, _ = _scan_strand(planes, pattern, self._budget.mismatches)
+                events += int(starts.size)
+        return events
+
 
 def count_report_rows(
     genome: Sequence, guides: SequenceType[Guide], budget: SearchBudget
 ) -> int:
     """Pre-dedup report events (API parity with ``matcher.count_report_rows``)."""
-    if budget.has_bulges:
-        return matcher.count_report_rows(genome, guides, budget)
-    if len(genome) == 0:
+    guide_list = list(guides)
+    if not guide_list:
         return 0
-    planes = _BlockPlanes(genome.codes)
-    events = 0
-    for guide in guides:
-        for strand in ("+", "-"):
-            starts, _ = _scan_strand(
-                planes, _compile_strand(guide, strand), budget.mismatches
-            )
-            events += int(starts.size)
-    return events
+    return BitParallelPanel(guide_list, budget).count_report_rows(genome)

@@ -21,6 +21,12 @@ The harness has three layers:
   build the engine x genome x panel x budget sweep, including the
   adversarial chunk lengths (barely above the overlap, prime-sized,
   longer than the genome) that stress the block-boundary carry.
+* ``bulged_differential_grid()`` / ``planted_bulge_cases()`` — the
+  bulge-first layer: a grid sweep over (mismatch, rna, dna) budget
+  shapes including saturating ones, plus deterministic constructed
+  genomes with planted RNA/DNA bulges at the adversarial coordinates
+  (straddling 64-bit word boundaries, at genome position 0, adjacent
+  to the PAM, edit mixes that exactly saturate or exceed the budget).
 """
 
 from collections import Counter
@@ -36,6 +42,7 @@ from repro import (
     random_genome,
     sample_guides_from_genome,
 )
+from repro import alphabet
 from repro.core import bitparallel, matcher
 from repro.genome.sequence import Sequence
 from repro.grna.guide import Guide
@@ -189,6 +196,23 @@ class GridSpec:
     chunk_choices: tuple[int, ...] = (0, 2, 3)
     seed: int = 1729
     n_run_every: int = 3  # every n-th genome gets an N-run splice
+    #: (rna_bulges, dna_bulges) shapes crossed with every mismatch
+    #: budget; the default keeps the classic mismatch-only grid.
+    bulge_shapes: tuple[tuple[int, int], ...] = ((0, 0),)
+
+
+#: The bulge-first sweep: every budget shape the banded engines
+#: distinguish (RNA-only, DNA-only, both, deep), crossed with
+#: mismatch budgets 0-2 so ``mismatches + bulges`` saturates at both
+#: ends. Sized so the naive oracle stays fast enough for the 2-core
+#: CI job.
+BULGED_GRID_SPEC = GridSpec(
+    genome_lengths=(0, 90, 700),
+    panel_sizes=(1,),
+    mismatch_budgets=(0, 1, 2),
+    chunk_choices=(0, 3),
+    bulge_shapes=((1, 0), (0, 1), (1, 1), (2, 1)),
+)
 
 
 def differential_grid(spec: GridSpec = GridSpec()) -> Iterator[DifferentialCase]:
@@ -224,23 +248,29 @@ def differential_grid(spec: GridSpec = GridSpec()) -> Iterator[DifferentialCase]
                 )
             )
             for mismatches in spec.mismatch_budgets:
-                budget = SearchBudget(mismatches=mismatches)
-                overlap = (
-                    max(g.site_length for g in guides) + budget.dna_bulges - 1
-                )
-                for choice in spec.chunk_choices:
-                    yield DifferentialCase(
-                        genome=genome,
-                        guides=guides,
-                        budget=budget,
-                        chunk_length=adversarial_chunk_length(
-                            overlap, len(genome), choice
-                        ),
-                        label=(
-                            f"grid[g={g_index},p={panel_size},"
-                            f"mm={mismatches},c={choice}]"
-                        ),
+                for rna, dna in spec.bulge_shapes:
+                    budget = SearchBudget(
+                        mismatches=mismatches, rna_bulges=rna, dna_bulges=dna
                     )
+                    overlap = (
+                        max(g.site_length for g in guides)
+                        + budget.dna_bulges
+                        - 1
+                    )
+                    shape = f",r={rna},d={dna}" if (rna, dna) != (0, 0) else ""
+                    for choice in spec.chunk_choices:
+                        yield DifferentialCase(
+                            genome=genome,
+                            guides=guides,
+                            budget=budget,
+                            chunk_length=adversarial_chunk_length(
+                                overlap, len(genome), choice
+                            ),
+                            label=(
+                                f"grid[g={g_index},p={panel_size},"
+                                f"mm={mismatches}{shape},c={choice}]"
+                            ),
+                        )
                 case_index += 1
 
 
@@ -250,6 +280,8 @@ def case_from_seed(
     genome_length: int = 3000,
     panel_size: int = 2,
     mismatches: int = 1,
+    rna_bulges: int = 0,
+    dna_bulges: int = 0,
     chunk_length: Optional[int] = None,
     workers: int = 1,
     name: str = "chrSeed",
@@ -260,11 +292,127 @@ def case_from_seed(
     return DifferentialCase(
         genome=genome,
         guides=guides,
-        budget=SearchBudget(mismatches=mismatches),
+        budget=SearchBudget(
+            mismatches=mismatches,
+            rna_bulges=rna_bulges,
+            dna_bulges=dna_bulges,
+        ),
         chunk_length=chunk_length,
         workers=workers,
         label=f"seed={seed}",
     )
+
+
+def bulged_differential_grid() -> Iterator[DifferentialCase]:
+    """The bulge-shape grid sweep (:data:`BULGED_GRID_SPEC`)."""
+    return differential_grid(BULGED_GRID_SPEC)
+
+
+# -- planted-bulge adversaries -------------------------------------------------
+
+#: The guide every planted case targets (NGG PAM; interior positions of
+#: its 20-mer protospacer are 1..18 for RNA bulges, 1..19 for DNA).
+PLANT_GUIDE = Guide("plantEMX1", "GAGTCCGAGCAGAAGAAGAA")
+
+#: Concrete PAM used when planting sites (satisfies NGG).
+_PLANT_PAM = "AGG"
+
+#: PAM-free filler: no G or C, so neither strand can form an NGG/CCN
+#: PAM inside it — every hit in a planted genome involves the plant.
+_FILLER = "AT"
+
+
+def _rna_bulged_site(skip: int) -> str:
+    """A genomic site missing protospacer position *skip* (RNA bulge)."""
+    proto = PLANT_GUIDE.protospacer
+    return proto[:skip] + proto[skip + 1 :] + _PLANT_PAM
+
+
+def _dna_bulged_site(insert: int, base: str) -> str:
+    """A genomic site with *base* inserted before protospacer position
+    *insert* (DNA bulge)."""
+    proto = PLANT_GUIDE.protospacer
+    return proto[:insert] + base + proto[insert:] + _PLANT_PAM
+
+
+def _substituted(site: str, index: int) -> str:
+    """Flip one base of *site* (A<->C, otherwise ->A)."""
+    flip = "C" if site[index] == "A" else "A"
+    return site[:index] + flip + site[index + 1 :]
+
+
+def _planted_genome(name: str, site: str, offset: int, length: int = 230) -> Sequence:
+    """PAM-free filler with *site* spliced in at *offset*."""
+    filler = _FILLER * length
+    right = max(length - offset - len(site), 0)
+    return Sequence.from_text(name, filler[:offset] + site + filler[:right])
+
+
+def planted_bulge_cases() -> Iterator[DifferentialCase]:
+    """Deterministic bulge-adversarial cases for the full engine sweep.
+
+    Every case plants one edited site of :data:`PLANT_GUIDE` into
+    PAM-free filler at a chosen genome offset and pairs it with the
+    minimum-legal chunk length, so the chunked engines slice straight
+    through the planted site. The coordinates are the known sharp
+    edges of the banded kernel: bulges whose site straddles a 64-bit
+    word boundary, sites at genome position 0, bulges adjacent to the
+    PAM, bulges at protospacer position 0 (where the interior-only
+    rule forbids the bulge reading), and edit mixes that exactly
+    saturate — or exceed by one — the budget. The naive oracle decides
+    the truth; the sweep pins that all engines agree with it.
+    """
+    proto = PLANT_GUIDE.protospacer
+    m = len(proto)
+    # sub + RNA bulge + DNA bulge in one site: delete interior
+    # protospacer position 2, insert a C before (original) position 10,
+    # then flip one base well away from both edits.
+    mixed = list(proto)
+    del mixed[2]
+    mixed.insert(9, "C")
+    saturating = _substituted("".join(mixed) + _PLANT_PAM, 15)
+    over_budget = _substituted(saturating, 6)
+    entries: list[tuple[str, str, int, SearchBudget]] = [
+        # One RNA bulge, site straddling the first 64-bit word boundary.
+        ("rna-word-straddle", _rna_bulged_site(1), 55, SearchBudget(0, 1, 0)),
+        # One RNA bulge straddling the second word boundary (bit 128).
+        ("rna-word-straddle-128", _rna_bulged_site(9), 118, SearchBudget(1, 1, 0)),
+        # RNA bulge dropped from the last interior position (PAM-adjacent).
+        ("rna-pam-adjacent", _rna_bulged_site(m - 2), 100, SearchBudget(0, 1, 0)),
+        # Deleting position 0 is NOT an interior RNA bulge; engines must
+        # agree on whatever reading (if any) the budget still allows.
+        ("rna-position0", _rna_bulged_site(0), 40, SearchBudget(1, 1, 0)),
+        # RNA-bulged site at genome position 0 (no left context at all).
+        ("rna-at-genome-start", _rna_bulged_site(1), 0, SearchBudget(0, 1, 0)),
+        # One DNA bulge, site straddling the first word boundary.
+        ("dna-word-straddle", _dna_bulged_site(1, "C"), 55, SearchBudget(0, 0, 1)),
+        # DNA bulge inserted just before the PAM (i = m - 1).
+        ("dna-pam-adjacent", _dna_bulged_site(m - 1, "C"), 100, SearchBudget(0, 0, 1)),
+        # DNA-bulged site at genome position 0.
+        ("dna-at-genome-start", _dna_bulged_site(1, "C"), 0, SearchBudget(0, 0, 1)),
+        # The same planted bulge presented on the minus strand.
+        (
+            "dna-minus-strand",
+            alphabet.reverse_complement(_dna_bulged_site(1, "C")),
+            60,
+            SearchBudget(0, 0, 1),
+        ),
+        # sub + RNA bulge + DNA bulge: exactly saturates mm=1,r=1,d=1.
+        ("saturating-mix", saturating, 70, SearchBudget(1, 1, 1)),
+        # One extra substitution: exceeds the saturating budget by one.
+        ("over-budget-mix", over_budget, 70, SearchBudget(1, 1, 1)),
+        # Bulge budgets larger than the edits present (headroom case).
+        ("deep-budget-headroom", _rna_bulged_site(5), 90, SearchBudget(2, 2, 2)),
+    ]
+    for label, site, offset, budget in entries:
+        overlap = PLANT_GUIDE.site_length + budget.dna_bulges - 1
+        yield DifferentialCase(
+            genome=_planted_genome(f"chrPlant_{label}", site, offset),
+            guides=(PLANT_GUIDE,),
+            budget=budget,
+            chunk_length=overlap + 1,
+            label=f"plant[{label}]",
+        )
 
 
 def oracle_hits(case: DifferentialCase) -> list[OffTargetHit]:

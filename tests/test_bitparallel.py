@@ -320,16 +320,22 @@ class TestKernelApi:
             small_genome, list(library), budget
         )
 
-    def test_bulged_budget_falls_back_to_matcher(self, small_genome, library):
+    def test_bulged_budget_served_natively(self, small_genome, library):
+        # The regression surface for the removed matcher fallback:
+        # a bulged budget must run the banded bit-parallel engine and
+        # still agree with the matcher bit for bit.
         budget = SearchBudget(mismatches=1, rna_bulges=1, dna_bulges=1)
         kern = make_kernel("bitparallel", library, budget)
-        assert kern(small_genome) == matcher.find_hits(
-            small_genome, list(library), budget
-        )
+        before = bitparallel.KERNEL_OBS.counter("kernel.bitparallel.bulged_blocks")
+        hits = kern(small_genome)
+        after = bitparallel.KERNEL_OBS.counter("kernel.bitparallel.bulged_blocks")
+        assert after == before + 1
+        assert hits == matcher.find_hits(small_genome, list(library), budget)
 
-    def test_panel_rejects_bulged_budget(self, library):
-        with pytest.raises(EngineError, match="substitutions only"):
-            BitParallelPanel(library, SearchBudget(mismatches=1, dna_bulges=1))
+    def test_panel_accepts_bulged_budget(self, library):
+        budget = SearchBudget(mismatches=1, dna_bulges=1)
+        panel = BitParallelPanel(library, budget)
+        assert panel.budget == budget
 
     def test_panel_rejects_empty_guides(self):
         with pytest.raises(EngineError, match="at least one guide"):
@@ -362,11 +368,25 @@ class TestSoak:
     The reference here is the LUT matcher, not the pure-Python naive
     oracle: at Mbp scale the oracle is infeasible (hours per seed),
     and the matcher is itself pinned bit-identical to the oracle by
-    the kilobase-scale suites above. Each failure message carries the
-    seed, so a red run replays with a one-line test.
+    the kilobase-scale suites above. Every fifth seed runs a bulged
+    budget (rotating through the RNA-only / DNA-only / mixed shapes)
+    so the diagonal-band engine soaks at Mbp scale too — the matcher's
+    banded DP is the reference there as well. Each failure message
+    carries the seed, so a red run replays with a one-line test.
     """
 
     GENOME_LENGTH = 1_000_000
+
+    #: Bulged shapes rotated through seeds 0, 5, 10, ... — RNA-only,
+    #: DNA-only, and the mixed shape, all with a live mismatch budget.
+    BULGE_SHAPES = ((1, 0), (0, 1), (1, 1))
+
+    @classmethod
+    def budget_for_seed(cls, seed):
+        if seed % 5 != 0:
+            return SearchBudget(mismatches=2)
+        rna, dna = cls.BULGE_SHAPES[(seed // 5) % len(cls.BULGE_SHAPES)]
+        return SearchBudget(mismatches=1, rna_bulges=rna, dna_bulges=dna)
 
     @pytest.mark.parametrize("seed", range(50))
     def test_seeded_mbp_sweep(self, seed):
@@ -376,14 +396,14 @@ class TestSoak:
             self.GENOME_LENGTH, seed=seed, name=f"chrSoak{seed}"
         )
         guides = sample_guides_from_genome(genome, 3, seed=seed + 1000)
-        budget = SearchBudget(mismatches=2)
+        budget = self.budget_for_seed(seed)
         got = bitparallel.find_hits(genome, guides, budget)
         want = matcher.find_hits(genome, guides, budget)
         assert hit_multiset(got) == hit_multiset(want), (
-            f"soak seed {seed}: span multisets diverge "
+            f"soak seed {seed}: span multisets diverge under {budget} "
             f"(replay: test_seeded_mbp_sweep[{seed}])"
         )
         assert got == want, (
-            f"soak seed {seed}: ordered hit lists diverge "
+            f"soak seed {seed}: ordered hit lists diverge under {budget} "
             f"(replay: test_seeded_mbp_sweep[{seed}])"
         )

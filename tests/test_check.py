@@ -32,10 +32,12 @@ from repro.check import (
     check_homogeneous,
     check_nfa,
     check_strided,
+    kernel_plane_diagnostics,
     lint_paths,
     lint_source,
     require_capacity,
 )
+from repro.check.automata import KERNEL_PLANE_WARN_THRESHOLD
 from repro.cli import main
 from repro.core.compiler import SearchBudget, _segments, compile_library
 from repro.core.counter_design import build_counter_design
@@ -354,6 +356,67 @@ class TestCapacity:
         compiled = compile_library(GUIDES, SearchBudget(mismatches=3))
         for spec in (ApSpec(), FpgaSpec()):
             require_capacity(compiled, spec)  # must not raise
+
+
+class TestKernelPlanePricing:
+    """CAP005/CAP006: the bit-parallel kernel's banded state-plane cost."""
+
+    def test_bulged_budget_prices_bands(self):
+        budget = SearchBudget(mismatches=1, rna_bulges=1, dna_bulges=1)
+        compiled = compile_library(GUIDES, budget)
+        report = kernel_plane_diagnostics(compiled)
+        (info,) = [d for d in report if d.rule == "CAP005"]
+        # (1+1) x (1+1) bands, each with mm+1 = 2 planes -> 8 per
+        # pattern; 2 guides x 2 strands = 4 patterns -> 32 plane-rows.
+        assert "4 diagonal band(s)" in info.message
+        assert "8 state plane(s)" in info.message
+        assert "32 plane-rows" in info.message
+        assert report.ok
+
+    def test_each_extra_band_costs_a_plane_set(self):
+        def planes_per_pattern(budget):
+            compiled = compile_library(GUIDES, budget)
+            (info,) = [
+                d for d in kernel_plane_diagnostics(compiled) if d.rule == "CAP005"
+            ]
+            return int(info.message.split("bit-parallel kernel: ")[1].split()[0])
+
+        base = planes_per_pattern(SearchBudget(mismatches=2, rna_bulges=1, dna_bulges=0))
+        wider = planes_per_pattern(SearchBudget(mismatches=2, rna_bulges=1, dna_bulges=1))
+        # Going from 2 bands to 4 doubles the plane count: each band
+        # carries its own full mismatch plane set.
+        assert wider == 2 * base
+
+    def test_mismatch_only_prices_thermometer(self):
+        compiled = compile_library(GUIDES, SearchBudget(mismatches=3))
+        report = kernel_plane_diagnostics(compiled)
+        (info,) = [d for d in report if d.rule == "CAP005"]
+        assert "thermometer" in info.message
+        assert not [d for d in report if d.rule == "CAP006"]
+
+    def test_plane_explosion_warns_cap006(self):
+        budget = SearchBudget(mismatches=4, rna_bulges=3, dna_bulges=3)
+        compiled = compile_library(GUIDES, budget)
+        report = kernel_plane_diagnostics(compiled)
+        # 16 bands x 5 planes = 80 > the threshold of 64.
+        assert KERNEL_PLANE_WARN_THRESHOLD == 64
+        (warning,) = [d for d in report if d.rule == "CAP006"]
+        assert warning.severity is Severity.WARNING
+        assert "80" in warning.message
+        assert report.ok  # a warning, not an error: the scan still runs
+
+    def test_threshold_boundary_is_not_a_warning(self):
+        # 16 bands x 4 planes = exactly 64: at the threshold, not over.
+        budget = SearchBudget(mismatches=3, rna_bulges=3, dna_bulges=3)
+        compiled = compile_library(GUIDES, budget)
+        report = kernel_plane_diagnostics(compiled)
+        assert not [d for d in report if d.rule == "CAP006"]
+
+    def test_check_compiled_library_includes_plane_pricing(self):
+        budget = SearchBudget(mismatches=1, rna_bulges=1, dna_bulges=1)
+        compiled = compile_library(GUIDES, budget)
+        report = check_compiled_library(compiled)
+        assert "CAP005" in {d.rule for d in report}
 
 
 # -- project-invariant linter ---------------------------------------------

@@ -12,10 +12,10 @@ lengths.
 import pytest
 
 from repro import SearchBudget
-from repro.errors import EngineError
 
 from differential import (
     ALL_ENGINES,
+    BULGED_GRID_SPEC,
     CHUNKED_ENGINES,
     KERNEL_ENGINES,
     NUM_CHUNK_CHOICES,
@@ -23,16 +23,24 @@ from differential import (
     GridSpec,
     adversarial_chunk_length,
     assert_engines_agree,
+    bulged_differential_grid,
     case_from_seed,
     differential_grid,
     duplicate_keys,
     next_prime_above,
     oracle_hits,
+    planted_bulge_cases,
     run_engine,
 )
 
 GRID_CASES = list(differential_grid())
 GRID_IDS = [case.label for case in GRID_CASES]
+
+BULGED_GRID_CASES = list(bulged_differential_grid())
+BULGED_GRID_IDS = [case.label for case in BULGED_GRID_CASES]
+
+PLANTED_CASES = list(planted_bulge_cases())
+PLANTED_IDS = [case.label for case in PLANTED_CASES]
 
 
 # -- the sweep: every engine, every grid case ----------------------------------
@@ -182,30 +190,69 @@ class TestChunkMenu:
 
 
 class TestBulgedBudgetsThroughHarness:
-    """Bulged budgets route every kernel to the matcher; the chunked
-    paths must still agree with the oracle through that fallback."""
+    """The bulge-first differential layer: every engine — the banded
+    bit-parallel kernel included, natively, with no matcher fallback —
+    bit-identical to the naive oracle across the bulged budget-shape
+    grid and the planted-bulge adversaries (word-boundary straddles,
+    genome-position-0 sites, PAM-adjacent bulges, saturating mixes)."""
 
-    @pytest.mark.parametrize("engine", ["matcher", "bitparallel", "streaming"])
-    def test_bulged_agreement(self, engine):
-        case = case_from_seed(23, genome_length=700, panel_size=1)
-        bulged = DifferentialCase(
+    @pytest.mark.parametrize("case", BULGED_GRID_CASES, ids=BULGED_GRID_IDS)
+    def test_bulged_grid_agreement(self, case):
+        assert_engines_agree(case)
+
+    @pytest.mark.parametrize("case", PLANTED_CASES, ids=PLANTED_IDS)
+    def test_planted_bulge_agreement(self, case):
+        assert_engines_agree(case)
+
+    @pytest.mark.parametrize("case", PLANTED_CASES, ids=PLANTED_IDS)
+    def test_no_engine_duplicates_a_planted_site(self, case):
+        for name in ALL_ENGINES:
+            assert duplicate_keys(run_engine(name, case)) == [], name
+
+    def test_bulged_grid_covers_declared_shapes(self):
+        shapes = {
+            (c.budget.rna_bulges, c.budget.dna_bulges) for c in BULGED_GRID_CASES
+        }
+        assert shapes == set(BULGED_GRID_SPEC.bulge_shapes)
+        assert (0, 0) not in shapes  # the bulged grid is all-bulged
+        # Saturation is swept at both ends: a zero-mismatch bulged
+        # budget and a budget where every dimension is spent.
+        assert any(c.budget.mismatches == 0 for c in BULGED_GRID_CASES)
+        assert any(
+            c.budget.mismatches + c.budget.rna_bulges + c.budget.dna_bulges >= 5
+            for c in BULGED_GRID_CASES
+        )
+
+    def test_planted_cases_are_not_vacuous(self):
+        # The planted layer must contain found sites (the point of
+        # planting) and at least one over-budget plant that no engine
+        # may report.
+        found = {case.label: len(oracle_hits(case)) for case in PLANTED_CASES}
+        assert sum(found.values()) > 0
+        assert found["plant[over-budget-mix]"] == 0
+        assert found["plant[saturating-mix]"] == 1
+
+    def test_planted_sites_straddle_words_and_chunks(self):
+        by_label = {case.label: case for case in PLANTED_CASES}
+        straddle = by_label["plant[rna-word-straddle]"]
+        (hit,) = oracle_hits(straddle)
+        assert hit.start < 64 < hit.end  # crosses the uint64 word seam
+        assert straddle.resolved_chunk_length() < len(straddle.genome)
+        at_zero = by_label["plant[rna-at-genome-start]"]
+        (hit,) = oracle_hits(at_zero)
+        assert hit.start == 0
+
+    def test_bulged_multiworker_agreement(self):
+        case = case_from_seed(
+            23, genome_length=700, panel_size=1, mismatches=1,
+            rna_bulges=1, dna_bulges=1,
+        )
+        sharded = DifferentialCase(
             genome=case.genome,
             guides=case.guides,
-            budget=SearchBudget(mismatches=1, rna_bulges=1, dna_bulges=1),
-            label="bulged",
+            budget=case.budget,
+            chunk_length=64,
+            workers=2,
+            label="bulged,workers=2",
         )
-        assert_engines_agree(bulged, engines=(engine,))
-
-    def test_panel_refuses_bulges_but_kernel_api_serves_them(self):
-        from repro import BitParallelPanel
-        from repro.core.bitparallel import make_kernel
-
-        case = case_from_seed(23, genome_length=700, panel_size=1)
-        budget = SearchBudget(mismatches=1, dna_bulges=1)
-        with pytest.raises(EngineError):
-            BitParallelPanel(list(case.guides), budget)
-        kern = make_kernel("bitparallel", case.guides, budget)
-        bulged = DifferentialCase(
-            genome=case.genome, guides=case.guides, budget=budget
-        )
-        assert kern(case.genome) == oracle_hits(bulged)
+        assert_engines_agree(sharded, engines=("parallel",))
