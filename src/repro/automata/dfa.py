@@ -1,25 +1,34 @@
-"""Deterministic automata: subset construction and Hopcroft minimisation.
+"""Deterministic automata: subset construction, minimisation, equivalence.
 
 The HyperScan proxy engine compiles guide automata to DFAs (HyperScan's
-fast paths are DFA-based), and the property-test suite uses NFA ≡ DFA
-equivalence as an oracle for the NFA machinery itself.
+fast paths are DFA-based), the property-test suite uses NFA ≡ DFA
+equivalence as an oracle for the NFA machinery itself, and the
+equivalence prover (:mod:`repro.check.prove`) decides language equality
+between a compiled DFA and its budget-semantics reference.
 
 Determinisation operates on the *search* semantics of the source NFA:
 all-input start states are re-injected on every step, so the resulting
 DFA scans unanchored input with one transition per symbol and no
 restart logic — precisely the structure that makes DFA scanning fast on
 a CPU.
+
+The DFAs here are Moore machines: a state's accept-label set is its
+output, emitted every time the state is *entered by consuming* a
+symbol. Minimisation, isomorphism, and the distinguishing-word search
+all compare that per-state output, so two automata are "equal" exactly
+when they report the same labels at the same positions on every input.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Hashable, Iterator
+from typing import Hashable, Iterator, Optional
 
 import numpy as np
 
 from .. import alphabet
-from ..errors import AutomatonError
+from ..errors import AutomatonError, StateBlowupError
 from .nfa import Nfa
 
 
@@ -74,7 +83,7 @@ class Dfa:
         return list(self.run(codes))
 
 
-def determinize(nfa: Nfa) -> Dfa:
+def determinize(nfa: Nfa, *, max_states: int | None = None) -> Dfa:
     """Subset-construct a DFA from *nfa* under search semantics.
 
     Requires that no all-input start state carries an accept label:
@@ -82,6 +91,10 @@ def determinize(nfa: Nfa) -> Dfa:
     was entered (by consumption vs re-injection), which a DFA state
     cannot represent. Compiled search automata satisfy this by
     construction.
+
+    ``max_states`` bounds the subset construction: exceeding it raises
+    :class:`~repro.errors.StateBlowupError` instead of letting a
+    pathological automaton run away. ``None`` means unbounded.
     """
     for state, all_input in nfa.start_states().items():
         if all_input and nfa.accept_labels(state):
@@ -110,6 +123,10 @@ def determinize(nfa: Nfa) -> Dfa:
             slot = index_of.get(successor)
             if slot is None:
                 slot = len(index_of)
+                if max_states is not None and slot >= max_states:
+                    raise StateBlowupError(
+                        f"subset construction exceeded {max_states} states"
+                    )
                 index_of[successor] = slot
                 worklist.append(successor)
             row[code] = slot
@@ -134,65 +151,156 @@ def _entered_part(nfa: Nfa, subset: frozenset[int], code: int) -> frozenset[int]
 
 
 def minimize(dfa: Dfa) -> Dfa:
-    """Hopcroft minimisation, distinguishing states by accept-label set."""
+    """Moore partition refinement, distinguishing states by accept-label set.
+
+    Vectorised: each pass builds one ``(states, 1 + NUM_CODES)`` signature
+    matrix — a state's own block plus the block of each successor — and
+    splits every block at once with ``np.unique``, so refinement costs a
+    handful of array passes instead of a per-splitter set walk. On the
+    mm=3 compiled guides (≈20k states) this is ~two orders of magnitude
+    faster than the previous splitter-worklist implementation, which is
+    what makes the equivalence prover's grid sweep affordable.
+    """
     n = dfa.num_states
     if n == 0:
         return dfa
-    # Initial partition: group states by their accept label tuple.
-    signature: dict[int, tuple] = {
-        state: tuple(sorted(map(repr, dfa.accepts.get(state, ())))) for state in range(n)
+    # Initial partition: group states by their accept label set.
+    label_signature: dict[int, tuple[str, ...]] = {
+        state: tuple(sorted(map(repr, dfa.accepts.get(state, ()))))
+        for state in range(n)
     }
-    blocks: dict[tuple, set[int]] = {}
-    for state, sig in signature.items():
-        blocks.setdefault(sig, set()).add(state)
-    partition: list[set[int]] = list(blocks.values())
-    worklist: list[set[int]] = [block.copy() for block in partition]
-
-    # Reverse transition index: predecessors[c][s] = states entering s on c.
-    predecessors: list[dict[int, set[int]]] = [
-        {} for _ in range(alphabet.NUM_CODES)
-    ]
+    first_blocks: dict[tuple[str, ...], int] = {}
+    block = np.empty(n, dtype=np.int64)
     for state in range(n):
+        block[state] = first_blocks.setdefault(label_signature[state], len(first_blocks))
+    num_blocks = len(first_blocks)
+    table = dfa.transitions
+    rows = np.empty((n, 1 + alphabet.NUM_CODES), dtype=np.int64)
+    while True:
+        rows[:, 0] = block
         for code in range(alphabet.NUM_CODES):
-            target = int(dfa.transitions[state, code])
-            predecessors[code].setdefault(target, set()).add(state)
+            rows[:, 1 + code] = block[table[:, code]]
+        _, inverse = np.unique(rows, axis=0, return_inverse=True)
+        block = inverse.ravel().astype(np.int64)
+        refined = int(block.max()) + 1
+        if refined == num_blocks:
+            break
+        num_blocks = refined
 
-    while worklist:
-        splitter = worklist.pop()
-        for code in range(alphabet.NUM_CODES):
-            incoming: set[int] = set()
-            for target in splitter:
-                incoming |= predecessors[code].get(target, set())
-            if not incoming:
-                continue
-            next_partition: list[set[int]] = []
-            for block in partition:
-                inside = block & incoming
-                outside = block - incoming
-                if inside and outside:
-                    next_partition.append(inside)
-                    next_partition.append(outside)
-                    if block in worklist:
-                        worklist.remove(block)
-                        worklist.append(inside)
-                        worklist.append(outside)
-                    else:
-                        worklist.append(inside if len(inside) <= len(outside) else outside)
-                else:
-                    next_partition.append(block)
-            partition = next_partition
+    # Deterministic block numbering: order blocks by their smallest state.
+    representative = np.full(num_blocks, n, dtype=np.int64)
+    np.minimum.at(representative, block, np.arange(n, dtype=np.int64))
+    order = np.argsort(representative)
+    rank = np.empty(num_blocks, dtype=np.int64)
+    rank[order] = np.arange(num_blocks, dtype=np.int64)
+    block = rank[block]
+    representative = representative[order]
 
-    block_of = {}
-    for block_id, block in enumerate(partition):
-        for state in block:
-            block_of[state] = block_id
-    table = np.zeros((len(partition), alphabet.NUM_CODES), dtype=np.int64)
+    new_table = block[table[representative]]
     accepts: dict[int, tuple[Hashable, ...]] = {}
-    for block_id, block in enumerate(partition):
-        representative = next(iter(block))
-        for code in range(alphabet.NUM_CODES):
-            table[block_id, code] = block_of[int(dfa.transitions[representative, code])]
-        labels = dfa.accepts.get(representative, ())
+    for block_id in range(num_blocks):
+        labels = dfa.accepts.get(int(representative[block_id]), ())
         if labels:
             accepts[block_id] = labels
-    return Dfa(table, block_of[dfa.start_state], accepts)
+    return Dfa(new_table, int(block[dfa.start_state]), accepts)
+
+
+def _label_set(dfa: Dfa, state: int) -> frozenset[Hashable]:
+    return frozenset(dfa.accepts.get(state, ()))
+
+
+def isomorphic(left: Dfa, right: Dfa) -> bool:
+    """Decide whether two DFAs are isomorphic as Moore machines.
+
+    Walks both machines in lockstep from the start states, building a
+    state bijection and comparing accept-label sets. For *minimal* DFAs
+    whose states are all reachable (what :func:`determinize` followed by
+    :func:`minimize` produces), isomorphism holds exactly when the two
+    machines report identical labels at identical positions on every
+    input — this is the equivalence prover's fast path.
+    """
+    if left.num_states != right.num_states:
+        return False
+    left_to_right: dict[int, int] = {left.start_state: right.start_state}
+    right_to_left: dict[int, int] = {right.start_state: left.start_state}
+    queue: deque[tuple[int, int]] = deque([(left.start_state, right.start_state)])
+    while queue:
+        a, b = queue.popleft()
+        if _label_set(left, a) != _label_set(right, b):
+            return False
+        for code in range(alphabet.NUM_CODES):
+            na = int(left.transitions[a, code])
+            nb = int(right.transitions[b, code])
+            mapped = left_to_right.get(na)
+            if mapped is None:
+                if nb in right_to_left:
+                    return False
+                left_to_right[na] = nb
+                right_to_left[nb] = na
+                queue.append((na, nb))
+            elif mapped != nb:
+                return False
+    return len(left_to_right) == left.num_states
+
+
+@dataclass(frozen=True)
+class Distinguisher:
+    """The shortest input on which two DFAs report different labels.
+
+    ``word`` is genome text; after consuming its final symbol the two
+    machines land in states whose accept-label sets differ
+    (``left_labels`` vs ``right_labels``). ``pairs_explored`` counts
+    product-DFA states visited by the BFS, for observability.
+    """
+
+    word: str
+    left_labels: frozenset[Hashable]
+    right_labels: frozenset[Hashable]
+    pairs_explored: int
+
+
+def shortest_distinguishing_word(left: Dfa, right: Dfa) -> Optional[Distinguisher]:
+    """BFS the product DFA for the shortest label-disagreement input.
+
+    Labels fire on entry-by-consumption, so the start pair is compared
+    only if some word re-enters it; every other pair is compared the
+    first time an edge reaches it. Returns ``None`` when the machines
+    agree on every input (they are equivalent).
+    """
+    start = (left.start_state, right.start_state)
+    parents: dict[tuple[int, int], tuple[tuple[int, int], int]] = {}
+    seen: set[tuple[int, int]] = {start}
+    compared: set[tuple[int, int]] = set()
+    queue: deque[tuple[int, int]] = deque([start])
+    explored = 0
+
+    def rebuild(pair: tuple[int, int]) -> str:
+        codes: list[int] = []
+        while pair in parents:
+            pair, code = parents[pair]
+            codes.append(code)
+        codes.reverse()
+        return alphabet.decode(np.array(codes, dtype=np.uint8))
+
+    while queue:
+        a, b = queue.popleft()
+        explored += 1
+        for code in range(alphabet.NUM_CODES):
+            successor = (int(left.transitions[a, code]), int(right.transitions[b, code]))
+            if successor not in seen:
+                seen.add(successor)
+                parents[successor] = ((a, b), code)
+                queue.append(successor)
+            if successor not in compared:
+                compared.add(successor)
+                left_labels = _label_set(left, successor[0])
+                right_labels = _label_set(right, successor[1])
+                if left_labels != right_labels:
+                    prefix = rebuild((a, b))
+                    return Distinguisher(
+                        word=prefix + alphabet.base_of(code),
+                        left_labels=left_labels,
+                        right_labels=right_labels,
+                        pairs_explored=explored,
+                    )
+    return None

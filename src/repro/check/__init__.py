@@ -9,8 +9,12 @@ records through a :class:`~repro.check.report.CheckReport`:
 * :mod:`repro.check.lint` — AST rules for this repository's own
   invariants (picklable worker payloads, seeded randomness, engines
   consuming ``CompiledLibrary``, strict-package annotations);
-* the ``repro-offtarget check`` CLI subcommand wires both over guide
-  tables, ANML files and source trees.
+* :mod:`repro.check.prove` — the symbolic equivalence prover: exact
+  language equality between every compiled automaton and its
+  budget-semantics reference DFA, with shortest-counterexample
+  extraction on refutation (the ``EQV`` rule family);
+* the ``repro-offtarget check`` CLI subcommand wires all of them over
+  guide tables, ANML files and source trees.
 """
 
 from .automata import (
@@ -24,12 +28,22 @@ from .automata import (
     require_capacity,
 )
 from .lint import lint_paths, lint_source
+from .prove import (
+    PROVE_OBS,
+    EquivalenceProof,
+    equivalence_diagnostics,
+    prove_dfa,
+    prove_guide,
+    require_equivalence,
+)
 from .service import check_guide_cache, check_server
 from .report import CheckReport, Diagnostic, Severity
 
 __all__ = [
     "CheckReport",
     "Diagnostic",
+    "EquivalenceProof",
+    "PROVE_OBS",
     "Severity",
     "capacity_diagnostics",
     "check_compiled_library",
@@ -37,8 +51,12 @@ __all__ = [
     "check_homogeneous",
     "check_nfa",
     "check_strided",
+    "equivalence_diagnostics",
     "kernel_plane_diagnostics",
+    "prove_dfa",
+    "prove_guide",
     "require_capacity",
+    "require_equivalence",
     "check_guide_cache",
     "check_server",
     "lint_paths",

@@ -31,6 +31,13 @@ L005     E        strict-typed packages (``automata/``, ``core/``,
                   require fully annotated
                   function signatures — the locally-runnable proxy for
                   the mypy strict gate CI enforces.
+L006     E        oracle and engine objects (``NaiveSearcher``, the
+                  ``*Engine`` classes) must not be constructed outside
+                  ``tests/``, ``benchmarks/`` and ``baselines/`` — the
+                  naive oracle is O(sites x guides) and a literal
+                  engine construction bypasses the ``get_engine``
+                  factory's registry; both have silently crept onto
+                  hot paths before in systems like this.
 ======== ======== ======================================================
 
 ``lint_source`` classifies a file by its *path string*, so tests can
@@ -72,6 +79,23 @@ COMPILER_ONLY_NAMES = frozenset(
         "nfa_to_homogeneous",
     }
 )
+
+#: classes whose construction is confined to tests, benchmarks and
+#: baseline harnesses: the quadratic naive oracle plus every concrete
+#: engine (library code goes through the ``get_engine`` factory).
+ORACLE_CONSTRUCTORS = frozenset(
+    {
+        "NaiveSearcher",
+        "CpuNfaEngine",
+        "HyperscanEngine",
+        "Infant2Engine",
+        "FpgaEngine",
+        "ApEngine",
+    }
+)
+
+#: path parts where constructing oracles/engines directly is sanctioned.
+ORACLE_SANCTIONED_PARTS = frozenset({"tests", "benchmarks", "baselines"})
 
 _MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
 _MUTABLE_CONSTRUCTORS = frozenset({"list", "dict", "set", "bytearray", "deque", "defaultdict"})
@@ -294,12 +318,36 @@ def _lint_typed_defs(tree: ast.AST, path: str, report: CheckReport) -> None:
             )
 
 
+def _lint_oracle_constructions(tree: ast.AST, path: str, report: CheckReport) -> None:
+    if ORACLE_SANCTIONED_PARTS.intersection(_parts(path)):
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _call_name(node.func)
+        if name in ORACLE_CONSTRUCTORS:
+            report.add(
+                Diagnostic(
+                    Severity.ERROR,
+                    "L006",
+                    f"{name!r} constructed outside tests/, benchmarks/ and "
+                    "baselines/ — the naive oracle and concrete engines must "
+                    "not reach library hot paths",
+                    subject=path,
+                    element=f"{name}:{node.lineno}",
+                    hint="go through engines.base.get_engine (engines) or keep "
+                    "the oracle inside the differential/benchmark harnesses",
+                )
+            )
+
+
 _RULES = (
     _lint_mutable_defaults,
     _lint_unseeded_random,
     _lint_worker_payloads,
     _lint_engine_bypass,
     _lint_typed_defs,
+    _lint_oracle_constructions,
 )
 
 

@@ -1,0 +1,314 @@
+"""Symbolic equivalence prover: compiled automata vs budget semantics.
+
+The differential harness samples the input space; this pass closes it.
+For every compiled guide it determinises the compiled NFA
+(:func:`repro.automata.dfa.determinize`), builds an *independent*
+reference DFA straight from the budget definition
+(:mod:`repro.core.spec_dfa` — alignment threads over position ×
+mismatch × bulge counters, sharing no code with the NFA builders),
+minimises both, and decides language equality exactly:
+
+* two minimal reachable Moore machines are equivalent **iff** they are
+  isomorphic, so :func:`repro.automata.dfa.isomorphic` is the proof;
+* on refutation, a BFS over the product DFA extracts the *shortest*
+  input on which the two machines report different labels
+  (:func:`repro.automata.dfa.shortest_distinguishing_word`), and the
+  finding carries that word so it can be planted as a permanent
+  regression through ``tests.differential.case_from_counterexample``.
+
+Rules (priced and rendered like the CAP family):
+
+======== ======== ======================================================
+rule     severity meaning
+======== ======== ======================================================
+EQV001   E        the compiled automaton provably disagrees with its
+                  budget-spec language; the finding carries the
+                  shortest distinguishing word and both label sets.
+EQV002   E        proof abandoned: the state-blowup guard tripped
+                  during determinisation or spec construction, so
+                  equality is *unknown* — an unproven automaton is an
+                  error, not a pass.
+EQV003   E        prover self-inconsistency: the isomorphism check
+                  refuted equality but the product BFS found no
+                  distinguishing word (or vice versa) — a bug in the
+                  prover itself, never a property of the guide.
+EQV004   I        proof succeeded: the compiled automaton recognises
+                  exactly the within-budget off-target language.
+EQV005   I        state pricing: minimal-DFA size, subset-construction
+                  blowup over the source NFA, and the semantic thread
+                  space the spec construction ranged over.
+EQV006   W        the minimal DFA crossed the pricing threshold: the
+                  proof still holds, but determinisation-based
+                  consumers (HyperScan-style engines, this prover) are
+                  budget-shaped, not guide-shaped, at this size.
+======== ======== ======================================================
+
+Observability: the module-level :data:`PROVE_OBS` metrics collect
+states explored, minimisation passes, BFS pairs, and proof/refutation
+tallies; ``repro-offtarget check --prove --stats-json`` surfaces its
+snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Union
+
+from ..automata.dfa import (
+    Dfa,
+    Distinguisher,
+    determinize,
+    isomorphic,
+    minimize,
+    shortest_distinguishing_word,
+)
+from ..core.compiler import CompiledGuide, CompiledLibrary
+from ..core.spec_dfa import build_spec_dfa, spec_state_space
+from ..errors import EquivalenceError, StateBlowupError
+from ..obs import Metrics
+from .report import CheckReport, Diagnostic, Severity
+
+#: Prover observability: states explored, minimisation passes, proof and
+#: counterexample tallies (the ``prove.*`` counter family).
+PROVE_OBS = Metrics()
+
+#: Default state-blowup guard for determinisation and spec construction.
+#: The worst default-grid point (guide length 24, three mismatches, both
+#: strands) determinises to ~22k states and a one-each bulge budget to
+#: ~25k, so a quarter million states means the budget shape is far
+#: outside anything the pipeline compiles — stop and report rather than
+#: subset-construct without bound.
+DEFAULT_MAX_STATES = 250_000
+
+#: Minimal-DFA size above which EQV006 warns. Past ~50k states the
+#: transition table alone is ~2 MB per guide (states x 5 codes x 8
+#: bytes), the size where DFA scanning stops being cache-resident and
+#: per-guide determinisation work dominates compile time — the same
+#: "budget shape, not input, now dominates" inflection CAP006 prices
+#: for the kernel planes.
+STATE_WARN_THRESHOLD = 50_000
+
+
+@dataclass(frozen=True)
+class EquivalenceProof:
+    """Outcome of one guide's language-equality decision.
+
+    ``equivalent`` is the verdict; on refutation ``witness`` holds the
+    shortest distinguishing word. ``consistent`` is False only when the
+    isomorphism check and the product BFS disagreed — a prover bug
+    (EQV003), never a property of the guide.
+    """
+
+    subject: str
+    equivalent: bool
+    compiled_states: int
+    spec_states: int
+    nfa_states: int
+    witness: Optional[Distinguisher]
+    consistent: bool = True
+
+    @property
+    def blowup(self) -> float:
+        """Minimal-DFA states per source-NFA state."""
+        return self.compiled_states / max(self.nfa_states, 1)
+
+
+def prove_dfa(
+    compiled: Dfa,
+    spec: Dfa,
+    *,
+    subject: str = "dfa",
+    nfa_states: int = 0,
+) -> EquivalenceProof:
+    """Decide language equality of two search DFAs.
+
+    Both inputs are minimised here, so callers may pass raw
+    determinisation output (or a deliberately corrupted table — this is
+    the mutation-test seam). *nfa_states* is carried through for blowup
+    pricing when known.
+    """
+    compiled_min = minimize(compiled)
+    spec_min = minimize(spec)
+    PROVE_OBS.incr("prove.minimization_passes", 2)
+    PROVE_OBS.incr("prove.states.compiled", compiled_min.num_states)
+    PROVE_OBS.incr("prove.states.spec", spec_min.num_states)
+
+    witness: Optional[Distinguisher] = None
+    consistent = True
+    equivalent = isomorphic(compiled_min, spec_min)
+    if equivalent:
+        PROVE_OBS.incr("prove.proofs")
+    else:
+        witness = shortest_distinguishing_word(compiled_min, spec_min)
+        if witness is None:
+            # Isomorphism refuted equality but no input exhibits a
+            # difference: the prover contradicts itself.
+            consistent = False
+            PROVE_OBS.incr("prove.inconsistencies")
+        else:
+            PROVE_OBS.incr("prove.counterexamples")
+            PROVE_OBS.incr("prove.pairs_explored", witness.pairs_explored)
+    return EquivalenceProof(
+        subject=subject,
+        equivalent=equivalent,
+        compiled_states=compiled_min.num_states,
+        spec_states=spec_min.num_states,
+        nfa_states=nfa_states or compiled.num_states,
+        witness=witness,
+        consistent=consistent,
+    )
+
+
+def prove_guide(
+    compiled_guide: CompiledGuide,
+    *,
+    max_states: int = DEFAULT_MAX_STATES,
+) -> EquivalenceProof:
+    """Prove one compiled guide equal to its budget-semantics language.
+
+    Raises :class:`~repro.errors.StateBlowupError` when either bounded
+    construction exceeds *max_states* (converted to EQV002 by
+    :func:`equivalence_diagnostics`).
+    """
+    nfa = compiled_guide.combined.without_epsilon()
+    with PROVE_OBS.timer("prove.determinize_seconds"):
+        compiled_dfa = determinize(nfa, max_states=max_states)
+    with PROVE_OBS.timer("prove.spec_build_seconds"):
+        spec = build_spec_dfa(
+            compiled_guide.guide, compiled_guide.budget, max_states=max_states
+        )
+    PROVE_OBS.incr("prove.states.explored", compiled_dfa.num_states + spec.num_states)
+    return prove_dfa(
+        compiled_dfa,
+        spec,
+        subject=compiled_guide.guide.name,
+        nfa_states=nfa.num_states,
+    )
+
+
+def _diagnose_proof(
+    report: CheckReport, proof: EquivalenceProof, thread_space: int
+) -> None:
+    subject = f"guide:{proof.subject}"
+    if not proof.consistent:
+        report.add(
+            Diagnostic(
+                Severity.ERROR,
+                "EQV003",
+                "prover inconsistency: isomorphism refuted equality but no "
+                "distinguishing word exists",
+                subject=subject,
+                hint="this is a prover bug, not a guide property — file it "
+                "against repro.check.prove",
+            )
+        )
+    elif not proof.equivalent and proof.witness is not None:
+        witness = proof.witness
+        report.add(
+            Diagnostic(
+                Severity.ERROR,
+                "EQV001",
+                f"compiled automaton disagrees with the budget semantics on "
+                f"{witness.word!r}: at the final position the compiled DFA "
+                f"reports {len(witness.left_labels)} label(s), the spec DFA "
+                f"{len(witness.right_labels)}",
+                subject=subject,
+                element="witness",
+                hint="plant it as a permanent regression: "
+                "tests.differential.case_from_counterexample(guide, budget, "
+                f"{witness.word!r})",
+            )
+        )
+    else:
+        report.add(
+            Diagnostic(
+                Severity.INFO,
+                "EQV004",
+                f"proven: compiled automaton ({proof.compiled_states} minimal "
+                f"state(s)) recognises exactly the within-budget language "
+                f"({proof.spec_states} spec state(s))",
+                subject=subject,
+            )
+        )
+    report.add(
+        Diagnostic(
+            Severity.INFO,
+            "EQV005",
+            f"state pricing: {proof.nfa_states} NFA state(s) -> "
+            f"{proof.compiled_states} minimal DFA state(s) "
+            f"(x{proof.blowup:.1f} blowup) over a semantic thread space "
+            f"of {thread_space}",
+            subject=subject,
+        )
+    )
+    if proof.compiled_states > STATE_WARN_THRESHOLD:
+        report.add(
+            Diagnostic(
+                Severity.WARNING,
+                "EQV006",
+                f"minimal DFA has {proof.compiled_states} states (threshold "
+                f"{STATE_WARN_THRESHOLD}); determinisation-based consumers "
+                "are budget-shaped at this size",
+                subject=subject,
+                hint="lower the mismatch/bulge budget, or accept that "
+                "DFA-path engines and proofs scale with the budget here",
+            )
+        )
+
+
+def equivalence_diagnostics(
+    compiled: Union[CompiledLibrary, Iterable[CompiledGuide]],
+    *,
+    max_states: int = DEFAULT_MAX_STATES,
+) -> CheckReport:
+    """Prove every guide in *compiled*; render verdicts as diagnostics.
+
+    A tripped state-blowup guard becomes an EQV002 *error*: an unproven
+    automaton is treated as a failure of the check, not a silent skip.
+    """
+    report = CheckReport()
+    for compiled_guide in compiled:
+        PROVE_OBS.incr("prove.guides_checked")
+        name = compiled_guide.guide.name
+        try:
+            proof = prove_guide(compiled_guide, max_states=max_states)
+        except StateBlowupError as error:
+            PROVE_OBS.incr("prove.blowups")
+            report.add(
+                Diagnostic(
+                    Severity.ERROR,
+                    "EQV002",
+                    f"proof abandoned: {error} — language equality is unknown",
+                    subject=f"guide:{name}",
+                    hint="raise --prove-max-states, or lower the "
+                    "mismatch/bulge budget to shrink the construction",
+                )
+            )
+            continue
+        _diagnose_proof(
+            report,
+            proof,
+            spec_state_space(compiled_guide.guide, compiled_guide.budget),
+        )
+    return report
+
+
+def require_equivalence(
+    compiled: Union[CompiledLibrary, Iterable[CompiledGuide]],
+    *,
+    max_states: int = DEFAULT_MAX_STATES,
+) -> None:
+    """Raise :class:`EquivalenceError` unless every guide proves equal.
+
+    The exception message carries the rendered findings — including any
+    shortest distinguishing word — so the operator sees the exact input
+    on which an automaton and its budget semantics part ways. This is
+    the engine pre-flight entry point
+    (:meth:`repro.engines.base.Engine.validate_equivalence`).
+    """
+    report = equivalence_diagnostics(compiled, max_states=max_states)
+    if report.ok:
+        return
+    raise EquivalenceError(
+        "\n".join(diagnostic.render() for diagnostic in report.errors)
+    )

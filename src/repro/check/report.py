@@ -139,6 +139,20 @@ class CheckReport:
         """Diagnostics ordered by severity, then subject/element."""
         return sorted(self.diagnostics)
 
+    def stable_sorted(self) -> list[Diagnostic]:
+        """Diagnostics in rule-id-then-location order.
+
+        This is the machine-consumer ordering: a CI diff of two JSON
+        reports should show *finding* changes, never reordering noise,
+        so the key is (rule, subject, element) with the remaining
+        fields as tie-breakers — independent of both insertion order
+        and severity.
+        """
+        return sorted(
+            self.diagnostics,
+            key=lambda d: (d.rule, d.subject, d.element, d.severity, d.message, d.hint),
+        )
+
     def to_text(self, *, verbose: bool = False) -> str:
         """Terminal rendering: findings plus a one-line summary.
 
@@ -161,11 +175,17 @@ class CheckReport:
         return "\n".join(lines)
 
     def to_json(self, **dump_kwargs: Any) -> str:
-        """JSON rendering (stable field order, machine-consumable)."""
+        """JSON rendering, byte-stable across runs.
+
+        Findings are emitted in :meth:`stable_sorted` order (rule id,
+        then location) so two runs over the same inputs produce
+        byte-identical output — the property CI report diffing relies
+        on.
+        """
         payload = {
             "ok": self.ok,
             "num_errors": len(self.errors),
             "num_warnings": len(self.warnings),
-            "diagnostics": [d.as_dict() for d in self.sorted()],
+            "diagnostics": [d.as_dict() for d in self.stable_sorted()],
         }
         return json.dumps(payload, **dump_kwargs)

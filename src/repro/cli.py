@@ -330,10 +330,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="python files or directories to run the project-invariant linter on",
     )
     check.add_argument(
+        "--prove",
+        action="store_true",
+        help=(
+            "prove each compiled guide's automaton recognises exactly the "
+            "within-budget off-target language (with --guides); on refutation "
+            "the finding carries the shortest distinguishing input"
+        ),
+    )
+    check.add_argument(
+        "--prove-max-states",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help=(
+            "state-blowup guard for the prover's determinisation and "
+            "reference construction (default: repro.check.prove default)"
+        ),
+    )
+    check.add_argument(
         "--json", dest="as_json", action="store_true", help="emit diagnostics as JSON"
     )
     check.add_argument(
         "--verbose", action="store_true", help="also list INFO diagnostics in text mode"
+    )
+    check.add_argument(
+        "--stats-json",
+        metavar="PATH",
+        help=(
+            "write check statistics (prover states explored, proofs, "
+            "counterexamples, minimisation passes) as JSON to PATH "
+            "('-' for stdout)"
+        ),
     )
     _add_budget_arguments(check)
     return parser
@@ -644,13 +672,16 @@ def _command_check(args: argparse.Namespace) -> int:
 
     from .automata.anml import from_anml
     from .check import (
+        PROVE_OBS,
         CheckReport,
         check_compiled_library,
         check_element_network,
         check_homogeneous,
         check_strided,
+        equivalence_diagnostics,
         lint_paths,
     )
+    from .check.prove import DEFAULT_MAX_STATES
     from .core.compiler import _segments, compile_library
 
     if not (args.guides or args.anml or args.lint):
@@ -658,6 +689,9 @@ def _command_check(args: argparse.Namespace) -> int:
             "error: nothing to check; pass --guides, --anml, and/or --lint",
             file=sys.stderr,
         )
+        return 2
+    if args.prove and not args.guides:
+        print("error: --prove needs --guides to compile and verify", file=sys.stderr)
         return 2
 
     report = CheckReport()
@@ -696,6 +730,13 @@ def _command_check(args: argparse.Namespace) -> int:
                             network, subject=f"counter:{guide.name}{strand}"
                         )
                     )
+        if args.prove:
+            report.extend(
+                equivalence_diagnostics(
+                    compiled,
+                    max_states=args.prove_max_states or DEFAULT_MAX_STATES,
+                )
+            )
     for path in args.anml:
         automaton = from_anml(Path(path), strict=False)
         report.extend(check_homogeneous(automaton, subject=path))
@@ -706,6 +747,22 @@ def _command_check(args: argparse.Namespace) -> int:
         print(report.to_json(indent=2))
     else:
         print(report.to_text(verbose=args.verbose))
+    if args.stats_json:
+        payload = {
+            "command": "check",
+            "num_diagnostics": len(report),
+            "num_errors": len(report.errors),
+            "num_warnings": len(report.warnings),
+            "rules": sorted(report.rules()),
+            "prove": PROVE_OBS.snapshot() if args.prove else None,
+        }
+        if args.stats_json == "-":
+            json.dump(payload, sys.stdout, indent=2, default=repr)
+            sys.stdout.write("\n")
+        else:
+            with open(args.stats_json, "w", encoding="ascii") as handle:
+                json.dump(payload, handle, indent=2, default=repr)
+            print(f"# wrote check stats to {args.stats_json}", file=sys.stderr)
     return report.exit_code
 
 

@@ -1,0 +1,217 @@
+"""Reference DFA built directly from the budget semantics.
+
+This is the equivalence prover's independent oracle automaton. Where
+:mod:`repro.core.compiler` builds an NFA out of CharClass edges and
+epsilon skips and then determinises it, this module never touches the
+NFA machinery at all: it runs a direct subset construction over
+*alignment threads* — tuples ``(strand, position, mismatches,
+rna_bulges, dna_bulges)`` — whose stepping rules are transcribed
+straight from the budget definition:
+
+* a thread consumes a genome symbol by matching its IUPAC class
+  (:func:`repro.alphabet.iupac_code_mask`), or by spending one
+  mismatch inside the budgeted segment;
+* an RNA bulge skips an interior protospacer position without
+  consuming input (``0 < i < m-1``, mirroring ``interior_skip`` in
+  :mod:`repro.core.bulge`);
+* a DNA bulge consumes any symbol without advancing the pattern
+  (``1 <= i <= m-1``, mirroring ``interior_insert``);
+* a thread that consumes the final pattern position fires a
+  :class:`~repro.core.labels.MatchLabel` carrying its full edit
+  profile and consumed length (pattern length + DNA − RNA bulges).
+
+Because both strands' threads run in one machine and start threads are
+re-injected on every step, the result is a *search* DFA with the same
+Moore semantics as :func:`repro.automata.dfa.determinize` output:
+labels fire on entry-by-consumption. Proving it isomorphic (after
+minimisation) to the compiled guide's DFA therefore proves the
+compiled automaton recognises exactly the within-budget off-target
+language.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import alphabet
+from ..automata.dfa import Dfa
+from ..errors import StateBlowupError
+from ..grna.guide import Guide
+from .compiler import SearchBudget, _segments
+from .labels import MatchLabel
+
+#: One in-flight alignment: (strand index, pattern position, mismatches,
+#: RNA bulges, DNA bulges). Position counts consumed pattern symbols.
+Thread = tuple[int, int, int, int, int]
+
+#: A spec-DFA state: live threads plus the labels fired on entry.
+SpecState = tuple[frozenset[Thread], frozenset[MatchLabel]]
+
+_STRANDS = ("+", "-")
+
+
+@dataclass(frozen=True)
+class _StrandProgram:
+    """One strand's pattern, flattened to per-position stepping rules."""
+
+    strand: str
+    masks: tuple[int, ...]
+    budgeted: tuple[bool, ...]
+    can_skip: tuple[bool, ...]
+    can_insert: tuple[bool, ...]
+
+    @property
+    def length(self) -> int:
+        return len(self.masks)
+
+
+def _strand_program(guide: Guide, strand: str) -> _StrandProgram:
+    masks: list[int] = []
+    budgeted: list[bool] = []
+    can_skip: list[bool] = []
+    can_insert: list[bool] = []
+    for segment in _segments(guide, reverse=strand == "-"):
+        m = len(segment.text)
+        for i, symbol in enumerate(segment.text):
+            masks.append(alphabet.iupac_code_mask(symbol))
+            budgeted.append(segment.budgeted)
+            can_skip.append(segment.budgeted and 0 < i < m - 1)
+            can_insert.append(segment.budgeted and 1 <= i <= m - 1)
+    return _StrandProgram(
+        strand=strand,
+        masks=tuple(masks),
+        budgeted=tuple(budgeted),
+        can_skip=tuple(can_skip),
+        can_insert=tuple(can_insert),
+    )
+
+
+def _close(
+    threads: frozenset[Thread],
+    programs: tuple[_StrandProgram, ...],
+    budget: SearchBudget,
+) -> frozenset[Thread]:
+    """RNA-bulge closure: follow every affordable interior skip."""
+    if budget.rna_bulges == 0:
+        return threads
+    out = set(threads)
+    stack = list(threads)
+    while stack:
+        s, pos, j, r, d = stack.pop()
+        if r < budget.rna_bulges and programs[s].can_skip[pos]:
+            skipped = (s, pos + 1, j, r + 1, d)
+            if skipped not in out:
+                out.add(skipped)
+                stack.append(skipped)
+    return frozenset(out)
+
+
+def _advance(
+    threads: frozenset[Thread],
+    code: int,
+    programs: tuple[_StrandProgram, ...],
+    budget: SearchBudget,
+    guide_name: str,
+) -> tuple[set[Thread], set[MatchLabel]]:
+    """Step every thread on one genome symbol; collect fired labels."""
+    moved: set[Thread] = set()
+    labels: set[MatchLabel] = set()
+
+    def land(program: _StrandProgram, s: int, pos: int, j: int, r: int, d: int) -> None:
+        if pos == program.length:
+            labels.add(
+                MatchLabel(
+                    guide_name=guide_name,
+                    strand=program.strand,
+                    mismatches=j,
+                    rna_bulges=r,
+                    dna_bulges=d,
+                    consumed=program.length + d - r,
+                )
+            )
+        else:
+            moved.add((s, pos, j, r, d))
+
+    for s, pos, j, r, d in threads:
+        program = programs[s]
+        if d < budget.dna_bulges and program.can_insert[pos]:
+            moved.add((s, pos, j, r, d + 1))
+        if (program.masks[pos] >> code) & 1:
+            land(program, s, pos + 1, j, r, d)
+        elif program.budgeted[pos] and j < budget.mismatches:
+            land(program, s, pos + 1, j + 1, r, d)
+    return moved, labels
+
+
+def spec_state_space(guide: Guide, budget: SearchBudget) -> int:
+    """Upper bound on distinct alignment threads (not DFA states).
+
+    Used by the prover to report how large the semantic product space
+    is before committing to a bounded subset construction over it.
+    """
+    positions = guide.site_length + 1
+    return (
+        len(_STRANDS)
+        * positions
+        * (budget.mismatches + 1)
+        * (budget.rna_bulges + 1)
+        * (budget.dna_bulges + 1)
+    )
+
+
+def build_spec_dfa(
+    guide: Guide,
+    budget: SearchBudget,
+    *,
+    max_states: int | None = None,
+) -> Dfa:
+    """Subset-construct the budget-semantics reference DFA for *guide*.
+
+    The construction shares no code with the compiler's NFA builders:
+    states are sets of alignment threads stepped by the rules above,
+    plus the label set fired on entry (part of state identity, so the
+    result is a well-formed Moore machine). Start threads are
+    re-injected every step, giving unanchored search semantics.
+
+    ``max_states`` bounds the construction; exceeding it raises
+    :class:`~repro.errors.StateBlowupError`.
+    """
+    programs = tuple(_strand_program(guide, strand) for strand in _STRANDS)
+    start_threads = _close(
+        frozenset((s, 0, 0, 0, 0) for s in range(len(programs))), programs, budget
+    )
+    start: SpecState = (start_threads, frozenset())
+
+    index_of: dict[SpecState, int] = {start: 0}
+    worklist: list[SpecState] = [start]
+    rows: list[list[int]] = []
+    accepts: dict[int, tuple[MatchLabel, ...]] = {}
+
+    while worklist:
+        state = worklist.pop()
+        threads = state[0]
+        row = [0] * alphabet.NUM_CODES
+        for code in range(alphabet.NUM_CODES):
+            moved, labels = _advance(threads, code, programs, budget, guide.name)
+            entered = _close(frozenset(moved), programs, budget)
+            successor: SpecState = (entered | start_threads, frozenset(labels))
+            slot = index_of.get(successor)
+            if slot is None:
+                slot = len(index_of)
+                if max_states is not None and slot >= max_states:
+                    raise StateBlowupError(
+                        f"spec-DFA construction exceeded {max_states} states"
+                    )
+                index_of[successor] = slot
+                worklist.append(successor)
+                if labels:
+                    accepts[slot] = tuple(sorted(labels, key=repr))
+            row[code] = slot
+        while len(rows) <= index_of[state]:
+            rows.append([0] * alphabet.NUM_CODES)
+        rows[index_of[state]] = row
+
+    table = np.array(rows, dtype=np.int64)
+    return Dfa(table, 0, accepts)

@@ -75,6 +75,29 @@ class Engine(abc.ABC):
     ) -> list[tuple[int, Hashable]]:
         """Faithful execution-model run; returns ``(position, label)`` reports."""
 
+    def validate_equivalence(
+        self, compiled: CompiledLibrary, *, max_states: int | None = None
+    ) -> None:
+        """Opt-in pre-flight: prove *compiled* equal to its budget semantics.
+
+        The spatial engines' ``validate_capacity`` answers "will this
+        library fit the device?"; this answers "does it compute the
+        right language?" — by exact symbolic proof, not sampling. It is
+        opt-in (proof cost scales with the determinised state space)
+        and raises :class:`~repro.errors.EquivalenceError` carrying the
+        shortest distinguishing word on refutation, or
+        :class:`~repro.errors.StateBlowupError`-derived EQV002 findings
+        when the guard trips. Routed through the shared EQV rules in
+        :mod:`repro.check.prove`, mirroring how ``validate_capacity``
+        routes through the CAP rules.
+        """
+        from ..check.prove import DEFAULT_MAX_STATES, require_equivalence
+
+        require_equivalence(
+            compiled,
+            max_states=DEFAULT_MAX_STATES if max_states is None else max_states,
+        )
+
     def search(
         self,
         genome: Sequence,

@@ -32,6 +32,25 @@ class AutomatonError(ReproError):
     """An automaton is structurally invalid for the requested operation."""
 
 
+class StateBlowupError(AutomatonError):
+    """A symbolic construction exceeded its state-count guard.
+
+    Raised by the bounded determinisation / reference-DFA builders the
+    equivalence prover uses, so a pathological budget shape degrades
+    into an explicit "proof skipped" diagnostic instead of an unbounded
+    subset construction.
+    """
+
+
+class EquivalenceError(ReproError):
+    """A compiled automaton provably disagrees with its budget-spec language.
+
+    Carries the prover's rendered findings, including the shortest
+    distinguishing word, so the operator sees the exact input on which
+    the compiled automaton and the budget semantics part ways.
+    """
+
+
 class CompileError(ReproError):
     """A guide could not be compiled into a search automaton."""
 

@@ -415,6 +415,49 @@ def planted_bulge_cases() -> Iterator[DifferentialCase]:
         )
 
 
+# -- prover-seeded counterexamples ---------------------------------------------
+
+
+def case_from_counterexample(
+    guide: Guide,
+    budget: SearchBudget,
+    word: str,
+    *,
+    label: str = "",
+) -> DifferentialCase:
+    """Plant an equivalence-prover counterexample as a differential case.
+
+    When ``repro.check.prove`` refutes a compiled automaton, its EQV001
+    finding carries the shortest genome input on which the automaton
+    and the budget semantics disagree. Feeding that word through this
+    helper turns the refutation into a permanent cross-engine
+    regression: the word becomes the whole genome, the refuted guide
+    the whole panel, and the minimum-legal chunk length slices straight
+    through the disagreement position.
+    """
+    case = DifferentialCase(
+        genome=Sequence.from_text(f"chrProver_{label or 'witness'}", word),
+        guides=(guide,),
+        budget=budget,
+        label=f"prover[{label or word}]",
+    )
+    return DifferentialCase(
+        genome=case.genome,
+        guides=case.guides,
+        budget=case.budget,
+        chunk_length=case.overlap + 1,
+        label=case.label,
+    )
+
+
+#: Counterexamples the prover has extracted, planted permanently.
+#: Each entry is (guide, budget, witness word, label). The list is
+#: empty while every compiled automaton proves equal — the mutation
+#: tests in test_prove.py verify the plumbing stays live by planting
+#: witnesses extracted from deliberately corrupted automata.
+PROVER_SEEDED_CASES: tuple[DifferentialCase, ...] = ()
+
+
 def oracle_hits(case: DifferentialCase) -> list[OffTargetHit]:
     """Ground-truth hits for *case* (convenience wrapper)."""
     return run_engine(ORACLE, case)

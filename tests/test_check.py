@@ -104,6 +104,38 @@ class TestReport:
         assert payload["num_errors"] == 1
         assert payload["diagnostics"][0]["rule"] == "AUT004"
 
+    def test_json_is_stable_sorted_by_rule_then_location(self):
+        # Diagnostics arrive in arbitrary order; the JSON payload must
+        # order them by (rule, subject, element), independent of
+        # severity, so diffing two runs diffs the findings.
+        report = CheckReport()
+        report.add(Diagnostic(Severity.INFO, "EQV005", "pricing", subject="guide:b"))
+        report.add(Diagnostic(Severity.ERROR, "EQV001", "refuted", subject="guide:b"))
+        report.add(Diagnostic(Severity.ERROR, "AUT001", "unreachable", subject="net"))
+        report.add(Diagnostic(Severity.INFO, "EQV005", "pricing", subject="guide:a"))
+        payload = json.loads(report.to_json())
+        assert [(d["rule"], d["subject"]) for d in payload["diagnostics"]] == [
+            ("AUT001", "net"),
+            ("EQV001", "guide:b"),
+            ("EQV005", "guide:a"),
+            ("EQV005", "guide:b"),
+        ]
+
+    def test_json_is_byte_identical_across_runs(self):
+        def build(order):
+            report = CheckReport()
+            diagnostics = [
+                Diagnostic(Severity.WARNING, "EQV006", "big", subject="guide:x"),
+                Diagnostic(Severity.ERROR, "EQV001", "refuted", subject="guide:x"),
+                Diagnostic(Severity.INFO, "CAP004", "util", subject="library"),
+            ]
+            for index in order:
+                report.add(diagnostics[index])
+            return report.to_json()
+
+        # Same findings, different insertion orders: identical bytes.
+        assert build([0, 1, 2]) == build([2, 1, 0]) == build([1, 2, 0])
+
 
 # -- no false positives on real pipeline artefacts ------------------------
 
@@ -506,6 +538,36 @@ class TestLintRules:
         # And the real module passes the gate as shipped.
         real = Path("src/repro/core/bitparallel.py").read_text()
         assert lint_source(real, "src/repro/core/bitparallel.py").ok
+
+    def test_oracle_construction_outside_tests(self):
+        source = (
+            "from repro.core.reference import NaiveSearcher\n"
+            "def slow_path(genome, guides, budget):\n"
+            "    return NaiveSearcher(budget).search(genome, guides)\n"
+        )
+        report = lint_source(source, "src/repro/analysis/report_io.py")
+        findings = [d for d in report.errors if d.rule == "L006"]
+        assert findings, report.to_text()
+        assert "NaiveSearcher" in findings[0].message
+        assert findings[0].element.startswith("NaiveSearcher:")
+
+    def test_literal_engine_construction_outside_tests(self):
+        source = "engine = CpuNfaEngine()\n"
+        assert "L006" in lint_source(source, "src/repro/service/handler.py").rules()
+        source = "engine = FpgaEngine()\n"
+        assert "L006" in lint_source(source, "src/repro/cli.py").rules()
+
+    def test_oracle_construction_sanctioned_locations(self):
+        source = "oracle = NaiveSearcher(budget)\n"
+        assert lint_source(source, "tests/test_faults.py").ok
+        assert lint_source(source, "benchmarks/bench_oracle.py").ok
+        assert lint_source(source, "src/repro/baselines/crispritz.py").ok
+
+    def test_own_sources_are_l006_clean(self):
+        # The rule must hold on the shipped tree: no oracle or literal
+        # engine construction outside the sanctioned directories.
+        report = lint_paths([Path("src")])
+        assert not [d for d in report.sorted() if d.rule == "L006"], report.to_text()
 
     def test_lint_paths_walks_directories(self, tmp_path):
         package = tmp_path / "engines"

@@ -5,10 +5,16 @@ import pytest
 
 from repro import alphabet
 from repro.automata.charclass import CharClass
-from repro.automata.dfa import Dfa, determinize, minimize
+from repro.automata.dfa import (
+    Dfa,
+    determinize,
+    isomorphic,
+    minimize,
+    shortest_distinguishing_word,
+)
 from repro.automata.nfa import Nfa
 from repro.core.compiler import SearchBudget, compile_guide
-from repro.errors import AutomatonError
+from repro.errors import AutomatonError, StateBlowupError
 from repro.grna.guide import Guide
 
 
@@ -95,6 +101,133 @@ class TestMinimize:
         text = "ACAG"
         labels = [label for _, label in dfa.run(_codes(text))]
         assert labels == ["first", "second"]
+
+
+class TestSubsetConstructionPin:
+    """Exact subset-construction pins on a hand-built 3-state NFA."""
+
+    def test_three_state_nfa_pins_subsets(self):
+        # start --A--> s1 --C--> s2(accept "hit"), start re-injected.
+        # Subsets: {start}, {start,s1}, {start,s2} — exactly three.
+        nfa = _search_nfa("AC")
+        assert nfa.num_states == 3
+        dfa = determinize(nfa)
+        assert dfa.num_states == 3
+        # State 0 is the start subset; 'A' leaves it, any other symbol
+        # loops (re-injection only).
+        a, c = alphabet.code_of("A"), alphabet.code_of("C")
+        assert dfa.start_state == 0
+        assert dfa.transitions[0, c] == 0
+        mid = int(dfa.transitions[0, a])
+        assert mid != 0
+        # 'A' from the mid subset re-enters it ({s1} ∪ {start}).
+        assert dfa.transitions[mid, a] == mid
+        accept = int(dfa.transitions[mid, c])
+        assert dfa.accepts == {accept: ("hit",)}
+        # The accept subset behaves like the start subset afterwards.
+        assert dfa.transitions[accept, a] == mid
+        assert dfa.transitions[accept, c] == 0
+
+    def test_max_states_guard_trips(self):
+        guide = Guide("g", "ACGTACGTACGTACGTACGT")
+        compiled = compile_guide(guide, SearchBudget(mismatches=1))
+        with pytest.raises(StateBlowupError):
+            determinize(compiled.combined.without_epsilon(), max_states=10)
+
+    def test_max_states_guard_permits_exact_fit(self):
+        nfa = _search_nfa("AC")
+        assert determinize(nfa, max_states=3).num_states == 3
+
+
+class TestMinimizePin:
+    """Minimisation pins on a known-minimal pair."""
+
+    def test_duplicated_branches_minimise_to_known_minimal(self):
+        from repro.automata import ops
+
+        single = minimize(determinize(_search_nfa("AC")))
+        doubled = ops.union([_search_nfa("AC"), _search_nfa("AC", label="hit")])
+        merged = minimize(determinize(doubled))
+        # The duplicated automaton minimises to exactly the known
+        # minimal machine: same size, same language, isomorphic.
+        assert single.num_states == 3
+        assert merged.num_states == 3
+        assert isomorphic(single, merged)
+
+    def test_known_minimal_machine_is_fixed_point(self):
+        minimal = minimize(determinize(_search_nfa("ACG")))
+        again = minimize(minimal)
+        assert again.num_states == minimal.num_states
+        assert isomorphic(minimal, again)
+
+    def test_deterministic_output(self):
+        guide = Guide("g", "ACGTACGTACGTACGTACGT")
+        compiled = compile_guide(guide, SearchBudget(mismatches=1))
+        dfa = determinize(compiled.combined.without_epsilon())
+        first, second = minimize(dfa), minimize(dfa)
+        assert np.array_equal(first.transitions, second.transitions)
+        assert first.start_state == second.start_state
+        assert first.accepts == second.accepts
+
+
+class TestIsomorphic:
+    def test_same_language_different_construction(self):
+        from repro.automata import ops
+
+        left = minimize(determinize(_search_nfa("ACG")))
+        right = minimize(
+            determinize(ops.union([_search_nfa("ACG"), _search_nfa("ACG")]))
+        )
+        assert isomorphic(left, right)
+
+    def test_different_language_refuted(self):
+        left = minimize(determinize(_search_nfa("AC")))
+        right = minimize(determinize(_search_nfa("AG")))
+        assert not isomorphic(left, right)
+
+    def test_different_labels_refuted(self):
+        left = minimize(determinize(_search_nfa("AC", label="x")))
+        right = minimize(determinize(_search_nfa("AC", label="y")))
+        assert not isomorphic(left, right)
+
+
+class TestShortestDistinguishingWord:
+    def test_agreeing_machines_have_no_witness(self):
+        left = minimize(determinize(_search_nfa("ACG")))
+        assert shortest_distinguishing_word(left, left) is None
+
+    def test_broken_accept_yields_minimal_word(self):
+        intact = minimize(determinize(_search_nfa("AC")))
+        # Deliberately break the automaton: silence its accept state.
+        broken = Dfa(intact.transitions.copy(), intact.start_state, {})
+        witness = shortest_distinguishing_word(intact, broken)
+        assert witness is not None
+        assert witness.word == "AC"  # the unique shortest disagreement
+        assert witness.left_labels == frozenset({"hit"})
+        assert witness.right_labels == frozenset()
+        assert witness.pairs_explored >= 1
+
+    def test_broken_transition_yields_replayable_word(self):
+        intact = minimize(determinize(_search_nfa("ACGT")))
+        table = intact.transitions.copy()
+        g = alphabet.code_of("G")
+        # Redirect one mid-pattern edge to the start subset.
+        source = int(
+            intact.transitions[
+                int(intact.transitions[intact.start_state, alphabet.code_of("A")]),
+                alphabet.code_of("C"),
+            ]
+        )
+        table[source, g] = intact.start_state
+        broken = Dfa(table, intact.start_state, dict(intact.accepts))
+        witness = shortest_distinguishing_word(intact, broken)
+        assert witness is not None
+        # Replaying the witness on both machines exhibits the difference
+        # at the final position.
+        final = len(witness.word) - 1
+        left = {l for p, l in intact.run(_codes(witness.word)) if p == final}
+        right = {l for p, l in broken.run(_codes(witness.word)) if p == final}
+        assert left != right
 
 
 class TestDfaValidation:

@@ -1,0 +1,426 @@
+"""Tests for the symbolic equivalence prover (``repro.check.prove``).
+
+Three layers:
+
+* fast representative proofs that run on every push — one point per
+  budget family (mismatch-only, RNA bulge, DNA bulge, 5' PAM), plus
+  the mutation tests that corrupt an automaton and check the prover
+  refutes it with a replayable shortest witness;
+* the CLI / engine-pre-flight / observability plumbing around the
+  prover;
+* the full acceptance grid (guide length x mismatch budget x PAM x
+  bulge shape) under ``@pytest.mark.prove_grid``, run by the CI prove
+  job with ``-m prove_grid``.
+"""
+
+import json
+
+import pytest
+
+from repro.automata.dfa import Dfa, determinize, minimize
+from repro.check import (
+    PROVE_OBS,
+    equivalence_diagnostics,
+    prove_dfa,
+    prove_guide,
+    require_equivalence,
+)
+from repro.check.prove import EquivalenceProof, _diagnose_proof
+from repro.check.report import CheckReport
+from repro.cli import main
+from repro.core.compiler import SearchBudget, compile_guide, compile_library
+from repro.core.spec_dfa import build_spec_dfa, spec_state_space
+from repro.engines.base import get_engine
+from repro.errors import EquivalenceError, StateBlowupError
+from repro.grna.guide import Guide
+from repro.grna.library import GuideLibrary
+from repro.grna.pam import Pam
+
+from differential import (
+    PROVER_SEEDED_CASES,
+    assert_engines_agree,
+    case_from_counterexample,
+    oracle_hits,
+)
+
+EMX1 = "GAGTCCGAGCAGAAGAAGAA"
+
+#: A custom 5'-side PAM (not in the catalog) for the PAM sweep.
+CUSTOM_5PRIME = Pam("TTYN", "TTYN", "5prime", "custom")
+
+
+def _proved(guide: Guide, budget: SearchBudget) -> None:
+    compiled = compile_guide(guide, budget)
+    proof = prove_guide(compiled)
+    assert proof.consistent
+    assert proof.equivalent, (
+        f"{guide.name}: witness {proof.witness and proof.witness.word!r}"
+    )
+    assert proof.compiled_states == proof.spec_states  # isomorphic => equal size
+
+
+# -- representative proofs (every push) ------------------------------------
+
+
+class TestRepresentativeProofs:
+    def test_mismatch_only_ngg(self):
+        _proved(Guide("emx1", EMX1), SearchBudget(mismatches=1))
+
+    def test_zero_budget_exact_match(self):
+        _proved(Guide("emx1", EMX1), SearchBudget(mismatches=0))
+
+    def test_rna_bulge(self):
+        _proved(Guide("emx1", EMX1), SearchBudget(mismatches=0, rna_bulges=1))
+
+    def test_dna_bulge(self):
+        _proved(Guide("emx1", EMX1), SearchBudget(mismatches=0, dna_bulges=1))
+
+    def test_five_prime_pam(self):
+        _proved(Guide("cas12a", EMX1, "TTTV"), SearchBudget(mismatches=1))
+
+    def test_custom_five_prime_pam(self):
+        _proved(Guide("custom5", EMX1, CUSTOM_5PRIME), SearchBudget(mismatches=0))
+
+    def test_short_guide(self):
+        _proved(Guide("short", EMX1[:16]), SearchBudget(mismatches=1))
+
+    def test_diagnostics_render_eqv004_and_pricing(self):
+        compiled = compile_guide(Guide("emx1", EMX1), SearchBudget(mismatches=1))
+        report = equivalence_diagnostics([compiled])
+        assert report.ok, report.to_text(verbose=True)
+        rules = report.rules()
+        assert "EQV004" in rules and "EQV005" in rules
+        assert all(d.subject == "guide:emx1" for d in report.sorted())
+
+
+# -- mutation tests: the prover must refute corrupted automata -------------
+
+
+class TestMutationRefutation:
+    def _compiled_and_spec(self, guide, budget):
+        compiled = compile_guide(guide, budget)
+        dfa = determinize(compiled.combined.without_epsilon())
+        spec = build_spec_dfa(guide, budget)
+        return dfa, spec
+
+    def test_corrupted_transition_is_refuted_with_witness(self):
+        guide = Guide("emx1", EMX1)
+        budget = SearchBudget(mismatches=1)
+        dfa, spec = self._compiled_and_spec(guide, budget)
+        table = dfa.transitions.copy()
+        # Redirect one reachable mid-automaton edge back to the start.
+        table[40, 2] = dfa.start_state
+        broken = Dfa(table, dfa.start_state, dict(dfa.accepts))
+        proof = prove_dfa(broken, spec, subject="emx1")
+        assert proof.consistent and not proof.equivalent
+        witness = proof.witness
+        assert witness is not None
+        assert witness.left_labels != witness.right_labels
+
+    def test_witness_plants_as_differential_case(self):
+        # The acceptance loop: corrupt a transition, extract the EQV001
+        # witness, plant it through the differential harness, and check
+        # (a) every real engine still agrees with the naive oracle on
+        # the planted genome and (b) the oracle takes the *spec* side of
+        # the disagreement — i.e. the witness genuinely separates the
+        # broken automaton from the budget semantics.
+        guide = Guide("emx1", EMX1)
+        budget = SearchBudget(mismatches=1)
+        dfa, spec = self._compiled_and_spec(guide, budget)
+        table = dfa.transitions.copy()
+        table[40, 2] = dfa.start_state
+        broken = minimize(Dfa(table, dfa.start_state, dict(dfa.accepts)))
+        proof = prove_dfa(broken, spec, subject="emx1")
+        witness = proof.witness
+        assert witness is not None
+
+        case = case_from_counterexample(guide, budget, witness.word, label="mut")
+        hits = assert_engines_agree(case)
+        # Oracle hits ending at the witness's final position, per strand.
+        final = len(witness.word) - 1
+        oracle_labels = {
+            (h.guide_name, h.strand) for h in hits if h.end - 1 == final
+        }
+        spec_labels = {(l.guide_name, l.strand) for l in witness.right_labels}
+        broken_labels = {(l.guide_name, l.strand) for l in witness.left_labels}
+        assert oracle_labels == spec_labels
+        assert oracle_labels != broken_labels
+
+    def test_silenced_accepts_are_refuted(self):
+        guide = Guide("emx1", EMX1)
+        budget = SearchBudget(mismatches=0)
+        dfa, spec = self._compiled_and_spec(guide, budget)
+        silenced = Dfa(dfa.transitions.copy(), dfa.start_state, {})
+        proof = prove_dfa(silenced, spec, subject="emx1")
+        assert not proof.equivalent
+        assert proof.witness is not None
+        # Shortest separation of "never reports" from the spec is an
+        # exact on-target site.
+        assert len(proof.witness.word) == guide.site_length
+
+    def test_misdeclared_budget_is_refuted(self):
+        # Compile at mm=1 but spec at mm=0: the compiled machine accepts
+        # one-mismatch sites the spec rejects, and the witness is a
+        # shortest such site.
+        guide = Guide("emx1", EMX1)
+        dfa, _ = self._compiled_and_spec(guide, SearchBudget(mismatches=1))
+        strict_spec = build_spec_dfa(guide, SearchBudget(mismatches=0))
+        proof = prove_dfa(dfa, strict_spec, subject="emx1")
+        assert proof.consistent and not proof.equivalent
+        witness = proof.witness
+        assert witness is not None
+        assert witness.left_labels and not witness.right_labels
+        assert len(witness.word) == guide.site_length
+        # The planted witness replays through the real engines too.
+        assert_engines_agree(
+            case_from_counterexample(
+                guide, SearchBudget(mismatches=1), witness.word, label="mm"
+            )
+        )
+
+    def test_eqv001_diagnostic_carries_plant_hint(self):
+        guide = Guide("emx1", EMX1)
+        budget = SearchBudget(mismatches=0)
+        dfa, spec = self._compiled_and_spec(guide, budget)
+        silenced = Dfa(dfa.transitions.copy(), dfa.start_state, {})
+        proof = prove_dfa(silenced, spec, subject="emx1")
+        report = CheckReport()
+        _diagnose_proof(report, proof, spec_state_space(guide, budget))
+        errors = [d for d in report.errors if d.rule == "EQV001"]
+        assert len(errors) == 1
+        assert "case_from_counterexample" in errors[0].hint
+        assert repr(proof.witness.word) in errors[0].hint
+        assert report.exit_code == 1
+
+
+# -- guards, inconsistency, thresholds -------------------------------------
+
+
+class TestGuardsAndThresholds:
+    def test_blowup_guard_raises_from_prove_guide(self):
+        compiled = compile_guide(Guide("emx1", EMX1), SearchBudget(mismatches=1))
+        with pytest.raises(StateBlowupError):
+            prove_guide(compiled, max_states=25)
+
+    def test_blowup_guard_is_eqv002_error(self):
+        compiled = compile_guide(Guide("emx1", EMX1), SearchBudget(mismatches=1))
+        report = equivalence_diagnostics([compiled], max_states=25)
+        assert not report.ok
+        findings = [d for d in report.errors if d.rule == "EQV002"]
+        assert len(findings) == 1
+        assert "unknown" in findings[0].message
+        assert "--prove-max-states" in findings[0].hint
+
+    def test_inconsistency_is_eqv003(self):
+        proof = EquivalenceProof(
+            subject="emx1",
+            equivalent=False,
+            compiled_states=3,
+            spec_states=3,
+            nfa_states=3,
+            witness=None,
+            consistent=False,
+        )
+        report = CheckReport()
+        _diagnose_proof(report, proof, thread_space=10)
+        assert [d.rule for d in report.errors] == ["EQV003"]
+
+    def test_state_threshold_warns_eqv006(self, monkeypatch):
+        monkeypatch.setattr("repro.check.prove.STATE_WARN_THRESHOLD", 1)
+        compiled = compile_guide(Guide("emx1", EMX1), SearchBudget(mismatches=0))
+        report = equivalence_diagnostics([compiled])
+        assert report.ok  # warning, not error
+        assert "EQV006" in report.rules()
+
+    def test_require_equivalence_passes_clean_library(self):
+        library = GuideLibrary.from_guides([Guide("emx1", EMX1)])
+        compiled = compile_library(library, SearchBudget(mismatches=0))
+        require_equivalence(compiled)  # must not raise
+
+    def test_require_equivalence_raises_on_unproven(self):
+        library = GuideLibrary.from_guides([Guide("emx1", EMX1)])
+        compiled = compile_library(library, SearchBudget(mismatches=1))
+        with pytest.raises(EquivalenceError, match="EQV002"):
+            require_equivalence(compiled, max_states=25)
+
+
+# -- engine pre-flight ------------------------------------------------------
+
+
+class TestEnginePreflight:
+    def test_validate_equivalence_clean(self):
+        engine = get_engine("cpu-nfa")
+        library = GuideLibrary.from_guides([Guide("emx1", EMX1)])
+        compiled = compile_library(library, SearchBudget(mismatches=0))
+        engine.validate_equivalence(compiled)  # must not raise
+
+    def test_validate_equivalence_surfaces_refutation(self):
+        engine = get_engine("hyperscan")
+        library = GuideLibrary.from_guides([Guide("emx1", EMX1)])
+        compiled = compile_library(library, SearchBudget(mismatches=1))
+        with pytest.raises(EquivalenceError):
+            engine.validate_equivalence(compiled, max_states=25)
+
+
+# -- observability -----------------------------------------------------------
+
+
+class TestProverObservability:
+    def test_counters_advance_through_a_proof(self):
+        before = PROVE_OBS.snapshot()["counters"]
+        compiled = compile_guide(Guide("emx1", EMX1), SearchBudget(mismatches=0))
+        report = equivalence_diagnostics([compiled])
+        assert report.ok
+        after = PROVE_OBS.snapshot()["counters"]
+        for key in (
+            "prove.guides_checked",
+            "prove.proofs",
+            "prove.minimization_passes",
+            "prove.states.explored",
+            "prove.states.compiled",
+            "prove.states.spec",
+        ):
+            assert after.get(key, 0) > before.get(key, 0), key
+        timers = PROVE_OBS.snapshot()["timers"]
+        assert "prove.determinize_seconds" in timers
+        assert "prove.spec_build_seconds" in timers
+
+    def test_refutations_and_blowups_are_counted(self):
+        guide = Guide("emx1", EMX1)
+        budget = SearchBudget(mismatches=0)
+        compiled = compile_guide(guide, budget)
+        before = PROVE_OBS.snapshot()["counters"]
+        dfa = determinize(compiled.combined.without_epsilon())
+        silenced = Dfa(dfa.transitions.copy(), dfa.start_state, {})
+        prove_dfa(silenced, build_spec_dfa(guide, budget))
+        equivalence_diagnostics([compiled], max_states=25)
+        after = PROVE_OBS.snapshot()["counters"]
+        assert after.get("prove.counterexamples", 0) > before.get(
+            "prove.counterexamples", 0
+        )
+        assert after.get("prove.blowups", 0) > before.get("prove.blowups", 0)
+
+
+# -- CLI --------------------------------------------------------------------
+
+
+class TestProveCommand:
+    @pytest.fixture()
+    def guide_table(self, tmp_path):
+        path = tmp_path / "guides.txt"
+        path.write_text("EMX1 GAGTCCGAGCAGAAGAAGAA\n")
+        return path
+
+    def test_prove_clean_exit_0(self, guide_table, capsys):
+        code = main(
+            ["check", "--guides", str(guide_table), "--mismatches", "0",
+             "--prove", "--verbose"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "EQV004" in out and "EQV005" in out
+
+    def test_prove_requires_guides(self, tmp_path, capsys):
+        empty = tmp_path / "x.py"
+        empty.write_text("")
+        code = main(["check", "--lint", str(empty), "--prove"])
+        assert code == 2
+        assert "--prove" in capsys.readouterr().err
+
+    def test_prove_max_states_guard_exits_1(self, guide_table, capsys):
+        code = main(
+            ["check", "--guides", str(guide_table), "--prove",
+             "--prove-max-states", "25"]
+        )
+        assert code == 1
+        assert "EQV002" in capsys.readouterr().out
+
+    def test_stats_json_carries_prover_counters(self, guide_table, tmp_path):
+        stats = tmp_path / "stats.json"
+        code = main(
+            ["check", "--guides", str(guide_table), "--mismatches", "0",
+             "--prove", "--stats-json", str(stats)]
+        )
+        assert code == 0
+        payload = json.loads(stats.read_text())
+        assert payload["command"] == "check"
+        counters = payload["prove"]["counters"]
+        assert counters["prove.guides_checked"] >= 1
+        assert "prove.determinize_seconds" in payload["prove"]["timers"]
+
+    def test_stats_json_null_without_prove(self, guide_table, tmp_path):
+        stats = tmp_path / "stats.json"
+        code = main(
+            ["check", "--guides", str(guide_table), "--stats-json", str(stats)]
+        )
+        assert code == 0
+        assert json.loads(stats.read_text())["prove"] is None
+
+    def test_prove_json_output_is_machine_readable(self, guide_table, capsys):
+        code = main(
+            ["check", "--guides", str(guide_table), "--mismatches", "0",
+             "--prove", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        rules = {d["rule"] for d in payload["diagnostics"]}
+        assert "EQV004" in rules
+
+
+# -- prover-seeded permanent regressions ------------------------------------
+
+
+class TestSeededCounterexamples:
+    def test_seeded_cases_replay_bit_identically(self):
+        # Empty while every automaton proves equal; any witness the
+        # prover ever extracts gets planted here and must keep all
+        # engines in agreement forever after.
+        for case in PROVER_SEEDED_CASES:
+            assert_engines_agree(case)
+
+    def test_case_from_counterexample_shape(self):
+        guide = Guide("emx1", EMX1)
+        budget = SearchBudget(mismatches=1)
+        case = case_from_counterexample(guide, budget, "ACGT" * 8, label="shape")
+        assert case.genome.name == "chrProver_shape"
+        assert case.guides == (guide,)
+        assert case.resolved_chunk_length() == case.overlap + 1
+        assert "prover[shape]" == case.label
+        oracle_hits(case)  # runnable end to end
+
+
+# -- the full acceptance grid (CI prove job) --------------------------------
+
+GRID_PROTOSPACER = "GAGTCCGAGCAGAAGAAGAAGCGT"  # 24-mer; sliced per length
+
+GRID_PAMS = [
+    pytest.param("NGG", id="NGG"),
+    pytest.param("NAG", id="NAG"),
+    pytest.param("TTTV", id="TTTV"),
+    pytest.param(CUSTOM_5PRIME, id="custom5"),
+]
+
+GRID_BULGE_SHAPES = [
+    pytest.param(SearchBudget(mismatches=0, rna_bulges=1), id="r1"),
+    pytest.param(SearchBudget(mismatches=0, dna_bulges=1), id="d1"),
+    pytest.param(SearchBudget(mismatches=1, rna_bulges=1), id="mm1-r1"),
+    pytest.param(SearchBudget(mismatches=1, rna_bulges=1, dna_bulges=1), id="mm1-r1-d1"),
+]
+
+
+@pytest.mark.prove_grid
+class TestProveGrid:
+    @pytest.mark.parametrize("pam", GRID_PAMS)
+    @pytest.mark.parametrize("mismatches", [0, 1, 2, 3])
+    @pytest.mark.parametrize("length", [16, 20, 24])
+    def test_mismatch_grid(self, length, mismatches, pam):
+        guide = Guide(f"g{length}", GRID_PROTOSPACER[:length], pam)
+        _proved(guide, SearchBudget(mismatches=mismatches))
+
+    @pytest.mark.parametrize("budget", GRID_BULGE_SHAPES)
+    def test_bulged_shapes(self, budget):
+        _proved(Guide("emx1", EMX1), budget)
+
+    @pytest.mark.parametrize("budget", GRID_BULGE_SHAPES)
+    def test_bulged_shapes_five_prime(self, budget):
+        _proved(Guide("cas12a", EMX1, "TTTV"), budget)
