@@ -1,0 +1,109 @@
+"""F14 — coalesced design vetting vs one search per candidate.
+
+The design pipeline's economics: a region of interest yields dozens of
+candidate protospacers, and vetting them naively costs one compile plus
+one genome pass **each**. The coalesced vet compiles the whole panel
+into one multi-guide automaton set and prices a single streaming genome
+pass for all of them — the same amortisation the AP platform gets from
+loading many automata onto one chip.
+
+This experiment prices both strategies on the small functional workload
+at 5/20/50-candidate panels. Correctness is asserted unconditionally:
+the coalesced hit set of every candidate must be bit-identical to its
+solo search. The acceptance floor is a >= 3x coalesced speedup on the
+50-candidate cell.
+"""
+
+import time
+
+from repro import OffTargetSearch, SearchBudget
+from repro.analysis.tables import render_table
+from repro.design import enumerate_candidates, vet_candidates
+from repro.genome.sequence import Sequence
+from repro.grna.library import GuideLibrary
+from repro.grna.pam import get_pam
+
+from _harness import save_experiment
+
+PANEL_SIZES = (5, 20, 50)
+BUDGET = SearchBudget(mismatches=2)
+
+
+def _candidate_panel(genome, size):
+    """The first *size* NGG candidates of a region cut from the genome."""
+    region = Sequence.from_text("region", genome.window(1_000, 3_000))
+    candidates = enumerate_candidates(region, "NGG", guide_length=20)
+    assert len(candidates) >= size, (
+        f"region yields only {len(candidates)} candidates, need {size}"
+    )
+    return candidates[:size]
+
+
+def test_f14_design_coalescing(benchmark, small_workload):
+    genome = small_workload.genome
+    pam = get_pam("NGG")
+
+    rows = []
+    speedups = {}
+    for size in PANEL_SIZES:
+        candidates = _candidate_panel(genome, size)
+
+        started = time.perf_counter()
+        solo_hits = {}
+        for candidate in candidates:
+            library = GuideLibrary.from_guides([candidate.to_guide(pam)])
+            solo_hits[candidate.name] = sorted(
+                OffTargetSearch(library, BUDGET).run(genome).hits
+            )
+        per_candidate_wall = time.perf_counter() - started
+
+        started = time.perf_counter()
+        vetted = vet_candidates(candidates, genome, BUDGET, pam)
+        coalesced_wall = time.perf_counter() - started
+
+        assert vetted.genome_passes == 1
+        for candidate in candidates:
+            assert (
+                list(vetted.hits_by_candidate[candidate.name])
+                == solo_hits[candidate.name]
+            ), f"candidate {candidate.name} diverged from its solo search"
+
+        speedups[size] = per_candidate_wall / coalesced_wall
+        rows.append(
+            [
+                size,
+                vetted.panel_guides,
+                f"{per_candidate_wall:.2f}",
+                f"{coalesced_wall:.2f}",
+                f"{speedups[size]:.2f}x",
+            ]
+        )
+
+    table = render_table(
+        [
+            "candidates",
+            "panel guides",
+            "per-candidate s",
+            "coalesced s",
+            "speedup",
+        ],
+        rows,
+        title=(
+            "F14: coalesced design vetting vs one-search-per-candidate, "
+            f"{len(genome):,} bp functional workload "
+            f"(NGG, {BUDGET.mismatches} mismatches)"
+        ),
+    )
+    save_experiment("f14_design", table)
+
+    # The acceptance floor: one genome pass for 50 candidates must beat
+    # 50 genome passes by at least 3x.
+    assert speedups[50] >= 3.0, f"50-candidate speedup only {speedups[50]:.2f}x"
+
+    candidates = _candidate_panel(genome, 20)
+
+    def coalesced_round():
+        return vet_candidates(candidates, genome, BUDGET, pam)
+
+    vetted = benchmark.pedantic(coalesced_round, rounds=1, iterations=1)
+    assert vetted.genome_passes == 1

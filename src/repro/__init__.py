@@ -34,7 +34,16 @@ from .grna.library import GuideLibrary, parse_guide_table, sample_guides_from_ge
 from .grna.pam import Pam, get_pam, PAM_CATALOG
 from .grna.hit import OffTargetHit, render_alignment
 from .service import OffTargetService, ServiceClient, ServiceResult
-from .errors import ReproError, ServiceError, ServiceOverloadedError
+from .design import (
+    Candidate,
+    CandidateScore,
+    DesignReport,
+    ScoreWeights,
+    enumerate_candidates,
+    render_design_tsv,
+    run_design,
+)
+from .errors import DesignError, ReproError, ServiceError, ServiceOverloadedError
 
 __version__ = "1.0.0"
 
@@ -73,6 +82,14 @@ __all__ = [
     "OffTargetService",
     "ServiceClient",
     "ServiceResult",
+    "Candidate",
+    "CandidateScore",
+    "DesignReport",
+    "ScoreWeights",
+    "enumerate_candidates",
+    "render_design_tsv",
+    "run_design",
+    "DesignError",
     "ReproError",
     "ServiceError",
     "ServiceOverloadedError",

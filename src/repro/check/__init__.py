@@ -27,6 +27,7 @@ from .automata import (
     kernel_plane_diagnostics,
     require_capacity,
 )
+from .design import check_design_request
 from .lint import lint_paths, lint_source
 from .prove import (
     PROVE_OBS,
@@ -57,6 +58,7 @@ __all__ = [
     "prove_guide",
     "require_capacity",
     "require_equivalence",
+    "check_design_request",
     "check_guide_cache",
     "check_server",
     "lint_paths",

@@ -1,0 +1,136 @@
+"""Static verification of a design-pipeline request (the DSG rules).
+
+A design run is operator input end to end — a region, a PAM choice, a
+guide length, a weight table — so each failure mode that would
+otherwise surface as a mid-pipeline exception (or worse, a silently
+empty report) gets a checker rule:
+
+======== ======== ======================================================
+rule     severity invariant
+======== ======== ======================================================
+DSG001   E        the region yields at least one candidate for the
+                  chosen PAM and guide length (an empty panel means
+                  the run can only produce an empty report).
+DSG002   E        the score-weight table is well-formed: component
+                  weights sum to 1, per-mismatch multipliers in
+                  (0, 1], position table (when given) covers the
+                  guide length.
+DSG003   E/W      capacity pre-flight of the coalesced candidate
+                  panel on the configured device specs, routed
+                  through the shared CAP rules — an unplaceable
+                  candidate fails before any genome pass is paid.
+DSG004   I        panel observation: candidate count, distinct panel
+                  guides (repeat-region dedup), candidate density.
+======== ======== ======================================================
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence as SequenceType
+
+from .report import CheckReport, Diagnostic, Severity
+
+if TYPE_CHECKING:  # imported lazily to keep check importable standalone
+    from ..core.compiler import SearchBudget
+    from ..design.enumerate import Candidate
+    from ..grna.pam import Pam
+    from ..platforms.spec import ApSpec, FpgaSpec
+
+
+def check_design_request(
+    candidates: SequenceType["Candidate"],
+    pam: "Pam",
+    *,
+    guide_length: int,
+    weights: Mapping[str, Any] | None = None,
+    budget: "SearchBudget | None" = None,
+    specs: Iterable["ApSpec | FpgaSpec"] = (),
+    subject: str = "design-request",
+) -> CheckReport:
+    """Pre-flight one design request; empty report means go.
+
+    *weights* is the raw operator mapping (wire/CLI form), not a
+    constructed table, so malformed values are reported as DSG002
+    diagnostics instead of exceptions. *specs* are the device targets
+    to pre-flight the coalesced panel against (DSG003).
+    """
+    from ..core.compiler import SearchBudget as Budget
+    from ..design.score import weights_from_mapping
+    from ..design.vet import build_panel
+    from ..errors import DesignError
+
+    report = CheckReport()
+
+    if not candidates:
+        report.add(
+            Diagnostic(
+                Severity.ERROR,
+                "DSG001",
+                f"region yields no {pam.name} candidate of length {guide_length}",
+                subject=subject,
+                hint="widen the region, relax the PAM, or change the guide "
+                "length — an empty panel can only produce an empty report",
+            )
+        )
+
+    try:
+        weights_from_mapping(weights, guide_length=guide_length)
+    except DesignError as error:
+        report.add(
+            Diagnostic(
+                Severity.ERROR,
+                "DSG002",
+                str(error),
+                subject=subject,
+                hint="fix the score-weight table; see "
+                "repro.design.score.ScoreWeights",
+            )
+        )
+
+    specs = list(specs)
+    if candidates and specs:
+        report.extend(_panel_capacity(candidates, pam, budget or Budget(), specs))
+
+    if candidates:
+        panel, _ = build_panel(list(candidates), pam)
+        report.add(
+            Diagnostic(
+                Severity.INFO,
+                "DSG004",
+                f"panel: {len(candidates)} candidate(s), {len(panel)} distinct "
+                f"guide(s) after content dedup",
+                subject=subject,
+            )
+        )
+    return report
+
+
+def _panel_capacity(
+    candidates: SequenceType["Candidate"],
+    pam: "Pam",
+    budget: "SearchBudget",
+    specs: list["ApSpec | FpgaSpec"],
+) -> CheckReport:
+    """DSG003: route the coalesced panel through the shared CAP rules."""
+    from ..core.compiler import compile_library
+    from ..design.vet import build_panel
+    from ..grna.library import GuideLibrary
+    from .automata import capacity_diagnostics
+
+    report = CheckReport()
+    panel, _ = build_panel(list(candidates), pam)
+    compiled = compile_library(GuideLibrary.from_guides(list(panel)), budget)
+    for spec in specs:
+        capacity = capacity_diagnostics(compiled, spec)
+        for diagnostic in capacity.diagnostics:
+            report.add(
+                Diagnostic(
+                    diagnostic.severity,
+                    "DSG003",
+                    f"[{diagnostic.rule}] {diagnostic.message}",
+                    subject=diagnostic.subject,
+                    element=diagnostic.element,
+                    hint=diagnostic.hint,
+                )
+            )
+    return report

@@ -53,7 +53,9 @@ from typing import Iterable, Iterator, Union
 from .report import CheckReport, Diagnostic, Severity
 
 #: packages under src/repro that the typing gate holds to strict rules.
-STRICT_PACKAGES = frozenset({"automata", "core", "grna", "platforms", "check", "service"})
+STRICT_PACKAGES = frozenset(
+    {"automata", "core", "design", "grna", "platforms", "check", "service"}
+)
 
 #: field types too heavy to ship through the process pool.
 HEAVY_PAYLOAD_TYPES = frozenset(

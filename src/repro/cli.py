@@ -15,6 +15,7 @@ Examples::
     repro-offtarget check --anml exported.anml --lint src --json
     repro-offtarget serve ref.fa --port 7911
     repro-offtarget query guides.txt --port 7911 --stats-json -
+    repro-offtarget design region.fa --genome ref.fa --nuclease NNGRRT
 
 Exit codes: 0 success (for ``check``: no errors found), 1 the check
 found errors, 2 usage or input errors (bad flags, unreadable files,
@@ -296,6 +297,79 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_budget_arguments(query)
+
+    design = commands.add_parser(
+        "design",
+        help="design guides for a region: enumerate, coalesced vet, score, rank",
+    )
+    design.add_argument("region", help="target-region FASTA to design guides for")
+    design.add_argument(
+        "--genome",
+        help="reference FASTA to vet off-targets against "
+        "(default: the region itself — self-vetting a small construct)",
+    )
+    design.add_argument(
+        "--pam",
+        "--nuclease",
+        dest="pam",
+        default="NGG",
+        help="PAM preset or IUPAC pattern (NGG, NAG, NRG, TTTV, NNGRRT, ...)",
+    )
+    design.add_argument(
+        "--guide-length",
+        type=_positive_int,
+        default=20,
+        help="protospacer length; short (<16 nt) tru-gRNA designs are allowed",
+    )
+    design.add_argument(
+        "--weights",
+        metavar="PATH",
+        help="JSON score-weight table overriding the defaults "
+        "(see repro.design.score.ScoreWeights)",
+    )
+    design.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="shard the coalesced genome pass across N processes",
+    )
+    design.add_argument(
+        "--chunk-length", type=_positive_int, default=1 << 20, help="genome chunk size"
+    )
+    design.add_argument(
+        "--kernel",
+        choices=KERNEL_NAMES,
+        default=DEFAULT_KERNEL,
+        help="functional matching kernel the coalesced pass runs",
+    )
+    design.add_argument(
+        "--platform",
+        choices=("ap", "fpga", "all", "none"),
+        default="none",
+        help="device(s) the candidate panel is capacity pre-flighted "
+        "against (the DSG003 rule)",
+    )
+    design.add_argument(
+        "--capacity-stes",
+        type=_positive_int,
+        default=None,
+        help="override the device STE capacity for the pre-flight",
+    )
+    design.add_argument(
+        "--format", choices=("tsv", "json"), default="tsv", help="report format"
+    )
+    design.add_argument(
+        "--out", help="write the ranked report to this file instead of stdout"
+    )
+    design.add_argument(
+        "--stats-json",
+        metavar="PATH",
+        help=(
+            "write run statistics (candidate counts, panel size, genome "
+            "passes, pipeline spans) as JSON to PATH ('-' for stdout)"
+        ),
+    )
+    _add_budget_arguments(design)
 
     check = commands.add_parser(
         "check",
@@ -634,6 +708,103 @@ def _command_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_design(args: argparse.Namespace) -> int:
+    from .check import check_design_request
+    from .design import (
+        enumerate_candidates,
+        render_design_tsv,
+        report_to_json,
+        run_design,
+        weights_from_mapping,
+    )
+    from .grna.pam import get_pam
+
+    pam = get_pam(args.pam)
+    budget = _budget_from(args)
+    region = [record.sequence for record in read_fasta(args.region)]
+    genome = None
+    if args.genome:
+        genome = [record.sequence for record in read_fasta(args.genome)]
+
+    raw_weights = None
+    if args.weights:
+        with open(args.weights, "r", encoding="ascii") as handle:
+            try:
+                raw_weights = json.load(handle)
+            except json.JSONDecodeError as error:
+                print(f"error: unreadable --weights JSON: {error}", file=sys.stderr)
+                return 2
+        if not isinstance(raw_weights, dict):
+            print("error: --weights must be a JSON object", file=sys.stderr)
+            return 2
+
+    # The DSG pre-flight runs before any genome pass is paid: an empty
+    # panel, a malformed weight table, or an unplaceable panel fails
+    # here with diagnostics instead of a mid-pipeline exception.
+    candidates = enumerate_candidates(region, pam, guide_length=args.guide_length)
+    preflight = check_design_request(
+        candidates,
+        pam,
+        guide_length=args.guide_length,
+        weights=raw_weights,
+        budget=budget,
+        specs=_check_specs(args),
+        subject=args.region,
+    )
+    if not preflight.ok:
+        print(preflight.to_text(), file=sys.stderr)
+        return 1
+
+    weights = weights_from_mapping(raw_weights, guide_length=args.guide_length)
+    report = run_design(
+        region,
+        genome,
+        pam,
+        guide_length=args.guide_length,
+        budget=budget,
+        weights=weights,
+        workers=args.workers,
+        chunk_length=args.chunk_length,
+        kernel=args.kernel,
+    )
+    if args.format == "tsv":
+        rendered = render_design_tsv(report)
+    else:
+        rendered = json.dumps(report_to_json(report), indent=2, sort_keys=True) + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="ascii") as handle:
+            handle.write(rendered)
+        print(f"# wrote {report.num_candidates} candidates to {args.out}", file=sys.stderr)
+    else:
+        sys.stdout.write(rendered)
+    if args.stats_json:
+        payload = {
+            "command": "design",
+            "region": args.region,
+            "genome": args.genome,
+            "pam": pam.name,
+            "guide_length": args.guide_length,
+            "budget": {
+                "mismatches": budget.mismatches,
+                "rna_bulges": budget.rna_bulges,
+                "dna_bulges": budget.dna_bulges,
+            },
+            "num_candidates": report.num_candidates,
+            "panel_guides": report.panel_guides,
+            "genome_passes": report.genome_passes,
+            "stats": report.stats,
+        }
+        if args.stats_json == "-":
+            json.dump(payload, sys.stdout, indent=2, default=repr)
+            sys.stdout.write("\n")
+        else:
+            with open(args.stats_json, "w", encoding="ascii") as handle:
+                json.dump(payload, handle, indent=2, default=repr)
+            print(f"# wrote design stats to {args.stats_json}", file=sys.stderr)
+    print(f"# {report.summary()}", file=sys.stderr)
+    return 0
+
+
 def _check_specs(args: argparse.Namespace) -> tuple:
     """The device specs the capacity pre-flight should run against.
 
@@ -776,6 +947,7 @@ def main(argv: list[str] | None = None) -> int:
         "check": _command_check,
         "serve": _command_serve,
         "query": _command_query,
+        "design": _command_design,
     }
     try:
         return handlers[args.command](args)

@@ -1,0 +1,47 @@
+"""`repro.design` — the guide-design pipeline as a first-class workload.
+
+The paper frames automata processing as the engine inside a gRNA
+*design* loop: pick candidate protospacers from a target region, vet
+each against the whole genome, then rank what survives. This package
+is that loop, built on the existing search stack:
+
+1. **Enumeration** (:mod:`repro.design.enumerate`) scans a target
+   region for every protospacer adjacent to a PAM — both strands, both
+   PAM sides, arbitrary guide lengths including the <16 nt truncated
+   case.
+2. **Coalesced vetting** (:mod:`repro.design.vet`) compiles the whole
+   candidate set into one guide panel and runs a *single* multi-guide
+   off-target search — one genome pass for N candidates, never N
+   passes — either in-process or through the serving layer's
+   coalescing scheduler.
+3. **Scoring** (:mod:`repro.design.score`) turns each candidate's
+   sequence features and off-target hits into a deterministic
+   composite score (GC% window, homopolymer runs, seed-aware
+   position-weighted off-target risk) and ranks the panel.
+
+:mod:`repro.design.pipeline` glues the stages together behind
+:func:`run_design` and renders the ranked report as TSV/JSON.
+"""
+
+from __future__ import annotations
+
+from .enumerate import Candidate, enumerate_candidates
+from .pipeline import DesignReport, render_design_tsv, report_to_json, run_design
+from .score import CandidateScore, ScoreWeights, score_candidates, weights_from_mapping
+from .vet import VetResult, vet_candidates, vet_candidates_via_service
+
+__all__ = [
+    "Candidate",
+    "CandidateScore",
+    "DesignReport",
+    "ScoreWeights",
+    "VetResult",
+    "enumerate_candidates",
+    "render_design_tsv",
+    "report_to_json",
+    "run_design",
+    "score_candidates",
+    "vet_candidates",
+    "vet_candidates_via_service",
+    "weights_from_mapping",
+]

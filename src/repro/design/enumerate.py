@@ -1,0 +1,167 @@
+"""Candidate protospacer enumeration over a target region.
+
+A design run starts by finding every window of the target region that
+a nuclease could actually cut: a guide-length protospacer with the
+PAM motif adjacent on the correct side, on either strand. Candidates
+are reported in **guide orientation** (the protospacer as the guide
+would be synthesised) with their genomic span on the + strand of the
+region, matching the coordinate conventions of
+:class:`~repro.grna.hit.OffTargetHit`.
+
+Strand geometry, spelled out because it is the easiest thing to ship
+subtly wrong:
+
+* 3' PAM, + strand: the window reads ``protospacer + PAM``.
+* 3' PAM, − strand: the − strand site reads ``protospacer + PAM`` in
+  its own 5'→3' direction, so on the + strand the window reads
+  ``revcomp(PAM) + revcomp(protospacer)`` — the PAM sits at the
+  *start* of the + strand window.
+* 5' PAM, + strand: the window reads ``PAM + protospacer``.
+* 5' PAM, − strand: the + strand window reads
+  ``revcomp(protospacer) + revcomp(PAM)`` — the PAM sits at the *end*.
+
+Ambiguity handling mirrors the search kernels: the protospacer must be
+concrete ``ACGT`` (a candidate overlapping an ``N`` run cannot be
+synthesised), while the PAM site is matched through
+:meth:`~repro.grna.pam.Pam.matches`, where a genome ``N`` satisfies
+only a pattern ``N`` position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Union
+
+from .. import alphabet
+from ..errors import DesignError
+from ..genome.sequence import Sequence
+from ..grna.guide import _MAX_LENGTH, Guide
+from ..grna.pam import Pam, get_pam
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One candidate protospacer found in the target region.
+
+    Attributes
+    ----------
+    name:
+        Deterministic identifier, unique within one enumeration:
+        derived from the sequence name, start coordinate, and strand.
+    protospacer:
+        Concrete ``ACGT`` protospacer in guide orientation (5'→3' as
+        the guide would be synthesised).
+    pam_site:
+        The concrete genomic bases under the PAM motif, in guide
+        orientation.
+    sequence_name:
+        Name of the region sequence the candidate lies on.
+    strand:
+        ``"+"`` or ``"-"``.
+    start, end:
+        Half-open span of the **full site** (protospacer + PAM) on the
+        + strand of the region, whatever the strand or PAM side.
+    """
+
+    name: str
+    protospacer: str
+    pam_site: str
+    sequence_name: str
+    strand: str
+    start: int
+    end: int
+
+    @property
+    def site_length(self) -> int:
+        return self.end - self.start
+
+    def to_guide(self, pam: Pam) -> Guide:
+        """The :class:`Guide` that would be synthesised for this candidate.
+
+        ``min_length`` is pinned to the candidate's own length so short
+        (tru-gRNA) designs flow through every downstream layer that
+        rebuilds guides — compiler, cache, wire — without tripping the
+        default length floor.
+        """
+        return Guide(
+            self.name, self.protospacer, pam, min_length=len(self.protospacer)
+        )
+
+
+def _candidate_name(sequence_name: str, start: int, strand: str) -> str:
+    tag = "fwd" if strand == "+" else "rev"
+    return f"{sequence_name}:{start}:{tag}"
+
+
+def _scan_sequence(
+    sequence: Sequence, pam: Pam, guide_length: int
+) -> Iterator[Candidate]:
+    """Yield candidates of one sequence, ordered by (start, strand)."""
+    text = sequence.text
+    window_length = guide_length + len(pam)
+    pam_length = len(pam)
+    for start in range(0, len(text) - window_length + 1):
+        window = text[start : start + window_length]
+        end = start + window_length
+        if pam.side == "3prime":
+            forward_proto, forward_pam = window[:guide_length], window[guide_length:]
+            reverse_window = alphabet.reverse_complement(window)
+            reverse_proto = reverse_window[:guide_length]
+            reverse_pam = reverse_window[guide_length:]
+        else:
+            forward_pam, forward_proto = window[:pam_length], window[pam_length:]
+            reverse_window = alphabet.reverse_complement(window)
+            reverse_pam = reverse_window[:pam_length]
+            reverse_proto = reverse_window[pam_length:]
+        if alphabet.is_dna(forward_proto) and pam.matches(forward_pam):
+            yield Candidate(
+                name=_candidate_name(sequence.name, start, "+"),
+                protospacer=forward_proto,
+                pam_site=forward_pam,
+                sequence_name=sequence.name,
+                strand="+",
+                start=start,
+                end=end,
+            )
+        if alphabet.is_dna(reverse_proto) and pam.matches(reverse_pam):
+            yield Candidate(
+                name=_candidate_name(sequence.name, start, "-"),
+                protospacer=reverse_proto,
+                pam_site=reverse_pam,
+                sequence_name=sequence.name,
+                strand="-",
+                start=start,
+                end=end,
+            )
+
+
+def enumerate_candidates(
+    region: Union[Sequence, Iterable[Sequence]],
+    pam: Union[Pam, str] = "NGG",
+    *,
+    guide_length: int = 20,
+) -> tuple[Candidate, ...]:
+    """Every candidate protospacer in *region* for *pam*.
+
+    Both strands are always scanned. Candidates are ordered by
+    (sequence, start, strand) — forward before reverse at the same
+    start — which is the deterministic order every downstream stage
+    preserves.
+
+    Raises :class:`~repro.errors.DesignError` for an unusable
+    *guide_length* (< 1 or beyond the guide model's maximum).
+    """
+    resolved = pam if isinstance(pam, Pam) else get_pam(pam)
+    if not isinstance(guide_length, int) or isinstance(guide_length, bool):
+        raise DesignError(f"guide_length must be an integer, got {guide_length!r}")
+    if not 1 <= guide_length <= _MAX_LENGTH:
+        raise DesignError(
+            f"guide_length {guide_length} outside [1, {_MAX_LENGTH}]"
+        )
+    sequences = [region] if isinstance(region, Sequence) else list(region)
+    if not sequences:
+        raise DesignError("no region sequences to enumerate")
+    candidates: list[Candidate] = []
+    for sequence in sequences:
+        candidates.extend(_scan_sequence(sequence, resolved, guide_length))
+    return tuple(candidates)

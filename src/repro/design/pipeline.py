@@ -1,0 +1,251 @@
+"""The design pipeline: enumerate → coalesced vet → score → rank.
+
+:func:`run_design` is the one entry point every surface calls — the
+``design`` CLI subcommand, the socket server's ``design`` op, and
+library callers. Its report renders as a ranked TSV
+(:func:`render_design_tsv`) or a JSON document
+(:func:`report_to_json`); both carry the full per-component score
+breakdown plus every candidate's off-target set, so the design run is
+auditable against a per-candidate ``search``.
+
+The pipeline is deterministic end to end: enumeration order is
+positional, vetting is the bit-identical coalesced pass, and scoring
+is pure arithmetic with a fixed tie-break — the same region, reference,
+and weight table always produce the same bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable, Union
+
+from ..core.bitparallel import DEFAULT_KERNEL
+from ..core.compiler import SearchBudget
+from ..errors import DesignError
+from ..genome.sequence import Sequence
+from ..grna.hit import OffTargetHit
+from ..grna.pam import Pam, get_pam
+from ..obs import Metrics
+from .enumerate import Candidate, enumerate_candidates
+from .score import CandidateScore, ScoreWeights, score_candidates
+from .vet import VetResult, vet_candidates, vet_candidates_via_service
+
+if TYPE_CHECKING:  # lazy: design stays importable without the service layer
+    from ..service.api import OffTargetService
+
+
+@dataclass(frozen=True)
+class DesignReport:
+    """Everything one design run produced."""
+
+    pam: Pam
+    guide_length: int
+    budget: SearchBudget
+    weights: ScoreWeights
+    ranked: tuple[CandidateScore, ...]
+    hits_by_candidate: dict[str, tuple[OffTargetHit, ...]]
+    panel_guides: int
+    genome_passes: int
+    stats: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def num_candidates(self) -> int:
+        return len(self.ranked)
+
+    def hits_for(self, candidate: Candidate) -> tuple[OffTargetHit, ...]:
+        return self.hits_by_candidate.get(candidate.name, ())
+
+    def summary(self) -> str:
+        """One-line human summary."""
+        return (
+            f"{self.num_candidates} candidate(s) [{self.pam.name} "
+            f"{self.pam.side}, {self.guide_length} nt] vetted in "
+            f"{self.genome_passes} genome pass(es) over a "
+            f"{self.panel_guides}-guide panel"
+        )
+
+
+def run_design(
+    region: Union[Sequence, Iterable[Sequence]],
+    genome: Union[Sequence, Iterable[Sequence], None],
+    pam: Union[Pam, str] = "NGG",
+    *,
+    guide_length: int = 20,
+    budget: SearchBudget | None = None,
+    weights: ScoreWeights | None = None,
+    workers: int = 1,
+    chunk_length: int = 1 << 20,
+    kernel: str = DEFAULT_KERNEL,
+    metrics: Metrics | None = None,
+    service: "OffTargetService | None" = None,
+    session_id: str = "default",
+    request_id: str = "",
+    timeout_seconds: float | None = None,
+) -> DesignReport:
+    """Run the full pipeline over *region*, vetting against *genome*.
+
+    With *service* set, vetting routes through the serving layer
+    (session registry, compiled-guide cache, admission control) and
+    *genome* is ignored in favour of the registered *session_id*;
+    otherwise *genome* is searched in-process (defaulting to the
+    region itself when ``None`` — self-vetting a small construct).
+
+    Raises :class:`~repro.errors.DesignError` when the region yields
+    no candidate or the weight table is malformed — the same
+    conditions the DSG check rules diagnose.
+    """
+    resolved = pam if isinstance(pam, Pam) else get_pam(pam)
+    weights = weights if weights is not None else ScoreWeights()
+    weights.require_valid(guide_length=guide_length)
+    metrics = metrics if metrics is not None else Metrics()
+    with metrics.span("design.enumerate", pam=resolved.name):
+        candidates = enumerate_candidates(
+            region, resolved, guide_length=guide_length
+        )
+    metrics.incr("design.candidates", len(candidates))
+    if not candidates:
+        raise DesignError(
+            f"region yields no {resolved.name} candidate of length {guide_length} "
+            f"(rule DSG001)"
+        )
+    vetted: VetResult
+    if service is not None:
+        vetted = vet_candidates_via_service(
+            candidates,
+            service,
+            budget or SearchBudget(),
+            resolved,
+            session_id=session_id,
+            request_id=request_id,
+            timeout_seconds=timeout_seconds,
+            metrics=metrics,
+        )
+    else:
+        vetted = vet_candidates(
+            candidates,
+            genome if genome is not None else region,
+            budget or SearchBudget(),
+            resolved,
+            workers=workers,
+            chunk_length=chunk_length,
+            kernel=kernel,
+            metrics=metrics,
+        )
+    with metrics.span("design.score", candidates=len(candidates)):
+        ranked = score_candidates(
+            candidates, resolved, vetted.hits_by_candidate, weights
+        )
+    return DesignReport(
+        pam=resolved,
+        guide_length=guide_length,
+        budget=budget or SearchBudget(),
+        weights=weights,
+        ranked=ranked,
+        hits_by_candidate=vetted.hits_by_candidate,
+        panel_guides=vetted.panel_guides,
+        genome_passes=vetted.genome_passes,
+        stats={**vetted.stats, "obs": metrics.snapshot()},
+    )
+
+
+#: Ranked-report TSV column layout (one row per candidate, best first).
+DESIGN_TSV_HEADER = (
+    "#rank\tname\tsequence\tstart\tend\tstrand\tprotospacer\tpam_site\tscore"
+    "\tgc_fraction\tgc_score\thomopolymer_run\thomopolymer_score\tspecificity"
+    "\toff_targets\trisk_sum\tseed_mismatched_hits\tdistal_only_hits"
+)
+
+
+def render_design_tsv(report: DesignReport) -> str:
+    """The ranked report as a TSV document (deterministic bytes)."""
+    lines = [DESIGN_TSV_HEADER]
+    for rank, score in enumerate(report.ranked, start=1):
+        candidate = score.candidate
+        lines.append(
+            "\t".join(
+                (
+                    str(rank),
+                    candidate.name,
+                    candidate.sequence_name,
+                    str(candidate.start),
+                    str(candidate.end),
+                    candidate.strand,
+                    candidate.protospacer,
+                    candidate.pam_site,
+                    f"{score.total:.6f}",
+                    f"{score.gc_fraction:.4f}",
+                    f"{score.gc_score:.4f}",
+                    str(score.homopolymer_run),
+                    f"{score.homopolymer_score:.4f}",
+                    f"{score.specificity:.6f}",
+                    str(score.off_targets),
+                    f"{score.risk_sum:.6f}",
+                    str(score.seed_mismatched_hits),
+                    str(score.distal_only_hits),
+                )
+            )
+        )
+    return "\n".join(lines) + "\n"
+
+
+def _score_to_json(score: CandidateScore) -> dict[str, Any]:
+    candidate = score.candidate
+    return {
+        "name": candidate.name,
+        "sequence": candidate.sequence_name,
+        "start": candidate.start,
+        "end": candidate.end,
+        "strand": candidate.strand,
+        "protospacer": candidate.protospacer,
+        "pam_site": candidate.pam_site,
+        "score": score.total,
+        "gc_fraction": score.gc_fraction,
+        "gc_score": score.gc_score,
+        "homopolymer_run": score.homopolymer_run,
+        "homopolymer_score": score.homopolymer_score,
+        "specificity": score.specificity,
+        "off_targets": score.off_targets,
+        "risk_sum": score.risk_sum,
+        "seed_mismatched_hits": score.seed_mismatched_hits,
+        "distal_only_hits": score.distal_only_hits,
+    }
+
+
+def report_to_json(report: DesignReport, *, include_hits: bool = True) -> dict[str, Any]:
+    """The ranked report as a JSON-serialisable document.
+
+    ``include_hits`` controls whether every candidate's full
+    off-target set rides along (the wire form the ``design`` service
+    op returns); the ranked rows always do.
+    """
+    document: dict[str, Any] = {
+        "pam": {
+            "name": report.pam.name,
+            "pattern": report.pam.pattern,
+            "side": report.pam.side,
+            "nuclease": report.pam.nuclease,
+        },
+        "guide_length": report.guide_length,
+        "budget": {
+            "mismatches": report.budget.mismatches,
+            "rna_bulges": report.budget.rna_bulges,
+            "dna_bulges": report.budget.dna_bulges,
+        },
+        "candidates": report.num_candidates,
+        "panel_guides": report.panel_guides,
+        "genome_passes": report.genome_passes,
+        "ranked": [_score_to_json(score) for score in report.ranked],
+    }
+    if include_hits:
+        from ..service.server import hit_to_wire
+
+        document["hits"] = {
+            name: [hit_to_wire(hit) for hit in hits]
+            for name, hits in sorted(report.hits_by_candidate.items())
+        }
+    return document
+
+
+def design_report_rows(report: DesignReport) -> list[dict[str, Any]]:
+    """The ranked rows alone (what tables and tests consume)."""
+    return [_score_to_json(score) for score in report.ranked]

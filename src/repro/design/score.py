@@ -1,0 +1,383 @@
+"""Deterministic candidate scoring and ranking.
+
+The composite score follows the hybrid rule scores of the design tools
+the related repos wrap (GC% window, homopolymer runs, off-target
+specificity) with the position-dependence the off-target literature
+established: a mismatch in the PAM-proximal *seed* region disrupts
+cleavage far more than a distal one, so a seed-mismatched off-target
+site contributes much less risk. Risk per hit is a CFD-style product
+of per-position mismatch weights; candidate specificity aggregates the
+panel MIT-style as ``1 / (1 + total risk)``.
+
+Everything is pure arithmetic over the vetting stage's hit sets — no
+randomness, no iteration-order dependence — so a design run is
+reproducible bit-for-bit, which is what lets the service and CLI paths
+be differentially tested against each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence as SequenceType
+
+from .. import alphabet
+from ..errors import DesignError
+from ..grna.hit import OffTargetHit
+from ..grna.pam import Pam
+from .enumerate import Candidate
+
+#: Tolerance for the component-weight sum check.
+_WEIGHT_SUM_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class ScoreWeights:
+    """The score-weight table of one design run.
+
+    Component weights (``gc_weight`` + ``homopolymer_weight`` +
+    ``specificity_weight``) must sum to 1; per-mismatch multipliers
+    live in ``(0, 1]`` — a *smaller* value means a mismatch at that
+    position disrupts cleavage more, so the site contributes less
+    off-target risk.
+
+    ``position_weights``, when given, is an explicit CFD-style
+    per-position table ordered PAM-proximal first; it overrides the
+    two-tier seed/distal model and must cover the guide length.
+    """
+
+    gc_weight: float = 0.25
+    homopolymer_weight: float = 0.25
+    specificity_weight: float = 0.5
+    gc_min: float = 0.40
+    gc_max: float = 0.70
+    homopolymer_max_run: int = 4
+    seed_length: int = 8
+    seed_mismatch_weight: float = 0.2
+    distal_mismatch_weight: float = 0.8
+    bulge_weight: float = 0.3
+    position_weights: tuple[float, ...] | None = None
+
+    def problems(self, *, guide_length: int | None = None) -> list[str]:
+        """Well-formedness findings, empty when the table is usable.
+
+        The list (not an exception) is the checker-facing form: the
+        DSG002 rule renders every finding, while
+        :meth:`require_valid` raises on the first use.
+        """
+        found: list[str] = []
+        components = (
+            ("gc_weight", self.gc_weight),
+            ("homopolymer_weight", self.homopolymer_weight),
+            ("specificity_weight", self.specificity_weight),
+        )
+        for name, value in components:
+            if not 0.0 <= value <= 1.0:
+                found.append(f"{name} must be in [0, 1], got {value!r}")
+        total = sum(value for _, value in components)
+        if abs(total - 1.0) > _WEIGHT_SUM_TOLERANCE:
+            found.append(f"component weights must sum to 1, got {total!r}")
+        if not 0.0 <= self.gc_min <= self.gc_max <= 1.0:
+            found.append(
+                f"GC window must satisfy 0 <= gc_min <= gc_max <= 1, got "
+                f"[{self.gc_min!r}, {self.gc_max!r}]"
+            )
+        if self.homopolymer_max_run < 1:
+            found.append(
+                f"homopolymer_max_run must be >= 1, got {self.homopolymer_max_run!r}"
+            )
+        if self.seed_length < 0:
+            found.append(f"seed_length must be >= 0, got {self.seed_length!r}")
+        for name, value in (
+            ("seed_mismatch_weight", self.seed_mismatch_weight),
+            ("distal_mismatch_weight", self.distal_mismatch_weight),
+            ("bulge_weight", self.bulge_weight),
+        ):
+            if not 0.0 < value <= 1.0:
+                found.append(f"{name} must be in (0, 1], got {value!r}")
+        if self.position_weights is not None:
+            for index, value in enumerate(self.position_weights):
+                if not 0.0 < value <= 1.0:
+                    found.append(
+                        f"position_weights[{index}] must be in (0, 1], got {value!r}"
+                    )
+            if guide_length is not None and len(self.position_weights) < guide_length:
+                found.append(
+                    f"position_weights covers {len(self.position_weights)} positions "
+                    f"but the guide length is {guide_length}"
+                )
+        return found
+
+    def require_valid(self, *, guide_length: int | None = None) -> None:
+        """Raise :class:`DesignError` when the table is malformed."""
+        found = self.problems(guide_length=guide_length)
+        if found:
+            raise DesignError(
+                "malformed score-weight table: " + "; ".join(found)
+            )
+
+    def mismatch_weight(self, pam_distance: int) -> float:
+        """Risk multiplier of one mismatch *pam_distance* bases from the PAM."""
+        if self.position_weights is not None and pam_distance < len(
+            self.position_weights
+        ):
+            return self.position_weights[pam_distance]
+        if pam_distance < self.seed_length:
+            return self.seed_mismatch_weight
+        return self.distal_mismatch_weight
+
+
+#: Wire/CLI key set accepted by :func:`weights_from_mapping`.
+_WEIGHT_FIELDS = {
+    "gc_weight": float,
+    "homopolymer_weight": float,
+    "specificity_weight": float,
+    "gc_min": float,
+    "gc_max": float,
+    "homopolymer_max_run": int,
+    "seed_length": int,
+    "seed_mismatch_weight": float,
+    "distal_mismatch_weight": float,
+    "bulge_weight": float,
+}
+
+
+def weights_from_mapping(
+    raw: Mapping[str, Any] | None, *, guide_length: int | None = None
+) -> ScoreWeights:
+    """Build a validated :class:`ScoreWeights` from a wire/CLI mapping.
+
+    Unknown keys and mistyped values raise :class:`DesignError` (they
+    are operator input, not programmer input); the built table is then
+    checked with :meth:`ScoreWeights.require_valid`.
+    """
+    if raw is None:
+        weights = ScoreWeights()
+        weights.require_valid(guide_length=guide_length)
+        return weights
+    kwargs: dict[str, Any] = {}
+    for key, value in raw.items():
+        if key == "position_weights":
+            if not isinstance(value, (list, tuple)) or not all(
+                isinstance(item, (int, float)) and not isinstance(item, bool)
+                for item in value
+            ):
+                raise DesignError(
+                    f"position_weights must be a list of numbers, got {value!r}"
+                )
+            kwargs[key] = tuple(float(item) for item in value)
+            continue
+        caster = _WEIGHT_FIELDS.get(key)
+        if caster is None:
+            raise DesignError(
+                f"unknown score-weight key {key!r}; known: "
+                f"{sorted(_WEIGHT_FIELDS)} + ['position_weights']"
+            )
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise DesignError(f"score weight {key!r} must be a number, got {value!r}")
+        kwargs[key] = caster(value)
+    weights = ScoreWeights(**kwargs)
+    weights.require_valid(guide_length=guide_length)
+    return weights
+
+
+@dataclass(frozen=True)
+class CandidateScore:
+    """One candidate's ranked outcome with its per-component breakdown."""
+
+    candidate: Candidate
+    total: float
+    gc_fraction: float
+    gc_score: float
+    homopolymer_run: int
+    homopolymer_score: float
+    specificity: float
+    off_targets: int
+    risk_sum: float
+    seed_mismatched_hits: int
+    distal_only_hits: int
+
+
+def gc_fraction(protospacer: str) -> float:
+    """Fraction of G/C bases in a concrete protospacer."""
+    if not protospacer:
+        return 0.0
+    return sum(base in "GC" for base in protospacer) / len(protospacer)
+
+
+def longest_homopolymer_run(protospacer: str) -> int:
+    """Length of the longest single-base run."""
+    best = 0
+    run = 0
+    previous = ""
+    for base in protospacer:
+        run = run + 1 if base == previous else 1
+        previous = base
+        best = max(best, run)
+    return best
+
+
+def _gc_score(fraction: float, weights: ScoreWeights) -> float:
+    """1.0 inside the GC window, linear falloff outside.
+
+    The falloff scale is 0.25 GC-fraction units: a candidate 25
+    percentage points outside the window scores 0.
+    """
+    if weights.gc_min <= fraction <= weights.gc_max:
+        return 1.0
+    distance = (
+        weights.gc_min - fraction
+        if fraction < weights.gc_min
+        else fraction - weights.gc_max
+    )
+    return max(0.0, 1.0 - distance / 0.25)
+
+
+def _homopolymer_score(run: int, weights: ScoreWeights) -> float:
+    """1.0 up to the run cap, 0.25 penalty per extra base beyond it."""
+    excess = max(0, run - weights.homopolymer_max_run)
+    return max(0.0, 1.0 - 0.25 * excess)
+
+
+def _pam_distances(candidate: Candidate, pam: Pam, hit: OffTargetHit) -> list[int]:
+    """PAM distances of the mismatched protospacer positions of *hit*.
+
+    The hit's ``site`` is stored in guide orientation, so positions
+    compare directly against the candidate's target pattern. Returns
+    an empty list for bulged or length-mismatched sites, which cannot
+    be aligned positionally — the caller prices those with the
+    fallback product.
+    """
+    guide = candidate.to_guide(pam)
+    pattern = guide.target_pattern
+    if hit.rna_bulges or hit.dna_bulges or len(hit.site) != len(pattern):
+        return []
+    length = len(candidate.protospacer)
+    distances = []
+    for offset, index in enumerate(guide.protospacer_positions()):
+        if not alphabet.iupac_matches(pattern[index], hit.site[index]):
+            # PAM-proximal distance: 3' PAMs sit after the protospacer,
+            # 5' PAMs before it.
+            distance = length - 1 - offset if pam.side == "3prime" else offset
+            distances.append(distance)
+    return distances
+
+
+def hit_risk(
+    candidate: Candidate, pam: Pam, hit: OffTargetHit, weights: ScoreWeights
+) -> tuple[float, bool]:
+    """(risk contribution, had-a-seed-mismatch) of one off-target hit.
+
+    Risk is the CFD-style product of the per-position mismatch
+    weights. Bulged sites cannot be positionally aligned, so they fall
+    back to ``bulge_weight^bulges * distal_weight^mismatches`` — the
+    conservative (risk-heavier) tier.
+    """
+    bulges = hit.rna_bulges + hit.dna_bulges
+    if bulges or len(hit.site) != candidate.site_length:
+        risk = (weights.bulge_weight**bulges) * (
+            weights.distal_mismatch_weight**hit.mismatches
+        )
+        return risk, False
+    distances = _pam_distances(candidate, pam, hit)
+    risk = 1.0
+    seed_mismatch = False
+    for distance in distances:
+        risk *= weights.mismatch_weight(distance)
+        if distance < weights.seed_length:
+            seed_mismatch = True
+    return risk, seed_mismatch
+
+
+def _is_own_site(candidate: Candidate, hit: OffTargetHit) -> bool:
+    """True when *hit* is the candidate's own on-target site."""
+    return (
+        hit.edits == 0
+        and hit.sequence_name == candidate.sequence_name
+        and hit.strand == candidate.strand
+        and hit.start == candidate.start
+        and hit.end == candidate.end
+    )
+
+
+def score_candidate(
+    candidate: Candidate,
+    pam: Pam,
+    hits: SequenceType[OffTargetHit],
+    weights: ScoreWeights,
+) -> CandidateScore:
+    """Score one candidate against its vetted off-target set.
+
+    The candidate's own on-target site (an exact, coordinate-identical
+    hit — present whenever the vetting reference contains the design
+    region) is excluded from the risk sum: cutting the intended site
+    is the point, not an off-target.
+    """
+    fraction = gc_fraction(candidate.protospacer)
+    run = longest_homopolymer_run(candidate.protospacer)
+    risk_sum = 0.0
+    off_targets = 0
+    seed_mismatched = 0
+    distal_only = 0
+    for hit in hits:
+        if _is_own_site(candidate, hit):
+            continue
+        off_targets += 1
+        risk, seed_mismatch = hit_risk(candidate, pam, hit, weights)
+        risk_sum += risk
+        if seed_mismatch:
+            seed_mismatched += 1
+        else:
+            distal_only += 1
+    gc_component = _gc_score(fraction, weights)
+    homopolymer_component = _homopolymer_score(run, weights)
+    specificity = 1.0 / (1.0 + risk_sum)
+    total = (
+        weights.gc_weight * gc_component
+        + weights.homopolymer_weight * homopolymer_component
+        + weights.specificity_weight * specificity
+    )
+    return CandidateScore(
+        candidate=candidate,
+        total=total,
+        gc_fraction=fraction,
+        gc_score=gc_component,
+        homopolymer_run=run,
+        homopolymer_score=homopolymer_component,
+        specificity=specificity,
+        off_targets=off_targets,
+        risk_sum=risk_sum,
+        seed_mismatched_hits=seed_mismatched,
+        distal_only_hits=distal_only,
+    )
+
+
+def score_candidates(
+    candidates: SequenceType[Candidate],
+    pam: Pam,
+    hits_by_candidate: Mapping[str, SequenceType[OffTargetHit]],
+    weights: ScoreWeights,
+) -> tuple[CandidateScore, ...]:
+    """Score and rank the panel: best first, deterministic tie-break.
+
+    Ties break on (sequence, start, strand, name) so equal-scoring
+    candidates rank in genomic order, run after run.
+    """
+    weights.require_valid(
+        guide_length=len(candidates[0].protospacer) if candidates else None
+    )
+    scored = [
+        score_candidate(
+            candidate, pam, hits_by_candidate.get(candidate.name, ()), weights
+        )
+        for candidate in candidates
+    ]
+    scored.sort(
+        key=lambda score: (
+            -score.total,
+            score.candidate.sequence_name,
+            score.candidate.start,
+            score.candidate.strand,
+            score.candidate.name,
+        )
+    )
+    return tuple(scored)

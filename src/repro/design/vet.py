@@ -1,0 +1,194 @@
+"""Coalesced off-target vetting of a whole candidate panel.
+
+The automata-processing economics the paper is built on: one streaming
+pass of the reference serves every loaded automaton simultaneously.
+Vetting therefore never runs one search per candidate — the entire
+panel is compiled into a single multi-guide search whose one set of
+genome passes answers every candidate at once, and the merged hit list
+is fanned back out per candidate, bit-identical to what a solo
+single-candidate search would have returned (the demux argument of
+:mod:`repro.service.scheduler` applies unchanged: hit enumeration is
+per-guide independent).
+
+Candidates are deduplicated by content first — two candidates with the
+same protospacer (a repeat in the target region) share one compiled
+automaton and one scan, exactly like the serving layer's
+content-canonical cache — then each candidate's hits are renamed back
+to its own name.
+
+Two execution paths share the fan-out logic:
+
+* :func:`vet_candidates` — in-process, one
+  :class:`~repro.core.parallel.ParallelSearch` over the reference;
+* :func:`vet_candidates_via_service` — one coalesced query through an
+  :class:`~repro.service.api.OffTargetService`, reusing its session
+  registry, compiled-guide cache, and admission control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any, Iterable, Sequence as SequenceType, Union
+
+from ..core.compiler import SearchBudget
+from ..core.bitparallel import DEFAULT_KERNEL
+from ..core.parallel import ParallelSearch
+from ..errors import DesignError
+from ..genome.sequence import Sequence
+from ..grna.guide import Guide
+from ..grna.hit import OffTargetHit
+from ..grna.pam import Pam
+from ..obs import Metrics
+from .enumerate import Candidate
+
+if TYPE_CHECKING:  # imported lazily to keep design importable without service
+    from ..service.api import OffTargetService
+
+#: Content identity of a candidate: what determines its automaton.
+PanelKey = tuple[str, str, str]
+
+
+def panel_key(candidate: Candidate, pam: Pam) -> PanelKey:
+    """The content key candidates share an automaton under."""
+    return (candidate.protospacer, pam.pattern, pam.side)
+
+
+@dataclass(frozen=True)
+class VetResult:
+    """The vetting stage's outcome: per-candidate off-target sets."""
+
+    hits_by_candidate: dict[str, tuple[OffTargetHit, ...]]
+    panel_guides: int
+    genome_passes: int
+    stats: dict[str, Any] = field(default_factory=dict)
+
+    def hits_for(self, candidate: Candidate) -> tuple[OffTargetHit, ...]:
+        return self.hits_by_candidate.get(candidate.name, ())
+
+
+def build_panel(
+    candidates: SequenceType[Candidate], pam: Pam
+) -> tuple[tuple[Guide, ...], dict[str, str]]:
+    """Deduplicate *candidates* into a panel of representative guides.
+
+    Returns the representative guides (one per distinct protospacer
+    content, named after the first candidate that carries it) and the
+    candidate-name → representative-name mapping used to fan hits back
+    out.
+    """
+    if not candidates:
+        raise DesignError("cannot vet an empty candidate set")
+    representatives: dict[PanelKey, Guide] = {}
+    rep_of: dict[str, str] = {}
+    for candidate in candidates:
+        key = panel_key(candidate, pam)
+        guide = representatives.get(key)
+        if guide is None:
+            guide = candidate.to_guide(pam)
+            representatives[key] = guide
+        rep_of[candidate.name] = guide.name
+    return tuple(representatives.values()), rep_of
+
+
+def _fan_out(
+    candidates: SequenceType[Candidate],
+    rep_of: dict[str, str],
+    hits: Iterable[OffTargetHit],
+) -> dict[str, tuple[OffTargetHit, ...]]:
+    """Rename the panel's merged hits back to every candidate's name.
+
+    Each candidate receives the hits of its representative, renamed
+    and sorted — the same order a solo single-candidate search report
+    produces.
+    """
+    by_rep: dict[str, list[OffTargetHit]] = {}
+    for hit in hits:
+        by_rep.setdefault(hit.guide_name, []).append(hit)
+    return {
+        candidate.name: tuple(
+            sorted(
+                replace(hit, guide_name=candidate.name)
+                for hit in by_rep.get(rep_of[candidate.name], ())
+            )
+        )
+        for candidate in candidates
+    }
+
+
+def vet_candidates(
+    candidates: SequenceType[Candidate],
+    genome: Union[Sequence, Iterable[Sequence]],
+    budget: SearchBudget,
+    pam: Pam,
+    *,
+    workers: int = 1,
+    chunk_length: int = 1 << 20,
+    kernel: str = DEFAULT_KERNEL,
+    metrics: Metrics | None = None,
+) -> VetResult:
+    """One multi-guide genome pass answering the whole candidate panel."""
+    metrics = metrics if metrics is not None else Metrics()
+    sequences = [genome] if isinstance(genome, Sequence) else list(genome)
+    if not sequences:
+        raise DesignError("no reference sequences to vet against")
+    panel, rep_of = build_panel(candidates, pam)
+    metrics.gauge("design.panel_guides", len(panel))
+    metrics.incr("design.vet.candidates", len(candidates))
+    with metrics.span("design.vet", guides=len(panel)):
+        executor = ParallelSearch(
+            panel,
+            budget,
+            workers=workers,
+            chunk_length=chunk_length,
+            kernel=kernel,
+        )
+        metrics.incr("design.vet.genome_passes")
+        merged = executor.search_many(sequences)
+    return VetResult(
+        hits_by_candidate=_fan_out(candidates, rep_of, merged),
+        panel_guides=len(panel),
+        genome_passes=1,
+        stats={"candidates": len(candidates), "panel_guides": len(panel)},
+    )
+
+
+def vet_candidates_via_service(
+    candidates: SequenceType[Candidate],
+    service: "OffTargetService",
+    budget: SearchBudget,
+    pam: Pam,
+    *,
+    session_id: str = "default",
+    request_id: str = "",
+    timeout_seconds: float | None = None,
+    metrics: Metrics | None = None,
+) -> VetResult:
+    """Vet the panel through the serving layer's coalescing scheduler.
+
+    The deduplicated panel goes in as **one** query, so the scheduler's
+    batching, capacity-pass splitting, compiled-guide cache, and
+    admission control all apply; the result is fanned out exactly like
+    the in-process path and is bit-identical to it.
+    """
+    metrics = metrics if metrics is not None else Metrics()
+    panel, rep_of = build_panel(candidates, pam)
+    metrics.gauge("design.panel_guides", len(panel))
+    metrics.incr("design.vet.candidates", len(candidates))
+    with metrics.span("design.vet.service", guides=len(panel)):
+        result = service.query(
+            panel,
+            budget,
+            session_id=session_id,
+            request_id=request_id,
+            timeout_seconds=timeout_seconds,
+        )
+    return VetResult(
+        hits_by_candidate=_fan_out(candidates, rep_of, result.hits),
+        panel_guides=len(panel),
+        genome_passes=int(result.stats.get("passes", 1)),
+        stats={
+            "candidates": len(candidates),
+            "panel_guides": len(panel),
+            "service": dict(result.stats),
+        },
+    )

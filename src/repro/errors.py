@@ -67,6 +67,10 @@ class PlatformError(ReproError):
     """A platform specification is unknown or inconsistent."""
 
 
+class DesignError(ReproError):
+    """A guide-design pipeline request is invalid (region, weights, PAM)."""
+
+
 class ServiceError(ReproError):
     """The batch-serving layer failed or was misused."""
 

@@ -34,25 +34,36 @@ class Guide:
         Concrete ``ACGT`` string, 5'→3', genome-strand orientation.
     pam:
         A :class:`Pam` or a catalog name / IUPAC pattern.
+    min_length:
+        Explicit opt-in floor for short protospacers. The default
+        floor of ``10`` guards against typo-length guides in tables;
+        truncated-guide designs (the <16 nt tru-gRNA case) pass the
+        length they mean, down to 1.
     """
 
     name: str
     protospacer: str
     pam: Pam = field(default_factory=lambda: get_pam("NGG"))
+    min_length: int | None = None
 
     def __post_init__(self) -> None:
         if isinstance(self.pam, str):
             object.__setattr__(self, "pam", get_pam(self.pam))
+        if self.min_length is not None and self.min_length < 1:
+            raise GuideError(
+                f"guide {self.name!r} min_length must be >= 1, got {self.min_length}"
+            )
         protospacer = self.protospacer.upper().replace("U", "T")
         if not alphabet.is_dna(protospacer):
             raise GuideError(
                 f"guide {self.name!r} protospacer must be concrete ACGT, got "
                 f"{self.protospacer!r}"
             )
-        if not _MIN_LENGTH <= len(protospacer) <= _MAX_LENGTH:
+        floor = self.min_length if self.min_length is not None else _MIN_LENGTH
+        if not floor <= len(protospacer) <= _MAX_LENGTH:
             raise GuideError(
                 f"guide {self.name!r} protospacer length {len(protospacer)} outside "
-                f"[{_MIN_LENGTH}, {_MAX_LENGTH}]"
+                f"[{floor}, {_MAX_LENGTH}]"
             )
         object.__setattr__(self, "protospacer", protospacer)
 
@@ -104,10 +115,22 @@ class Guide:
 
     def with_pam(self, pam: Pam | str) -> "Guide":
         """Return a copy of this guide targeting a different PAM."""
-        return Guide(self.name, self.protospacer, pam if isinstance(pam, Pam) else get_pam(pam))
+        return Guide(
+            self.name,
+            self.protospacer,
+            pam if isinstance(pam, Pam) else get_pam(pam),
+            min_length=self.min_length,
+        )
 
     @classmethod
-    def from_target(cls, name: str, target: str, pam: Pam | str = "NGG") -> "Guide":
+    def from_target(
+        cls,
+        name: str,
+        target: str,
+        pam: Pam | str = "NGG",
+        *,
+        min_length: int | None = None,
+    ) -> "Guide":
         """Build a guide from a full target site (protospacer + PAM).
 
         The PAM-length suffix (3' PAMs) or prefix (5' PAMs) is stripped;
@@ -126,4 +149,4 @@ class Guide:
                 f"target {target!r} does not end in a valid {resolved.name} PAM "
                 f"(found {pam_site!r})"
             )
-        return cls(name, protospacer, resolved)
+        return cls(name, protospacer, resolved, min_length=min_length)

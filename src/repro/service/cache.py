@@ -166,7 +166,13 @@ class CompiledGuideCache:
         # and a concurrent identical miss merely compiles the same
         # deterministic artefact twice (the second insert wins).
         compiled = compile_guide(
-            Guide(canonical_name(key), guide.protospacer, guide.pam), budget
+            Guide(
+                canonical_name(key),
+                guide.protospacer,
+                guide.pam,
+                min_length=guide.min_length,
+            ),
+            budget,
         )
         with self._lock:
             self._entries[key] = compiled

@@ -223,13 +223,15 @@ class ServiceClient:
         :class:`~repro.errors.CapacityError`,
         :class:`~repro.errors.ServiceTransportError`,
         :class:`ServiceError`). Under a :class:`RetryPolicy`, safe
-        failure classes are retried — a ``query`` only when it carries
-        an ``id`` (otherwise a resend could double-execute).
+        failure classes are retried — an executing op (``query`` /
+        ``design``) only when it carries an ``id`` (otherwise a resend
+        could double-execute).
         """
         policy = self._retry
-        safe_to_resend = payload.get("op", "query") != "query" or bool(
-            payload.get("id")
-        )
+        safe_to_resend = payload.get("op", "query") not in (
+            "query",
+            "design",
+        ) or bool(payload.get("id"))
         attempt = 0
         while True:
             attempt += 1
@@ -396,6 +398,54 @@ class ServiceClient:
             hits=tuple(hit_from_wire(raw) for raw in response.get("hits", [])),
             stats=dict(response.get("stats", {})),
         )
+
+    def design(
+        self,
+        region: str,
+        *,
+        region_name: str = "region",
+        pam: str = "NGG",
+        guide_length: int = 20,
+        budget: SearchBudget | None = None,
+        weights: dict[str, Any] | None = None,
+        session_id: str = "default",
+        request_id: str = "",
+        timeout_seconds: float | None = None,
+        include_hits: bool = True,
+    ) -> dict[str, Any]:
+        """Run one design request; returns the ranked report document.
+
+        *region* is the raw target sequence text. Like :meth:`query`,
+        a request without an explicit ``request_id`` is stamped with a
+        client-unique one under a :class:`RetryPolicy`, so retried
+        sends deduplicate server-side instead of re-running the
+        pipeline.
+        """
+        if not request_id and self._retry is not None:
+            request_id = f"d-{self._id_token}-{next(self._id_counter)}"
+        resolved = budget if budget is not None else SearchBudget()
+        payload: dict[str, Any] = {
+            "op": "design",
+            "region": region,
+            "region_name": region_name,
+            "pam": pam,
+            "guide_length": guide_length,
+            "budget": {
+                "mismatches": resolved.mismatches,
+                "rna_bulges": resolved.rna_bulges,
+                "dna_bulges": resolved.dna_bulges,
+            },
+            "session": session_id,
+            "include_hits": include_hits,
+        }
+        if weights is not None:
+            payload["weights"] = weights
+        if request_id:
+            payload["id"] = request_id
+        if timeout_seconds is not None:
+            payload["timeout"] = timeout_seconds
+        response = self.roundtrip(payload)
+        return dict(response.get("report", {}))
 
     def stats(self) -> dict[str, Any]:
         """The service's metrics payload (see ``OffTargetService.stats``)."""

@@ -11,6 +11,10 @@ op           behaviour
 =========== ============================================================
 ``ping``     liveness check → ``{"ok": true, "op": "pong"}``
 ``query``    guides + budget + session → demultiplexed hits and stats
+``design``   region + PAM + guide length (+ budget, weights) → ranked
+             design report; vetting runs as one coalesced query
+             through this server's own service
+
 ``stats``    service metrics (coalesced batches, cache hit rate, sheds)
 ``health``   readiness/liveness: queue depth, sessions, cache gauge,
              connection count, drain state
@@ -55,9 +59,10 @@ import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import Future
-from typing import Any
+from typing import Any, Callable
 
 from ..core.compiler import SearchBudget
+from ..genome.sequence import Sequence
 from ..errors import (
     CapacityError,
     DeadlineExceededError,
@@ -110,7 +115,7 @@ def hit_from_wire(payload: dict[str, Any]) -> OffTargetHit:
 
 def guide_to_wire(guide: Guide) -> dict[str, Any]:
     """One guide as its wire dict, PAM side included."""
-    return {
+    wire: dict[str, Any] = {
         "name": guide.name,
         "protospacer": guide.protospacer,
         "pam": {
@@ -120,6 +125,9 @@ def guide_to_wire(guide: Guide) -> dict[str, Any]:
             "nuclease": guide.pam.nuclease,
         },
     }
+    if guide.min_length is not None:
+        wire["min_length"] = guide.min_length
+    return wire
 
 
 def guide_from_wire(payload: dict[str, Any], *, default_pam: str = "NGG") -> Guide:
@@ -139,7 +147,12 @@ def guide_from_wire(payload: dict[str, Any], *, default_pam: str = "NGG") -> Gui
         )
     else:
         pam = get_pam(raw_pam)
-    return Guide(payload["name"], payload["protospacer"], pam)
+    return Guide(
+        payload["name"],
+        payload["protospacer"],
+        pam,
+        min_length=payload.get("min_length"),
+    )
 
 
 def budget_from_wire(payload: dict[str, Any]) -> SearchBudget:
@@ -259,7 +272,7 @@ class OffTargetServer:
         self._handler_lock = threading.Lock()
         self._handlers: dict[threading.Thread, socket.socket] = {}
         self._idemp_lock = threading.Lock()
-        self._inflight: dict[str, "Future[ServiceResult]"] = {}
+        self._inflight: dict[str, "Future[Any]"] = {}
         self._completed: "OrderedDict[str, dict[str, Any]]" = OrderedDict()
         self._executions: dict[str, int] = {}
 
@@ -666,6 +679,8 @@ class OffTargetServer:
                 return {"ok": True, "op": "bye"}
             if op == "query":
                 return self._respond_query(payload)
+            if op == "design":
+                return self._respond_design(payload)
             raise ServiceError(f"unknown op {op!r}")
         except Exception as error:
             kind = _error_kind(error)
@@ -724,8 +739,23 @@ class OffTargetServer:
             timeout_seconds=timeout,
         )
 
-    def _respond_query(self, payload: dict[str, Any]) -> dict[str, Any]:
-        guides, budget, session_id, request_id, timeout = self._decode_query(payload)
+    def _respond_idempotent(
+        self,
+        request_id: str,
+        start: Callable[[], "Future[Any]"],
+        render: Callable[[Any], dict[str, Any]],
+    ) -> dict[str, Any]:
+        """Execute-once machinery shared by every executing op.
+
+        With a *request_id*: a recorded completed response is replayed
+        bit-identically without re-executing; an id already in flight
+        joins the first execution's future; otherwise *start* runs
+        exactly once and its rendered response is remembered (LRU,
+        ``idempotency_capacity``-bounded). A typed failure is *not*
+        recorded — a shed/expired/over-capacity request never
+        executed, so resubmission is safe. Without an id the op simply
+        executes (nothing to deduplicate against).
+        """
         if request_id:
             with self._idemp_lock:
                 recorded = self._completed.get(request_id)
@@ -737,16 +767,14 @@ class OffTargetServer:
                     return dict(recorded)
                 future = self._inflight.get(request_id)
                 if future is None:
-                    future = self._submit(
-                        guides, budget, session_id, request_id, timeout
-                    )
+                    future = start()
                     self._inflight[request_id] = future
                 else:
                     self._metrics.incr("service.server.requests.deduped")
         else:
-            future = self._submit(guides, budget, session_id, request_id, timeout)
+            future = start()
         try:
-            result: ServiceResult = future.result()
+            result = future.result()
         except Exception:
             # A typed failure is not recorded: deadline/capacity/shed
             # requests were never executed, so resubmission is safe.
@@ -754,14 +782,7 @@ class OffTargetServer:
                 with self._idemp_lock:
                     self._inflight.pop(request_id, None)
             raise
-        response = {
-            "ok": True,
-            "op": "result",
-            "id": result.request_id,
-            "num_hits": result.num_hits,
-            "hits": [hit_to_wire(hit) for hit in result.hits],
-            "stats": result.stats,
-        }
+        response = render(result)
         if request_id:
             with self._idemp_lock:
                 self._inflight.pop(request_id, None)
@@ -769,3 +790,124 @@ class OffTargetServer:
                 while len(self._completed) > self._idempotency_capacity:
                     self._completed.popitem(last=False)
         return response
+
+    def _respond_query(self, payload: dict[str, Any]) -> dict[str, Any]:
+        guides, budget, session_id, request_id, timeout = self._decode_query(payload)
+
+        def render(result: ServiceResult) -> dict[str, Any]:
+            return {
+                "ok": True,
+                "op": "result",
+                "id": result.request_id,
+                "num_hits": result.num_hits,
+                "hits": [hit_to_wire(hit) for hit in result.hits],
+                "stats": result.stats,
+            }
+
+        return self._respond_idempotent(
+            request_id,
+            lambda: self._submit(guides, budget, session_id, request_id, timeout),
+            render,
+        )
+
+    # -- the design op -------------------------------------------------------
+
+    def _decode_design(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Parse a design payload, wrapping malformed-wire stdlib errors."""
+        raw_region = payload.get("region")
+        if not isinstance(raw_region, str) or not raw_region:
+            raise ServiceError("design needs a non-empty 'region' sequence string")
+        try:
+            region = Sequence.from_text(
+                str(payload.get("region_name", "region")), raw_region
+            )
+            pam = get_pam(str(payload.get("pam", "NGG")))
+            guide_length = int(payload.get("guide_length", 20))
+            budget = budget_from_wire(payload.get("budget", {}))
+            session_id = str(payload.get("session", "default"))
+            request_id = str(payload.get("id", ""))
+            raw_timeout = payload.get("timeout")
+            timeout = None if raw_timeout is None else float(raw_timeout)
+            raw_weights = payload.get("weights")
+            if raw_weights is not None and not isinstance(raw_weights, dict):
+                raise ServiceError("design 'weights' must be a JSON object")
+            include_hits = bool(payload.get("include_hits", True))
+        except (KeyError, TypeError, ValueError) as error:
+            raise ServiceError(f"malformed design request: {error!r}") from error
+        return {
+            "region": region,
+            "pam": pam,
+            "guide_length": guide_length,
+            "budget": budget,
+            "session_id": session_id,
+            "request_id": request_id,
+            "timeout": timeout,
+            "weights": raw_weights,
+            "include_hits": include_hits,
+        }
+
+    def _start_design(self, params: dict[str, Any]) -> "Future[Any]":
+        """Begin one design execution; its future resolves the report.
+
+        The pipeline itself runs on a worker thread so a design id in
+        flight can be joined by a concurrent retry exactly like a
+        query id; the vetting stage inside goes through this server's
+        own service (session registry, compiled-guide cache,
+        admission control).
+        """
+        from ..design.pipeline import run_design
+        from ..design.score import weights_from_mapping
+
+        weights = weights_from_mapping(
+            params["weights"], guide_length=params["guide_length"]
+        )
+        self._metrics.incr("service.server.executions")
+        self._metrics.incr("service.server.design_requests")
+        request_id = params["request_id"]
+        if request_id:
+            self._executions[request_id] = self._executions.get(request_id, 0) + 1
+        future: "Future[Any]" = Future()
+
+        def _run() -> None:
+            try:
+                report = run_design(
+                    params["region"],
+                    None,
+                    params["pam"],
+                    guide_length=params["guide_length"],
+                    budget=params["budget"],
+                    weights=weights,
+                    service=self._service,
+                    session_id=params["session_id"],
+                    request_id=request_id,
+                    timeout_seconds=params["timeout"],
+                )
+            except BaseException as error:  # noqa: BLE001 - relayed to caller
+                future.set_exception(error)
+            else:
+                future.set_result(report)
+
+        threading.Thread(
+            target=_run, name="repro-service-design", daemon=True
+        ).start()
+        return future
+
+    def _respond_design(self, payload: dict[str, Any]) -> dict[str, Any]:
+        params = self._decode_design(payload)
+
+        def render(report: Any) -> dict[str, Any]:
+            from ..design.pipeline import report_to_json
+
+            return {
+                "ok": True,
+                "op": "design_result",
+                "id": params["request_id"],
+                "candidates": report.num_candidates,
+                "report": report_to_json(
+                    report, include_hits=params["include_hits"]
+                ),
+            }
+
+        return self._respond_idempotent(
+            params["request_id"], lambda: self._start_design(params), render
+        )

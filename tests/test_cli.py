@@ -327,3 +327,89 @@ class TestSynthesize:
         main(["synthesize", "--length", "2000", "--seed", "9", "--out", str(a)])
         main(["synthesize", "--length", "2000", "--seed", "9", "--out", str(b)])
         assert a.read_text() == b.read_text()
+
+
+class TestDesignCli:
+    @pytest.fixture()
+    def region(self, tmp_path):
+        from repro.genome.sequence import Sequence
+
+        genome = random_genome(30_000, seed=71, name="chrCli")
+        path = tmp_path / "region.fa"
+        region = Sequence.from_text("region", genome.window(2_000, 400))
+        write_fasta([region], path)
+        return path
+
+    def test_design_tsv_is_deterministic(self, region, reference, capsys):
+        argv = ["design", str(region), "--genome", str(reference), "--mismatches", "2"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        header, *rows = first.splitlines()
+        assert header.startswith("#rank\tname\t")
+        assert rows
+        ranks = [int(row.split("\t")[0]) for row in rows]
+        assert ranks == list(range(1, len(rows) + 1))
+
+    def test_design_json_document(self, region, reference, tmp_path):
+        out = tmp_path / "report.json"
+        stats = tmp_path / "stats.json"
+        code = main(
+            [
+                "design",
+                str(region),
+                "--genome",
+                str(reference),
+                "--nuclease",
+                "NNGRRT",
+                "--format",
+                "json",
+                "--out",
+                str(out),
+                "--stats-json",
+                str(stats),
+            ]
+        )
+        assert code == 0
+        document = json.loads(out.read_text())
+        assert document["pam"]["name"] == "NNGRRT"
+        assert document["candidates"] == len(document["ranked"])
+        assert document["genome_passes"] == 1
+        payload = json.loads(stats.read_text())
+        assert payload["command"] == "design"
+        assert payload["num_candidates"] == document["candidates"]
+
+    def test_design_empty_region_exits_1_with_dsg001(self, tmp_path, capsys):
+        path = tmp_path / "tiny.fa"
+        write_fasta([random_genome(8, seed=1, name="tiny")], path)
+        assert main(["design", str(path)]) == 1
+        assert "DSG001" in capsys.readouterr().err
+
+    def test_design_bad_weights_exit_codes(self, region, tmp_path, capsys):
+        weights = tmp_path / "weights.json"
+        weights.write_text('{"gc_weight": 2.0}')
+        assert main(["design", str(region), "--weights", str(weights)]) == 1
+        assert "DSG002" in capsys.readouterr().err
+        weights.write_text("{not json")
+        assert main(["design", str(region), "--weights", str(weights)]) == 2
+        assert "unreadable" in capsys.readouterr().err
+
+    def test_design_capacity_preflight_exits_1(self, region, capsys):
+        code = main(
+            [
+                "design",
+                str(region),
+                "--platform",
+                "ap",
+                "--capacity-stes",
+                "4",
+            ]
+        )
+        assert code == 1
+        assert "DSG003" in capsys.readouterr().err
+
+    def test_design_unknown_pam_exits_2(self, region, capsys):
+        assert main(["design", str(region), "--pam", "XYZ!"]) == 2
+        assert "error:" in capsys.readouterr().err

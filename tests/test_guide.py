@@ -36,6 +36,43 @@ class TestConstruction:
             Guide("g", "A" * 31)
 
 
+class TestMinLengthOverride:
+    """The explicit floor override for short (tru-gRNA) designs."""
+
+    def test_short_guide_allowed_with_override(self):
+        guide = Guide("g", "ACGTACGTA", min_length=9)
+        assert len(guide) == 9
+        assert guide.min_length == 9
+
+    def test_default_path_still_enforces_the_floor(self):
+        # No override -> the 10 nt floor holds exactly as before.
+        with pytest.raises(GuideError):
+            Guide("g", "ACGTACGTA")
+        with pytest.raises(GuideError):
+            Guide("g", "ACGT", min_length=5)  # below even the override
+
+    def test_override_does_not_lift_the_maximum(self):
+        with pytest.raises(GuideError):
+            Guide("g", "A" * 31, min_length=1)
+
+    def test_override_must_be_positive(self):
+        with pytest.raises(GuideError):
+            Guide("g", "ACGTACGTACGTACGTACGT", min_length=0)
+        with pytest.raises(GuideError):
+            Guide("g", "ACGTACGTACGTACGTACGT", min_length=-3)
+
+    def test_with_pam_preserves_the_override(self):
+        guide = Guide("g", "ACGTACGTA", min_length=9)
+        relaxed = guide.with_pam("NRG")
+        assert relaxed.min_length == 9
+        assert relaxed.protospacer == guide.protospacer
+
+    def test_from_target_passes_the_override_through(self):
+        guide = Guide.from_target("g", "ACGTACGTA" + "AGG", min_length=9)
+        assert guide.protospacer == "ACGTACGTA"
+        assert guide.min_length == 9
+
+
 class TestPatterns:
     def test_target_pattern_3prime(self, guide):
         assert guide.target_pattern == guide.protospacer + "NGG"

@@ -31,6 +31,15 @@ class TestCatalog:
         with pytest.raises(PamError):
             get_pam("XYZ!")
 
+    def test_sacas9_preset_is_pinned(self):
+        # Satellite regression: the SaCas9 preset must stay in the
+        # catalog with its 6 bp 3' motif.
+        pam = PAM_CATALOG["NNGRRT"]
+        assert pam.nuclease == "SaCas9"
+        assert pam.side == "3prime"
+        assert len(pam) == 6
+        assert pam.reverse_complement_pattern() == "AYYCNN"
+
 
 class TestMatching:
     def test_ngg_matches(self):

@@ -50,6 +50,19 @@ guides = st.builds(
     pam=st.one_of(catalog_pams, custom_pams),
 )
 
+#: Short (tru-gRNA style) guides carrying an explicit length floor; the
+#: wire must round-trip ``min_length`` or the server would reject them
+#: when rebuilding the Guide.
+short_guides = st.integers(min_value=1, max_value=9).flatmap(
+    lambda n: st.builds(
+        Guide,
+        name=names,
+        protospacer=st.text(alphabet="ACGT", min_size=n, max_size=9),
+        pam=catalog_pams,
+        min_length=st.just(n),
+    )
+)
+
 hits = st.builds(
     OffTargetHit,
     guide_name=names,
@@ -88,6 +101,16 @@ def test_guide_wire_dict_is_self_contained(guide):
     payload = guide_to_wire(guide)
     assert set(payload) == {"name", "protospacer", "pam"}
     assert set(payload["pam"]) == {"name", "pattern", "side", "nuclease"}
+
+
+@given(short_guides)
+@settings(max_examples=100)
+def test_short_guide_round_trips_with_min_length(guide):
+    payload = guide_to_wire(guide)
+    assert payload["min_length"] == guide.min_length
+    rebuilt = guide_from_wire(over_the_wire(payload))
+    assert rebuilt == guide
+    assert rebuilt.min_length == guide.min_length
 
 
 @given(names, protospacers, catalog_pams)
