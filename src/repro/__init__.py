@@ -34,6 +34,7 @@ from .grna.library import GuideLibrary, parse_guide_table, sample_guides_from_ge
 from .grna.pam import Pam, get_pam, PAM_CATALOG
 from .grna.hit import OffTargetHit, render_alignment
 from .service import OffTargetService, ServiceClient, ServiceResult
+from .cluster import BackendSpec, ClusterRouter, RouterConfig
 from .design import (
     Candidate,
     CandidateScore,
@@ -82,6 +83,9 @@ __all__ = [
     "OffTargetService",
     "ServiceClient",
     "ServiceResult",
+    "BackendSpec",
+    "ClusterRouter",
+    "RouterConfig",
     "Candidate",
     "CandidateScore",
     "DesignReport",

@@ -37,7 +37,7 @@ from .prove import (
     prove_guide,
     require_equivalence,
 )
-from .service import check_guide_cache, check_server
+from .service import check_guide_cache, check_router_config, check_server
 from .report import CheckReport, Diagnostic, Severity
 
 __all__ = [
@@ -60,6 +60,7 @@ __all__ = [
     "require_equivalence",
     "check_design_request",
     "check_guide_cache",
+    "check_router_config",
     "check_server",
     "lint_paths",
     "lint_source",

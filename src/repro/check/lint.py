@@ -54,7 +54,7 @@ from .report import CheckReport, Diagnostic, Severity
 
 #: packages under src/repro that the typing gate holds to strict rules.
 STRICT_PACKAGES = frozenset(
-    {"automata", "core", "design", "grna", "platforms", "check", "service"}
+    {"automata", "cluster", "core", "design", "grna", "platforms", "check", "service"}
 )
 
 #: field types too heavy to ship through the process pool.

@@ -17,8 +17,9 @@ SVC002   E        every cache entry coheres with its key: the cached
                   artefact's protospacer / PAM / budget equal the
                   key's, and its name is the key's canonical name.
 SVC003   E        cache counters cohere: ``hits + misses == lookups``
-                  and ``evictions <= misses`` (every eviction was
-                  caused by a miss-driven insertion).
+                  and ``evictions <= misses + adoptions`` (every
+                  eviction was caused by a miss-driven or
+                  adoption-driven insertion).
 SVC004   I        cache occupancy / hit-rate observation for capacity
                   planning.
 SVC005   E        retry idempotency: no request id was submitted for
@@ -32,6 +33,19 @@ SVC006   E        drain/lifecycle coherence: a stopped or draining
 SVC007   I        serving-edge observation: connections accepted /
                   rejected / active, executions vs deduped replays,
                   drain completions.
+SVC008   E        a router config names at least one backend (an empty
+                  set routes nothing and fails every request).
+SVC009   E        backend endpoints and names are unique (a duplicate
+                  endpoint double-weights one node on the hash ring; a
+                  duplicate name makes membership state ambiguous).
+SVC010   E/W      replica count is positive (E) and does not exceed
+                  the number of backends (W: extra replicas are dead
+                  weight in the preference walk).
+SVC011   E/W      probe/drain timing sanity: probe interval, probe
+                  timeout positive, hysteresis thresholds >= 1, drain
+                  deadline and in-flight bound sane (E); a probe
+                  timeout exceeding the probe interval overlaps probe
+                  cycles (W).
 ======== ======== ======================================================
 """
 
@@ -42,6 +56,7 @@ from typing import TYPE_CHECKING
 from .report import CheckReport, Diagnostic, Severity
 
 if TYPE_CHECKING:  # imported lazily to keep check importable standalone
+    from ..cluster.router import RouterConfig
     from ..service.cache import CompiledGuideCache
     from ..service.server import OffTargetServer
 
@@ -106,14 +121,15 @@ def check_guide_cache(
                 subject=subject,
             )
         )
-    if counters["evictions"] > counters["misses"]:
+    adoptions = counters.get("adoptions", 0)
+    if counters["evictions"] > counters["misses"] + adoptions:
         report.add(
             Diagnostic(
                 Severity.ERROR,
                 "SVC003",
                 f"counters incoherent: evictions {counters['evictions']} exceed "
-                f"misses {counters['misses']} (every eviction follows a "
-                f"miss-driven insertion)",
+                f"misses {counters['misses']} + adoptions {adoptions} (every "
+                f"eviction follows a miss- or adoption-driven insertion)",
                 subject=subject,
             )
         )
@@ -232,4 +248,159 @@ def check_server(
             subject=subject,
         )
     )
+    return report
+
+
+def check_router_config(
+    config: "RouterConfig", *, subject: str = "cluster-router"
+) -> CheckReport:
+    """Verify a router configuration before it takes traffic.
+
+    A misconfigured router fails *quietly* — a duplicate endpoint
+    double-weights one node on the hash ring, a zero probe interval
+    spins the prober, an oversized replica count silently walks past
+    the membership it has — so the SVC008–SVC011 rules run at router
+    construction and under ``repro-offtarget route`` before binding.
+    """
+    report = CheckReport()
+
+    if not config.backends:
+        report.add(
+            Diagnostic(
+                Severity.ERROR,
+                "SVC008",
+                "router has no backends — every key would fail to route",
+                subject=subject,
+                hint="pass at least one host:port via --backends",
+            )
+        )
+
+    seen_endpoints: dict[tuple[str, int], str] = {}
+    seen_names: set[str] = set()
+    for backend in config.backends:
+        endpoint = (backend.host, backend.port)
+        if endpoint in seen_endpoints:
+            report.add(
+                Diagnostic(
+                    Severity.ERROR,
+                    "SVC009",
+                    f"backend endpoint {backend.host}:{backend.port} appears "
+                    f"more than once (as {seen_endpoints[endpoint]!r} and "
+                    f"{backend.name!r}) — one node would be double-weighted "
+                    f"on the hash ring",
+                    subject=subject,
+                    element=backend.name,
+                )
+            )
+        else:
+            seen_endpoints[endpoint] = backend.name
+        if backend.name in seen_names:
+            report.add(
+                Diagnostic(
+                    Severity.ERROR,
+                    "SVC009",
+                    f"backend name {backend.name!r} appears more than once — "
+                    f"membership state would be ambiguous",
+                    subject=subject,
+                    element=backend.name,
+                )
+            )
+        seen_names.add(backend.name)
+
+    if config.replicas < 1:
+        report.add(
+            Diagnostic(
+                Severity.ERROR,
+                "SVC010",
+                f"replica count must be >= 1, got {config.replicas}",
+                subject=subject,
+            )
+        )
+    elif config.backends and config.replicas > len(config.backends):
+        report.add(
+            Diagnostic(
+                Severity.WARNING,
+                "SVC010",
+                f"replica count {config.replicas} exceeds the "
+                f"{len(config.backends)}-backend membership — the preference "
+                f"walk can never visit more nodes than exist",
+                subject=subject,
+            )
+        )
+
+    if config.probe_interval_seconds <= 0:
+        report.add(
+            Diagnostic(
+                Severity.ERROR,
+                "SVC011",
+                f"probe interval must be positive, got "
+                f"{config.probe_interval_seconds!r}",
+                subject=subject,
+            )
+        )
+    if config.probe_timeout_seconds <= 0:
+        report.add(
+            Diagnostic(
+                Severity.ERROR,
+                "SVC011",
+                f"probe timeout must be positive, got "
+                f"{config.probe_timeout_seconds!r}",
+                subject=subject,
+            )
+        )
+    elif (
+        config.probe_interval_seconds > 0
+        and config.probe_timeout_seconds > config.probe_interval_seconds
+    ):
+        report.add(
+            Diagnostic(
+                Severity.WARNING,
+                "SVC011",
+                f"probe timeout {config.probe_timeout_seconds!r}s exceeds the "
+                f"probe interval {config.probe_interval_seconds!r}s — probe "
+                f"cycles can overlap",
+                subject=subject,
+                hint="keep the timeout below the interval so one slow backend "
+                "cannot stall the next cycle",
+            )
+        )
+    if config.failure_threshold < 1 or config.recovery_threshold < 1:
+        report.add(
+            Diagnostic(
+                Severity.ERROR,
+                "SVC011",
+                f"hysteresis thresholds must be >= 1, got failure "
+                f"{config.failure_threshold!r} / recovery "
+                f"{config.recovery_threshold!r}",
+                subject=subject,
+            )
+        )
+    if config.drain_deadline_seconds < 0:
+        report.add(
+            Diagnostic(
+                Severity.ERROR,
+                "SVC011",
+                f"drain deadline must be >= 0, got "
+                f"{config.drain_deadline_seconds!r}",
+                subject=subject,
+            )
+        )
+    if config.max_inflight < 1:
+        report.add(
+            Diagnostic(
+                Severity.ERROR,
+                "SVC011",
+                f"max_inflight must be >= 1, got {config.max_inflight!r}",
+                subject=subject,
+            )
+        )
+    if config.virtual_nodes < 1:
+        report.add(
+            Diagnostic(
+                Severity.ERROR,
+                "SVC011",
+                f"virtual_nodes must be >= 1, got {config.virtual_nodes!r}",
+                subject=subject,
+            )
+        )
     return report

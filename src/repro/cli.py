@@ -262,6 +262,89 @@ def build_parser() -> argparse.ArgumentParser:
         "in-flight requests this long to finish, then exit",
     )
 
+    route = commands.add_parser(
+        "route",
+        help="run the cluster router over N running serve backends",
+    )
+    route.add_argument(
+        "--backends",
+        nargs="+",
+        required=True,
+        metavar="HOST:PORT",
+        help="backend serve endpoints; order fixes the stable backend "
+        "names (b0, b1, ...) the hash ring and stats use",
+    )
+    route.add_argument("--host", default="127.0.0.1", help="bind address")
+    route.add_argument(
+        "--port",
+        type=_nonnegative_int,
+        default=0,
+        help="bind port (0 = pick a free port; the chosen one is announced)",
+    )
+    route.add_argument(
+        "--replicas",
+        type=_positive_int,
+        default=2,
+        help="failover width: how many ring-preference backends may serve "
+        "one key (primary + failover candidates)",
+    )
+    route.add_argument(
+        "--virtual-nodes",
+        type=_positive_int,
+        default=64,
+        help="hash-ring points per backend (higher = smoother balance)",
+    )
+    route.add_argument(
+        "--probe-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="health-probe cadence per backend",
+    )
+    route.add_argument(
+        "--probe-timeout",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="per-probe connection/read budget",
+    )
+    route.add_argument(
+        "--failure-threshold",
+        type=_positive_int,
+        default=3,
+        help="consecutive probe/traffic failures before a backend is "
+        "quarantined",
+    )
+    route.add_argument(
+        "--recovery-threshold",
+        type=_positive_int,
+        default=2,
+        help="consecutive probe successes before a quarantined backend "
+        "rejoins (the hysteresis that stops flapping nodes thrashing "
+        "the ring)",
+    )
+    route.add_argument(
+        "--drain-deadline",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="on SIGTERM/SIGINT (or the 'drain' op): stop accepting, give "
+        "in-flight forwards this long to finish, then exit",
+    )
+    route.add_argument(
+        "--max-inflight",
+        type=_positive_int,
+        default=64,
+        help="router admission bound; requests beyond it are shed with a "
+        "typed 'overloaded' line",
+    )
+    route.add_argument(
+        "--stats-json",
+        metavar="PATH",
+        help="write router metrics (members, failovers, re-issues, warmup "
+        "forwards) as JSON to PATH ('-' for stdout) on exit",
+    )
+
     query = commands.add_parser("query", help="query a running serve instance")
     query.add_argument("guides", help="guide table path (name  protospacer)")
     query.add_argument("--pam", default="NGG", help="PAM name or IUPAC pattern")
@@ -654,6 +737,73 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_route(args: argparse.Namespace) -> int:
+    import signal
+
+    from .check import check_router_config
+    from .cluster import ClusterRouter, RouterConfig, specs_from_endpoints
+
+    config = RouterConfig(
+        backends=specs_from_endpoints(args.backends),
+        replicas=args.replicas,
+        virtual_nodes=args.virtual_nodes,
+        probe_interval_seconds=args.probe_interval,
+        probe_timeout_seconds=args.probe_timeout,
+        failure_threshold=args.failure_threshold,
+        recovery_threshold=args.recovery_threshold,
+        drain_deadline_seconds=args.drain_deadline,
+        max_inflight=args.max_inflight,
+    )
+    # Surface the SVC008-SVC011 report before binding anything: a
+    # misconfigured router should fail loudly at launch, not route
+    # wrongly under load.
+    report = check_router_config(config)
+    if report.errors or report.warnings:
+        print(report.to_text(), file=sys.stderr)
+    if report.errors:
+        return 2
+    router = ClusterRouter(config, host=args.host, port=args.port)
+    host, port = router.start(probe=True)
+    endpoints = ", ".join(
+        f"{spec.name}={spec.endpoint}" for spec in config.backends
+    )
+    # Same announce-line contract as `serve`: the e2e tests parse it.
+    print(
+        f"# routing {len(config.backends)} backend(s) ({endpoints}) "
+        f"on {host}:{port}",
+        flush=True,
+    )
+
+    def _begin_drain(signum: int, frame: object) -> None:
+        print(
+            f"# received signal {signum}; draining in-flight forwards",
+            file=sys.stderr,
+            flush=True,
+        )
+        router.request_drain()
+
+    previous = {
+        signal.SIGTERM: signal.signal(signal.SIGTERM, _begin_drain),
+        signal.SIGINT: signal.signal(signal.SIGINT, _begin_drain),
+    }
+    try:
+        router.serve_forever()
+    finally:
+        router.stop()
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    if args.stats_json:
+        payload = {"command": "route", "stats": router.stats()}
+        if args.stats_json == "-":
+            json.dump(payload, sys.stdout, indent=2, default=repr)
+            print(flush=True)
+        else:
+            with open(args.stats_json, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, default=repr)
+            print(f"# wrote router stats to {args.stats_json}", file=sys.stderr)
+    return 0
+
+
 def _command_query(args: argparse.Namespace) -> int:
     from .analysis.report_io import write_bed, write_tsv
     from .service import RetryPolicy, ServiceClient
@@ -946,6 +1096,7 @@ def main(argv: list[str] | None = None) -> int:
         "synthesize": _command_synthesize,
         "check": _command_check,
         "serve": _command_serve,
+        "route": _command_route,
         "query": _command_query,
         "design": _command_design,
     }

@@ -1,0 +1,31 @@
+"""`repro.cluster` — sharded serving behind a consistent-hash router.
+
+The horizontal tier over :mod:`repro.service`: a
+:class:`~repro.cluster.router.ClusterRouter` consistent-hashes
+``(session, guide-panel)`` keys across N backend ``repro-offtarget
+serve`` nodes, with health-gated membership
+(:class:`~repro.cluster.membership.Membership`), same-request-id
+failover re-issue, compiled-guide warmup forwarding, and bounded
+admission control. Exposed on the command line as ``repro-offtarget
+route``.
+"""
+
+from .membership import BackendSpec, Membership, specs_from_endpoints
+from .router import (
+    ROUTE_OBS,
+    ClusterRouter,
+    HashRing,
+    RouterConfig,
+    route_key,
+)
+
+__all__ = [
+    "BackendSpec",
+    "ClusterRouter",
+    "HashRing",
+    "Membership",
+    "ROUTE_OBS",
+    "RouterConfig",
+    "route_key",
+    "specs_from_endpoints",
+]

@@ -1,0 +1,345 @@
+"""Health-gated membership: which backends may take traffic right now.
+
+The router's view of the world is never "the configured backend set" —
+it is the subset of that set that answered recent ``health`` probes.
+Each backend carries a tiny hysteresis state machine:
+
+* **live** — eligible for routing. ``failure_threshold`` *consecutive*
+  probe failures (or router-observed transport failures, which count
+  the same) demote it to quarantined.
+* **quarantined** — excluded from routing, still probed. Only
+  ``recovery_threshold`` consecutive probe *successes* readmit it.
+
+The two thresholds are the hysteresis: a flapping node — alive,
+overloaded, alive — pays the full recovery ladder before regaining
+traffic instead of thrashing the ring on every blip, while a node that
+crashed cleanly leaves within ``failure_threshold`` probes. Backends
+start optimistic-live so a cold router routes immediately rather than
+blocking a full probe cycle.
+
+A probe is one ``health`` roundtrip on a fresh connection (a
+persistent probe connection would keep measuring a *stale* path after
+the backend restarts). A backend that answers but reports
+``ready: false`` — draining, closed service — counts as a probe
+failure: it is alive, but traffic sent there would be refused, and
+quarantine-with-recovery is exactly the treatment we want for a node
+mid-drain. The full health payload of the last successful probe is
+retained per member, so load-aware callers can read in-flight counts,
+cache hit rates, session lists, and uptime without re-probing
+(:meth:`Membership.health_of`).
+
+Probing runs either on the background thread (:meth:`Membership.start`,
+the ``route`` CLI's mode) or synchronously via
+:meth:`Membership.probe_once` — the deterministic mode the cluster
+tests drive, where "a node rejoins within one probe cycle" is a
+statement about one explicit call.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from ..errors import ServiceError, ServiceTransportError
+from ..obs import Metrics
+from ..service.chaos import ChaosPlan
+from ..service.client import ServiceClient
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """One backend node: a stable name and its socket endpoint."""
+
+    name: str
+    host: str
+    port: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ServiceError("backend name must be non-empty")
+        if not self.host:
+            raise ServiceError(f"backend {self.name!r} needs a host")
+        if not isinstance(self.port, int) or not 1 <= self.port <= 65535:
+            raise ServiceError(
+                f"backend {self.name!r} port must be in [1, 65535], "
+                f"got {self.port!r}"
+            )
+
+    @property
+    def endpoint(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    @classmethod
+    def parse(cls, text: str, *, name: str = "") -> "BackendSpec":
+        """Parse ``host:port`` (the ``--backends`` CLI form)."""
+        host, separator, raw_port = text.rpartition(":")
+        if not separator or not host:
+            raise ServiceError(
+                f"backend spec {text!r} is not of the form host:port"
+            )
+        try:
+            port = int(raw_port)
+        except ValueError as error:
+            raise ServiceError(
+                f"backend spec {text!r} has a non-integer port"
+            ) from error
+        return cls(name=name or text, host=host, port=port)
+
+
+@dataclass
+class _MemberState:
+    """Mutable hysteresis state for one backend (lock-guarded)."""
+
+    spec: BackendSpec
+    live: bool = True
+    consecutive_failures: int = 0
+    consecutive_successes: int = 0
+    probes: int = 0
+    quarantines: int = 0
+    rejoins: int = 0
+    last_error: str = ""
+    last_health: dict[str, Any] = field(default_factory=dict)
+
+
+class Membership:
+    """Probe-driven live/quarantined tracking over a fixed backend set.
+
+    Parameters
+    ----------
+    backends:
+        The configured node set; fixed for the membership's lifetime
+        (liveness varies, membership identity does not).
+    probe_interval_seconds, probe_timeout_seconds:
+        Background-probe cadence and per-probe connection/read budget.
+    failure_threshold, recovery_threshold:
+        The hysteresis ladder (see the module docstring).
+    chaos:
+        Optional :class:`~repro.service.chaos.ChaosPlan`; probes draw
+        from the ``probe.send`` site, so a seeded plan can blackhole
+        probes without touching the backend itself.
+    metrics:
+        Collector for ``route.members.*`` counters/gauges; the
+        membership keeps its own when none is supplied.
+    """
+
+    def __init__(
+        self,
+        backends: Iterable[BackendSpec],
+        *,
+        probe_interval_seconds: float = 1.0,
+        probe_timeout_seconds: float = 0.5,
+        failure_threshold: int = 3,
+        recovery_threshold: int = 2,
+        chaos: ChaosPlan | None = None,
+        metrics: Metrics | None = None,
+    ) -> None:
+        specs = tuple(backends)
+        if not specs:
+            raise ServiceError("membership needs at least one backend")
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            raise ServiceError(f"duplicate backend names: {sorted(names)}")
+        if probe_interval_seconds <= 0:
+            raise ServiceError(
+                f"probe_interval_seconds must be positive, "
+                f"got {probe_interval_seconds!r}"
+            )
+        if probe_timeout_seconds <= 0:
+            raise ServiceError(
+                f"probe_timeout_seconds must be positive, "
+                f"got {probe_timeout_seconds!r}"
+            )
+        if failure_threshold < 1 or recovery_threshold < 1:
+            raise ServiceError(
+                f"hysteresis thresholds must be >= 1, got failure "
+                f"{failure_threshold!r} / recovery {recovery_threshold!r}"
+            )
+        self._probe_interval = probe_interval_seconds
+        self._probe_timeout = probe_timeout_seconds
+        self._failure_threshold = failure_threshold
+        self._recovery_threshold = recovery_threshold
+        self._chaos = chaos
+        self._metrics = metrics if metrics is not None else Metrics()
+        self._lock = threading.Lock()
+        self._members = {spec.name: _MemberState(spec) for spec in specs}
+        self._stop = threading.Event()
+        self._prober: threading.Thread | None = None
+        self._metrics.gauge("route.members.live", len(specs))
+
+    # -- views ---------------------------------------------------------------
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Every configured backend name, sorted (liveness ignored)."""
+        return tuple(sorted(self._members))
+
+    def spec_of(self, name: str) -> BackendSpec:
+        member = self._members.get(name)
+        if member is None:
+            raise ServiceError(f"unknown backend {name!r}")
+        return member.spec
+
+    def live_names(self) -> tuple[str, ...]:
+        """Backends currently eligible for routing, sorted."""
+        with self._lock:
+            return tuple(
+                sorted(name for name, m in self._members.items() if m.live)
+            )
+
+    def is_live(self, name: str) -> bool:
+        with self._lock:
+            member = self._members.get(name)
+            return bool(member is not None and member.live)
+
+    def health_of(self, name: str) -> dict[str, Any]:
+        """The last successful probe's health payload (may be stale)."""
+        with self._lock:
+            member = self._members.get(name)
+            return dict(member.last_health) if member is not None else {}
+
+    def describe(self) -> dict[str, dict[str, Any]]:
+        """Per-member state summary (``--stats-json`` / the stats op)."""
+        with self._lock:
+            return {
+                name: {
+                    "endpoint": member.spec.endpoint,
+                    "live": member.live,
+                    "probes": member.probes,
+                    "consecutive_failures": member.consecutive_failures,
+                    "consecutive_successes": member.consecutive_successes,
+                    "quarantines": member.quarantines,
+                    "rejoins": member.rejoins,
+                    "last_error": member.last_error,
+                    "inflight": member.last_health.get("inflight"),
+                    "uptime_seconds": member.last_health.get("uptime_seconds"),
+                }
+                for name, member in sorted(self._members.items())
+            }
+
+    # -- state transitions ---------------------------------------------------
+
+    def _record(
+        self, name: str, ok: bool, *, health: Mapping[str, Any] | None, error: str
+    ) -> bool:
+        """Fold one probe/traffic observation into the hysteresis ladder."""
+        with self._lock:
+            member = self._members[name]
+            if ok:
+                member.consecutive_failures = 0
+                member.consecutive_successes += 1
+                member.last_error = ""
+                if health is not None:
+                    member.last_health = dict(health)
+                if (
+                    not member.live
+                    and member.consecutive_successes >= self._recovery_threshold
+                ):
+                    member.live = True
+                    member.rejoins += 1
+                    self._metrics.incr("route.members.rejoins")
+            else:
+                member.consecutive_successes = 0
+                member.consecutive_failures += 1
+                member.last_error = error
+                if (
+                    member.live
+                    and member.consecutive_failures >= self._failure_threshold
+                ):
+                    member.live = False
+                    member.quarantines += 1
+                    self._metrics.incr("route.members.quarantines")
+            live = sum(1 for m in self._members.values() if m.live)
+            self._metrics.gauge("route.members.live", live)
+            return member.live
+
+    def report_failure(self, name: str, error: str = "") -> None:
+        """A router-observed transport failure toward *name*.
+
+        Counts exactly like a failed probe: the router seeing a
+        connection die mid-request is *better* evidence than a probe,
+        and folding it into the same ladder means a crashed backend
+        leaves the ring after ``failure_threshold`` observations of
+        any kind, not only after the prober happens by.
+        """
+        self._metrics.incr("route.members.traffic_failures")
+        self._record(name, False, health=None, error=error or "traffic failure")
+
+    def probe(self, name: str) -> bool:
+        """Probe one backend now; returns its (possibly updated) liveness."""
+        member = self._members.get(name)
+        if member is None:
+            raise ServiceError(f"unknown backend {name!r}")
+        self._metrics.incr("route.members.probes")
+        with self._lock:
+            member.probes += 1
+        spec = member.spec
+        try:
+            with ServiceClient(
+                spec.host,
+                spec.port,
+                timeout_seconds=self._probe_timeout,
+                chaos=self._chaos,
+                chaos_site="probe.send",
+            ) as client:
+                health = client.health()
+        except (ServiceTransportError, ServiceError, OSError) as error:
+            return self._record(name, False, health=None, error=str(error))
+        if not health.get("ready"):
+            # Alive but refusing traffic (draining / closed service):
+            # routing there would only harvest typed refusals.
+            return self._record(
+                name, False, health=health, error="backend reports not ready"
+            )
+        return self._record(name, True, health=health, error="")
+
+    def probe_once(self) -> dict[str, bool]:
+        """One full probe cycle, synchronously; name → post-probe liveness.
+
+        The deterministic entry point the cluster tests drive: the
+        acceptance statement "a recovered node rejoins within one
+        probe cycle" is literally "one :meth:`probe_once` call flips
+        it live".
+        """
+        return {name: self.probe(name) for name in self.names}
+
+    # -- background prober ---------------------------------------------------
+
+    def start(self) -> None:
+        """Start the background probe loop (idempotent)."""
+        if self._prober is not None:
+            return
+        self._stop.clear()
+        self._prober = threading.Thread(
+            target=self._probe_loop, name="repro-cluster-probe", daemon=True
+        )
+        self._prober.start()
+
+    def stop(self) -> None:
+        """Stop the background probe loop (idempotent)."""
+        self._stop.set()
+        prober = self._prober
+        if prober is not None:
+            prober.join(timeout=5.0)
+        self._prober = None
+
+    def _probe_loop(self) -> None:
+        while not self._stop.wait(timeout=self._probe_interval):
+            try:
+                self.probe_once()
+            except ServiceError:  # pragma: no cover - defensive
+                continue
+
+
+def specs_from_endpoints(endpoints: Iterable[str]) -> tuple[BackendSpec, ...]:
+    """Parse CLI ``host:port`` strings into named backend specs.
+
+    Names are ``b0``, ``b1``, ... in argument order — stable across
+    restarts of the same command line, which is what keeps the hash
+    ring's key → node assignment stable too.
+    """
+    return tuple(
+        BackendSpec.parse(text, name=f"b{index}")
+        for index, text in enumerate(endpoints)
+    )

@@ -206,9 +206,10 @@ class OffTargetService:
 
         What the socket server's ``health`` op builds on: queue
         pressure, registered sessions, and the compiled-guide cache
-        gauge — the signals a load balancer or drain script needs,
-        without the full :meth:`stats` payload.
+        counters — the signals a load balancer, membership prober, or
+        drain script needs, without the full :meth:`stats` payload.
         """
+        cache = self._cache.stats()
         return {
             "ready": not self._closed and not self._scheduler.stopped,
             "closed": self._closed,
@@ -216,8 +217,12 @@ class OffTargetService:
             "max_queue_depth": self._scheduler.max_queue_depth,
             "sessions": self._sessions.ids(),
             "cache": {
-                "size": len(self._cache),
-                "capacity": self._cache.capacity,
+                "size": int(cache["size"]),
+                "capacity": int(cache["capacity"]),
+                "hits": int(cache["hits"]),
+                "misses": int(cache["misses"]),
+                "adoptions": int(cache["adoptions"]),
+                "hit_rate": float(cache["hit_rate"]),
             },
         }
 

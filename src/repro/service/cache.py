@@ -95,6 +95,7 @@ class CompiledGuideCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._adoptions = 0
 
     # -- introspection -----------------------------------------------------
 
@@ -136,6 +137,7 @@ class CompiledGuideCache:
                 "hits": self._hits,
                 "misses": self._misses,
                 "evictions": self._evictions,
+                "adoptions": self._adoptions,
                 "hit_rate": self._hits / lookups if lookups else 0.0,
             }
 
@@ -184,6 +186,47 @@ class CompiledGuideCache:
             self._metrics.gauge("service.cache.size", len(self._entries))
         return compiled
 
+    def peek(self, guide: Guide, budget: SearchBudget) -> CompiledGuide | None:
+        """The cached artefact for (*guide*, *budget*), or ``None``.
+
+        Never compiles and moves no counters — this is the cluster
+        tier's export probe (``cache_export`` op), which must not
+        perturb the hit/miss accounting the SVC003 rule audits.
+        """
+        with self._lock:
+            return self._entries.get(cache_key(guide, budget))
+
+    def adopt(self, compiled: CompiledGuide) -> CacheKey:
+        """Insert a peer-compiled artefact (cache-warmup forwarding).
+
+        The artefact must already carry its canonical name — the same
+        key ↔ entry coherence SVC002 enforces — so a corrupted or
+        mislabeled transfer is refused instead of silently
+        demultiplexing one guide's hits under another's name. Counted
+        under ``adoptions`` (not ``misses``): SVC003's eviction bound
+        is ``evictions <= misses + adoptions``.
+        """
+        key = cache_key(compiled.guide, compiled.budget)
+        expected = canonical_name(key)
+        if compiled.guide.name != expected:
+            raise ServiceError(
+                f"refusing to adopt artefact named {compiled.guide.name!r}; "
+                f"its content canonicalises to {expected!r}"
+            )
+        with self._lock:
+            self._adoptions += 1
+            self._metrics.incr("service.cache.adoptions")
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                return key
+            self._entries[key] = compiled
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+                self._metrics.incr("service.cache.evictions")
+            self._metrics.gauge("service.cache.size", len(self._entries))
+        return key
+
     def clear(self) -> None:
         """Drop every entry (counters are preserved; they are history)."""
         with self._lock:
@@ -200,4 +243,5 @@ class CompiledGuideCache:
                 "hits": self._hits,
                 "misses": self._misses,
                 "evictions": self._evictions,
+                "adoptions": self._adoptions,
             }

@@ -8,10 +8,15 @@ adversary is a hostile or unlucky *peer* rather than a dying worker:
 mid-line disconnects, partial and slow writes (slowloris), garbage and
 oversized lines, and connection floods.
 
-A :class:`ChaosPlan` is consulted from two injection sites —
-``client.send`` inside :class:`~repro.service.client.ServiceClient`
-and ``server.write`` inside
-:class:`~repro.service.server.OffTargetServer` — and answers "what, if
+A :class:`ChaosPlan` is consulted from five injection sites —
+``client.send`` inside :class:`~repro.service.client.ServiceClient`,
+``server.write`` inside
+:class:`~repro.service.server.OffTargetServer`, and, since the
+sharded-cluster PR, the cross-node sites: ``router.send`` (the
+router → backend hop, same sabotage shapes as a client),
+``probe.send`` (membership health probes, which a blackhole makes
+fail without touching the backend), and ``backend.serve`` (the
+cross-node harness's backend-crash schedule) — and answers "what, if
 anything, goes wrong with this wire event?". Two modes:
 
 * **seeded** — every site gets its own seeded numpy generator stream
@@ -60,10 +65,26 @@ SERVER_ACTIONS = (
     "slow_write",  # dribble the response out, but complete it
 )
 
-#: Injection sites and the actions each may draw.
+#: Membership-probe sabotage: the backend is alive but unreachable.
+PROBE_ACTIONS = (
+    "blackhole_probe",  # the probe gets no answer (counts as a failure)
+)
+
+#: Cluster-level backend faults, drawn by the cross-node harness.
+BACKEND_ACTIONS = (
+    "kill_mid_batch",  # crash one backend while a batch executes
+)
+
+#: Injection sites and the actions each may draw. ``router.send`` is
+#: the router → backend hop (same transport sabotage shapes as a
+#: client), ``probe.send`` the membership health probe, and
+#: ``backend.serve`` the cross-node harness's crash schedule.
 SITE_ACTIONS: Mapping[str, tuple[str, ...]] = {
     "client.send": CLIENT_ACTIONS,
     "server.write": SERVER_ACTIONS,
+    "router.send": CLIENT_ACTIONS,
+    "probe.send": PROBE_ACTIONS,
+    "backend.serve": BACKEND_ACTIONS,
 }
 
 #: Actions that complete the wire event (degrade, don't sabotage).
@@ -107,6 +128,9 @@ class ChaosPlan:
         *,
         client_rate: float = 0.25,
         server_rate: float = 0.25,
+        router_rate: float = 0.0,
+        probe_rate: float = 0.0,
+        backend_rate: float = 0.0,
         script: Mapping[str, Sequence[str | None]] | None = None,
         max_faults: int | None = None,
         slow_chunk_bytes: int = 16,
@@ -114,7 +138,13 @@ class ChaosPlan:
         oversize_bytes: int = 1 << 16,
         garbage_bytes: int = 64,
     ) -> None:
-        for name, rate in (("client_rate", client_rate), ("server_rate", server_rate)):
+        for name, rate in (
+            ("client_rate", client_rate),
+            ("server_rate", server_rate),
+            ("router_rate", router_rate),
+            ("probe_rate", probe_rate),
+            ("backend_rate", backend_rate),
+        ):
             if not 0.0 <= rate <= 1.0:
                 raise ServiceError(f"{name} must be within [0, 1], got {rate!r}")
         if slow_chunk_bytes < 1:
@@ -139,7 +169,13 @@ class ChaosPlan:
         self.slow_pause_seconds = slow_pause_seconds
         self.oversize_bytes = oversize_bytes
         self.garbage_bytes = garbage_bytes
-        self._rates = {"client.send": client_rate, "server.write": server_rate}
+        self._rates = {
+            "client.send": client_rate,
+            "server.write": server_rate,
+            "router.send": router_rate,
+            "probe.send": probe_rate,
+            "backend.serve": backend_rate,
+        }
         self._script = {
             site: list(actions) for site, actions in (script or {}).items()
         }

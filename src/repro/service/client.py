@@ -83,6 +83,16 @@ class RetryPolicy:
     ``overloaded`` sheds only when ``retry_overloaded`` is set, and
     every other typed answer — ``deadline``, ``capacity``,
     ``bad_request``, ``internal`` — never.
+
+    ``deadline_seconds`` bounds the *whole* retry schedule: measured
+    from the first attempt, the total time spent (attempts plus
+    backoff sleeps) never exceeds it. Each backoff is clamped to the
+    remaining budget and an exhausted budget raises
+    :class:`~repro.errors.DeadlineExceededError` instead of sleeping
+    past the caller's horizon — without it, ``max_attempts`` capped
+    exponential backoff could keep a caller waiting long after the
+    deadline it asked the *server* to respect. A query/design
+    ``timeout_seconds`` imposes the same horizon implicitly.
     """
 
     max_attempts: int = 4
@@ -92,6 +102,7 @@ class RetryPolicy:
     jitter_fraction: float = 0.5
     seed: int = 0
     retry_overloaded: bool = True
+    deadline_seconds: float | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.max_attempts, int) or self.max_attempts < 1:
@@ -100,6 +111,11 @@ class RetryPolicy:
             )
         if self.base_delay_seconds < 0 or self.max_delay_seconds < 0:
             raise ServiceError("retry delays must be >= 0")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ServiceError(
+                f"deadline_seconds must be positive when set, "
+                f"got {self.deadline_seconds!r}"
+            )
         if self.multiplier < 1.0:
             raise ServiceError(f"multiplier must be >= 1, got {self.multiplier!r}")
         if not 0.0 <= self.jitter_fraction <= 1.0:
@@ -139,8 +155,12 @@ class ServiceClient:
         client-unique id so the server can deduplicate the retries.
     chaos:
         Optional :class:`~repro.service.chaos.ChaosPlan` consulted at
-        the ``client.send`` site — sabotages send attempts for the
-        differential chaos suite.
+        the send site — sabotages send attempts for the differential
+        chaos suite.
+    chaos_site:
+        Which plan site the send consults; ``client.send`` by
+        default. The router tier passes ``router.send`` so its
+        backend hops draw from their own seeded stream.
     metrics:
         Collector for ``service.client.*`` counters (attempts,
         retries, transport errors, disconnects); the client keeps its
@@ -155,6 +175,7 @@ class ServiceClient:
         timeout_seconds: float = 60.0,
         retry: RetryPolicy | None = None,
         chaos: ChaosPlan | None = None,
+        chaos_site: str = "client.send",
         metrics: Metrics | None = None,
     ) -> None:
         if port < 1:
@@ -163,6 +184,7 @@ class ServiceClient:
         self._timeout = timeout_seconds
         self._retry = retry
         self._chaos = chaos
+        self._chaos_site = chaos_site
         self._metrics = metrics if metrics is not None else Metrics()
         self._rng = np.random.default_rng(retry.seed if retry is not None else 0)
         self._socket: socket.socket | None = None
@@ -232,6 +254,7 @@ class ServiceClient:
             "query",
             "design",
         ) or bool(payload.get("id"))
+        deadline = self._retry_horizon(payload)
         attempt = 0
         while True:
             attempt += 1
@@ -249,13 +272,51 @@ class ServiceClient:
                     or not policy.is_retryable(error)
                 ):
                     raise
-                self._metrics.incr("service.client.retries")
                 delay = policy.delay_seconds(attempt, self._rng)
+                if deadline is not None:
+                    # The deadline budget bounds the whole schedule:
+                    # never sleep past the horizon, and give up typed
+                    # once it is spent instead of burning attempts.
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        self._metrics.incr("service.client.deadline_exhausted")
+                        raise DeadlineExceededError(
+                            f"retry budget exhausted after {attempt} "
+                            f"attempt(s); last failure: {error}"
+                        ) from error
+                    delay = min(delay, remaining)
+                self._metrics.incr("service.client.retries")
                 if delay > 0:
                     time.sleep(delay)
 
-    def _attempt(self, payload: dict[str, Any]) -> dict[str, Any]:
-        """One request/response exchange, no retries."""
+    def _retry_horizon(self, payload: dict[str, Any]) -> float | None:
+        """Absolute monotonic deadline for this roundtrip's retries.
+
+        The tighter of the policy's ``deadline_seconds`` and the
+        request's own ``timeout`` field — a caller that bounded the
+        server-side dispatch has bounded its own patience too.
+        """
+        horizons: list[float] = []
+        policy = self._retry
+        if policy is not None and policy.deadline_seconds is not None:
+            horizons.append(policy.deadline_seconds)
+        raw_timeout = payload.get("timeout")
+        if isinstance(raw_timeout, (int, float)):
+            horizons.append(float(raw_timeout))
+        if not horizons:
+            return None
+        return time.monotonic() + min(horizons)
+
+    def exchange(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """One request/response exchange; typed refusals come back as data.
+
+        Unlike :meth:`roundtrip`, an ``ok: false`` response is
+        *returned*, not raised — the router tier needs the backend's
+        verdict verbatim so it can forward it to its own client.
+        Transport failures (the request's fate is unknown, which is a
+        different thing from a typed refusal) still raise
+        :class:`~repro.errors.ServiceTransportError`. No retries.
+        """
         self.connect()
         data = json.dumps(payload).encode("ascii") + b"\n"
         self._send(data)
@@ -268,6 +329,11 @@ class ServiceClient:
             ) from error
         if not isinstance(response, dict):
             raise ServiceTransportError(f"malformed response: {response!r}")
+        return response
+
+    def _attempt(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """One request/response exchange, no retries; refusals raise."""
+        response = self.exchange(payload)
         if not response.get("ok"):
             _raise_wire_error(
                 str(response.get("error", "internal")),
@@ -276,7 +342,7 @@ class ServiceClient:
         return response
 
     def _send(self, data: bytes) -> None:
-        """Write one request line — the ``client.send`` chaos site.
+        """Write one request line — the client-side chaos site.
 
         Sabotage actions corrupt the attempt (drop, truncate, garbage,
         oversize, vanish-after-send) and raise
@@ -287,7 +353,7 @@ class ServiceClient:
         connection = self._socket
         assert connection is not None
         chaos = self._chaos
-        action = chaos.draw("client.send") if chaos is not None else None
+        action = chaos.draw(self._chaos_site) if chaos is not None else None
         try:
             if action is None:
                 connection.sendall(data)
@@ -446,6 +512,61 @@ class ServiceClient:
             payload["timeout"] = timeout_seconds
         response = self.roundtrip(payload)
         return dict(response.get("report", {}))
+
+    def register_genome(
+        self,
+        session_id: str,
+        sequences: Iterable[tuple[str, str]],
+    ) -> bool:
+        """Register (or re-confirm) a genome session over the wire.
+
+        *sequences* are ``(name, text)`` pairs. The op is idempotent:
+        a session that already exists is left untouched and answered
+        with ``created: false``, so re-registering after a backend
+        restart (or a retried send) is always safe. Returns whether
+        this call created the session.
+        """
+        payload = {
+            "op": "register",
+            "session": session_id,
+            "sequences": [
+                {"name": name, "text": text} for name, text in sequences
+            ],
+        }
+        return bool(self.roundtrip(payload).get("created"))
+
+    def cache_export(self, guide: Guide, budget: SearchBudget) -> str | None:
+        """This backend's pickled artefact for (*guide*, *budget*), if cached.
+
+        Returns the base64 payload the ``cache_adopt`` op accepts, or
+        ``None`` on a cache miss — the probe never compiles and moves
+        no cache counters (the router's warmup-forwarding source).
+        """
+        response = self.roundtrip(
+            {
+                "op": "cache_export",
+                "guide": guide_to_wire(guide),
+                "budget": {
+                    "mismatches": budget.mismatches,
+                    "rna_bulges": budget.rna_bulges,
+                    "dna_bulges": budget.dna_bulges,
+                },
+            }
+        )
+        artefact = response.get("artefact")
+        if not response.get("found") or not isinstance(artefact, str):
+            return None
+        return artefact
+
+    def cache_adopt(self, artefact: str) -> str:
+        """Hand a peer-exported artefact to this backend's cache.
+
+        Returns the canonical cache-entry name the backend adopted it
+        under; a corrupted or mislabeled artefact is refused with
+        ``bad_request``.
+        """
+        response = self.roundtrip({"op": "cache_adopt", "artefact": artefact})
+        return str(response.get("key", ""))
 
     def stats(self) -> dict[str, Any]:
         """The service's metrics payload (see ``OffTargetService.stats``)."""

@@ -16,12 +16,28 @@ op           behaviour
              through this server's own service
 
 ``stats``    service metrics (coalesced batches, cache hit rate, sheds)
-``health``   readiness/liveness: queue depth, sessions, cache gauge,
-             connection count, drain state
+``health``   readiness/liveness: queue depth, in-flight requests,
+             sessions, cache hit/miss counters, uptime, connection
+             count, drain state — rich enough for load-aware
+             membership decisions (the router tier's probe)
+``register`` session + ``[{name, text}]`` sequences → idempotently
+             ensure the genome session exists (``created`` reports
+             whether this call made it)
+``cache_export``  guide + budget → the cached CompiledGuide artefact
+             as base64 pickle (``found: false`` on a miss; never
+             compiles, moves no cache counters)
+``cache_adopt``   base64 artefact → insert a peer-compiled artefact
+             into this node's cache (cache-warmup forwarding; the
+             artefact must carry its canonical content-derived name)
 ``drain``    acknowledge, stop accepting, finish admitted requests
              under the drain deadline, then exit
 ``shutdown`` acknowledge, then stop the server loop
 =========== ============================================================
+
+``cache_adopt`` unpickles its payload and therefore trusts its peers;
+the serving stack binds to loopback by default and the cluster tier is
+an intra-trust-boundary deployment (the router and its backends are
+one operator's processes), which is the deployment this op assumes.
 
 Error kinds: ``overloaded`` (queue at capacity or the connection cap
 was hit — the request was shed at admission), ``deadline`` (admitted
@@ -53,7 +69,9 @@ Robustness invariants (pinned by ``tests/test_chaos.py``):
 
 from __future__ import annotations
 
+import base64
 import json
+import pickle
 import socket
 import threading
 import time
@@ -61,7 +79,7 @@ from collections import OrderedDict
 from concurrent.futures import Future
 from typing import Any, Callable
 
-from ..core.compiler import SearchBudget
+from ..core.compiler import CompiledGuide, SearchBudget
 from ..genome.sequence import Sequence
 from ..errors import (
     CapacityError,
@@ -75,6 +93,7 @@ from ..grna.hit import OffTargetHit
 from ..grna.pam import Pam, get_pam
 from ..obs import Metrics
 from .api import OffTargetService
+from .cache import canonical_name
 from .chaos import ChaosPlan
 from .scheduler import ServiceResult
 
@@ -275,6 +294,9 @@ class OffTargetServer:
         self._inflight: dict[str, "Future[Any]"] = {}
         self._completed: "OrderedDict[str, dict[str, Any]]" = OrderedDict()
         self._executions: dict[str, int] = {}
+        self._started = time.monotonic()
+        self._inflight_ops_lock = threading.Lock()
+        self._inflight_ops = 0
 
     @property
     def address(self) -> tuple[str, int]:
@@ -321,6 +343,17 @@ class OffTargetServer:
         """Currently-served connections (live handler threads)."""
         with self._handler_lock:
             return sum(1 for thread in self._handlers if thread.is_alive())
+
+    @property
+    def inflight_requests(self) -> int:
+        """Executing ops (query/design) currently being served."""
+        with self._inflight_ops_lock:
+            return self._inflight_ops
+
+    @property
+    def uptime_seconds(self) -> float:
+        """Seconds since this server object was constructed."""
+        return time.monotonic() - self._started
 
     def execution_counts(self) -> dict[str, int]:
         """How many times each request id was actually submitted.
@@ -436,7 +469,14 @@ class OffTargetServer:
             pass
 
     def health(self) -> dict[str, Any]:
-        """Readiness/liveness snapshot (the ``health`` op's payload)."""
+        """Readiness/liveness snapshot (the ``health`` op's payload).
+
+        Carries the load signals a membership prober needs to make
+        *load-aware* decisions, not just a liveness ack: in-flight
+        executing ops, cache hit/miss counters, the registered session
+        list, and uptime (a small uptime after a large one means the
+        node restarted and lost its sessions and cache).
+        """
         service = self._service.health()
         draining = self._draining.is_set()
         stopped = self._stop.is_set()
@@ -451,6 +491,8 @@ class OffTargetServer:
             "draining": draining,
             "connections": self.active_connections,
             "max_connections": self._max_connections,
+            "inflight": self.inflight_requests,
+            "uptime_seconds": self.uptime_seconds,
             "queue_depth": service["queue_depth"],
             "max_queue_depth": service["max_queue_depth"],
             "sessions": service["sessions"],
@@ -460,6 +502,38 @@ class OffTargetServer:
                 self._metrics.counter("service.server.requests.deduped")
             ),
         }
+
+    def die(self) -> None:
+        """Crash abruptly: no drain, no goodbye (the chaos kill switch).
+
+        The in-process stand-in for ``SIGKILL`` in cross-node chaos
+        tests: the listener and every open connection are torn down
+        immediately and the serve loop is told to exit, abandoning
+        admitted work exactly as a real crash would. The underlying
+        service object is *not* closed — its state (execution counts,
+        idempotency records) stays inspectable post-mortem, which is
+        what the duplicate-execution proofs audit.
+        """
+        self._metrics.incr("service.server.died")
+        self._stop.set()
+        self._draining.set()
+        self._close_listener()
+        with self._handler_lock:
+            connections = list(self._handlers.values())
+        for connection in connections:
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                connection.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+        # Deliberately no _drain_lock: a crash must never block behind
+        # an in-progress graceful drain. The flag writes are atomic and
+        # a later stop()/drain() call returns immediately.
+        self._finished = True
+        self._drained_clean = False
 
     def _close_listener(self) -> None:
         listener = self._socket
@@ -677,10 +751,16 @@ class OffTargetServer:
                 return {"ok": True, "op": "draining"}
             if op == "shutdown":
                 return {"ok": True, "op": "bye"}
+            if op == "register":
+                return self._respond_register(payload)
+            if op == "cache_export":
+                return self._respond_cache_export(payload)
+            if op == "cache_adopt":
+                return self._respond_cache_adopt(payload)
             if op == "query":
-                return self._respond_query(payload)
+                return self._track_inflight(self._respond_query, payload)
             if op == "design":
-                return self._respond_design(payload)
+                return self._track_inflight(self._respond_design, payload)
             raise ServiceError(f"unknown op {op!r}")
         except Exception as error:
             kind = _error_kind(error)
@@ -691,6 +771,120 @@ class OffTargetServer:
                 "error": kind,
                 "detail": str(error) or type(error).__name__,
             }
+
+    def _track_inflight(
+        self,
+        respond: Callable[[dict[str, Any]], dict[str, Any]],
+        payload: dict[str, Any],
+    ) -> dict[str, Any]:
+        """Run an executing op under the in-flight gauge the health op
+        reports (what makes membership decisions load-aware)."""
+        with self._inflight_ops_lock:
+            self._inflight_ops += 1
+            self._metrics.gauge("service.server.inflight", self._inflight_ops)
+        try:
+            return respond(payload)
+        finally:
+            with self._inflight_ops_lock:
+                self._inflight_ops -= 1
+                self._metrics.gauge("service.server.inflight", self._inflight_ops)
+
+    def _respond_register(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Idempotently ensure a genome session exists on this node.
+
+        Registering a session that already exists is a no-op answered
+        with ``created: false`` — the existing content wins, because a
+        re-register races only against the client's own earlier send
+        (same content) after a retry or a backend restart. This is
+        what lets a reconnecting client repair a restarted backend
+        without coordinating "did my first register land?".
+        """
+        session_id = str(payload.get("session", "default"))
+        raw = payload.get("sequences")
+        if not isinstance(raw, list) or not raw:
+            raise ServiceError("register needs a non-empty 'sequences' list")
+        try:
+            sequences = tuple(
+                Sequence.from_text(str(entry["name"]), str(entry["text"]))
+                for entry in raw
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ServiceError(f"malformed register request: {error!r}") from error
+        if session_id in self._service.sessions:
+            created = False
+        else:
+            try:
+                self._service.sessions.add_sequences(session_id, sequences)
+                created = True
+            except ServiceError:
+                # Lost a register/register race: the session exists now,
+                # which is all this op promises.
+                created = False
+        self._metrics.incr("service.server.registers")
+        return {
+            "ok": True,
+            "op": "registered",
+            "session": session_id,
+            "created": created,
+        }
+
+    def _respond_cache_export(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Ship a cached CompiledGuide artefact to a peer (via the router).
+
+        A pure probe: on a miss it answers ``found: false`` rather
+        than compiling, and the peek moves no cache counters, so
+        warmup forwarding never distorts the hit/miss accounting the
+        SVC rules audit.
+        """
+        raw_guide = payload.get("guide")
+        if not isinstance(raw_guide, dict):
+            raise ServiceError("cache_export needs a 'guide' object")
+        try:
+            guide = guide_from_wire(raw_guide)
+            budget = budget_from_wire(payload.get("budget", {}))
+        except (KeyError, TypeError, ValueError) as error:
+            raise ServiceError(
+                f"malformed cache_export request: {error!r}"
+            ) from error
+        compiled = self._service.cache.peek(guide, budget)
+        if compiled is None:
+            return {"ok": True, "op": "artefact", "found": False, "artefact": None}
+        blob = pickle.dumps(compiled, protocol=pickle.HIGHEST_PROTOCOL)
+        self._metrics.incr("service.server.cache_exports")
+        return {
+            "ok": True,
+            "op": "artefact",
+            "found": True,
+            "artefact": base64.b64encode(blob).decode("ascii"),
+            "key": compiled.guide.name,
+        }
+
+    def _respond_cache_adopt(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Adopt a peer-compiled artefact into this node's cache.
+
+        The payload must decode to a :class:`CompiledGuide` whose name
+        matches its content's canonical name — the cache refuses
+        anything else — so a corrupted transfer surfaces as a typed
+        ``bad_request``, never as wrong hits.
+        """
+        raw = payload.get("artefact")
+        if not isinstance(raw, str) or not raw:
+            raise ServiceError("cache_adopt needs a base64 'artefact' string")
+        try:
+            blob = base64.b64decode(raw.encode("ascii"), validate=True)
+            compiled = pickle.loads(blob)
+        except ServiceError:
+            raise
+        except Exception as error:  # noqa: BLE001 - decode failures are typed
+            raise ServiceError(f"artefact does not decode: {error!r}") from error
+        if not isinstance(compiled, CompiledGuide):
+            raise ServiceError(
+                f"artefact decodes to {type(compiled).__name__}, "
+                f"not a CompiledGuide"
+            )
+        key = self._service.cache.adopt(compiled)
+        self._metrics.incr("service.server.cache_adoptions")
+        return {"ok": True, "op": "adopted", "key": canonical_name(key)}
 
     def _decode_query(
         self, payload: dict[str, Any]

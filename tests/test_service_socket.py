@@ -21,6 +21,7 @@ import socket
 import subprocess
 import sys
 import threading
+import time
 from pathlib import Path
 
 import pytest
@@ -35,7 +36,7 @@ from repro import (
 )
 from repro.cli import EXIT_OVERLOADED
 from repro.errors import ServiceError, ServiceOverloadedError
-from repro.service import OffTargetServer, ServiceClient
+from repro.service import OffTargetServer, RetryPolicy, ServiceClient
 from repro.service.server import guide_to_wire
 
 REPO = Path(__file__).resolve().parent.parent
@@ -306,3 +307,71 @@ class TestCliExitCodes:
             port = probe.getsockname()[1]
         completed = self.run_query_cli(table, port)
         assert completed.returncode == 2
+
+
+class TestReconnectAfterRestart:
+    def test_client_reregisters_and_resumes_without_duplicates(
+        self, genome, guides
+    ):
+        # A backend crashes and is replaced on the same endpoint by a
+        # cold process that knows nothing: the persistent client must
+        # ride its retry path through the reconnect, re-register the
+        # genome session itself, and the next query must execute
+        # exactly once on the new process.
+        budget = SearchBudget(mismatches=2)
+        expected = OffTargetSearch(guides, budget).run(genome).hits
+        service = OffTargetService(
+            background=True, batch_window_seconds=0.002, chunk_length=1 << 12
+        )
+        service.add_genome("default", genome)
+        server = OffTargetServer(service)
+        host, port = server.start()
+        replacement = None
+        client = ServiceClient(
+            host,
+            port,
+            timeout_seconds=20,
+            retry=RetryPolicy(seed=11, base_delay_seconds=0.01),
+        )
+        try:
+            with client:
+                before = client.query(guides, budget, request_id="before-restart")
+                assert before.hits == expected
+                server.die()
+                # The replacement has no sessions at all — restarts
+                # lose state, they don't inherit it.
+                cold = OffTargetService(
+                    background=True,
+                    batch_window_seconds=0.002,
+                    chunk_length=1 << 12,
+                )
+                replacement = OffTargetServer(cold, port=port)
+                # The dead server's acceptor poll (<= 0.2 s) can pin
+                # the port briefly; retry the bind like a supervisor.
+                deadline = time.monotonic() + 5
+                while True:
+                    try:
+                        replacement.start()
+                        break
+                    except OSError:
+                        if time.monotonic() > deadline:
+                            raise
+                        time.sleep(0.05)
+                # The stale connection dies on first use; the retry
+                # path reconnects, and the cold service answers with a
+                # typed refusal for the missing session.
+                with pytest.raises(ServiceError):
+                    client.query(guides, budget, request_id="orphan-session")
+                assert client.register_genome(
+                    "default", [(genome.name, genome.text)]
+                )
+                after = client.query(guides, budget, request_id="after-restart")
+            assert after.hits == expected
+            counts = replacement.execution_counts()
+            assert counts.get("after-restart") == 1
+            assert all(count == 1 for count in counts.values()), counts
+            assert client.metrics.counter("service.client.retries") >= 1
+        finally:
+            if replacement is not None:
+                replacement.stop()
+            server.stop()
